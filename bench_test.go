@@ -1,0 +1,388 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus the ablation
+// studies called out in DESIGN.md. Custom metrics (MAPE, speed-ups,
+// slice fractions) are attached to the benchmark results via
+// b.ReportMetric so a single -bench run reproduces the numbers.
+package cnnperf_test
+
+import (
+	"sync"
+	"testing"
+
+	"cnnperf"
+	"cnnperf/internal/core"
+	"cnnperf/internal/dca"
+	"cnnperf/internal/experiments"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/gpusim"
+	"cnnperf/internal/mlearn"
+	"cnnperf/internal/mlearn/metrics"
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+// sharedSuite lazily builds the phase-1 dataset once for all benchmarks.
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func getSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.NewSuite(core.DefaultConfig())
+	})
+	if suiteErr != nil {
+		b.Fatalf("building suite: %v", suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkTableI_StaticAnalysis regenerates Table I: the Static Analyzer
+// over all 31 CNNs of the paper.
+func BenchmarkTableI_StaticAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var params int64
+		for _, name := range zoo.TableIOrder {
+			m := zoo.MustBuild(name)
+			params += m.TrainableParams()
+		}
+		if params <= 0 {
+			b.Fatal("no parameters counted")
+		}
+	}
+}
+
+// BenchmarkTableII_Regressors regenerates Table II: train and score the
+// five candidate regressors on the 70/30 split. The reported mape_dt /
+// mape_lr metrics are the table's headline numbers.
+func BenchmarkTableII_Regressors(b *testing.B) {
+	s := getSuite(b)
+	var dt, lr float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evals, _, err := s.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range evals {
+			switch e.Name {
+			case "decision_tree":
+				dt = e.MAPE
+			case "linear_regression":
+				lr = e.MAPE
+			}
+		}
+	}
+	b.ReportMetric(dt, "mape_dt_%")
+	b.ReportMetric(lr, "mape_lr_%")
+}
+
+// BenchmarkTableIII_FeatureImportance regenerates Table III: the final
+// Decision Tree's impurity importances. The reported metric is the
+// memory-bandwidth importance (paper: 0.726).
+func BenchmarkTableIII_FeatureImportance(b *testing.B) {
+	s := getSuite(b)
+	var bw float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imps, _, err := s.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fi := range imps {
+			if fi.Feature == "mem_bandwidth_gbs" {
+				bw = fi.Importance
+			}
+		}
+	}
+	b.ReportMetric(bw, "importance_membw")
+}
+
+// BenchmarkFig4_PredictedVsMeasured regenerates Fig. 4: predicted vs
+// original IPC for the held-out CNNs on the GTX 1080 Ti across the four
+// non-linear regressors. The reported metric is the Decision Tree panel's
+// MAPE (paper: 5.73 % overall).
+func BenchmarkFig4_PredictedVsMeasured(b *testing.B) {
+	s := getSuite(b)
+	var dtMape float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, _, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range series {
+			if sr.Regressor == "decision_tree" {
+				dtMape = sr.MAPE
+			}
+		}
+	}
+	b.ReportMetric(dtMape, "fig4_dt_mape_%")
+}
+
+// BenchmarkTableIV_DSESpeedup regenerates Table IV: the DSE timing
+// comparison (naive profiling on n GPUs vs one DCA plus n predictions).
+// The reported metric is the mean speed-up at n=7.
+func BenchmarkTableIV_DSESpeedup(b *testing.B) {
+	s := getSuite(b)
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := s.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = 0
+		for _, r := range rows {
+			speedup += r.Speedup7
+		}
+		speedup /= float64(len(rows))
+	}
+	b.ReportMetric(speedup, "speedup_n7_x")
+}
+
+// BenchmarkAblationSliceVsFull quantifies the paper's slicing trick: the
+// control-slice interpreter versus interpreting every instruction.
+func BenchmarkAblationSliceVsFull(b *testing.B) {
+	m := zoo.MustBuild("inceptionv3")
+	prog, err := ptxgen.Compile(m, ptxgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sliced", func(b *testing.B) {
+		var frac float64
+		for i := 0; i < b.N; i++ {
+			rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			frac = rep.MeanSliceFraction
+		}
+		b.ReportMetric(100*frac, "slice_%")
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dca.AnalyzeProgram(prog, dca.Options{Exec: dca.ExecOptions{Full: true}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationConvLowering compares the two convolution lowerings
+// (implicit GEMM vs explicit im2col+GEMM) end to end.
+func BenchmarkAblationConvLowering(b *testing.B) {
+	m := zoo.MustBuild("vgg16")
+	for name, opt := range map[string]ptxgen.ConvLowering{
+		"implicit_gemm": ptxgen.ImplicitGEMM,
+		"im2col_gemm":   ptxgen.Im2colGEMM,
+		"tiled_gemm":    ptxgen.TiledGEMM,
+	} {
+		opt := opt
+		b.Run(name, func(b *testing.B) {
+			var executed int64
+			for i := 0; i < b.N; i++ {
+				prog, err := ptxgen.Compile(m, ptxgen.Options{Lowering: opt})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				executed = rep.Executed
+			}
+			b.ReportMetric(float64(executed)/1e9, "Ginstr")
+		})
+	}
+}
+
+// BenchmarkAblationKernelFusion quantifies the conv+BN+ReLU fusion: the
+// executed-instruction total and simulated runtime with and without
+// elementwise fusion.
+func BenchmarkAblationKernelFusion(b *testing.B) {
+	m := zoo.MustBuild("resnet50v2")
+	spec := gpu.MustLookup("gtx1080ti")
+	for name, fuse := range map[string]bool{"unfused": false, "fused": true} {
+		fuse := fuse
+		b.Run(name, func(b *testing.B) {
+			var runtime float64
+			var launches int
+			for i := 0; i < b.N; i++ {
+				prog, err := ptxgen.Compile(m, ptxgen.Options{Batch: 16, FuseElementwise: fuse})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := gpusim.Simulate(rep, spec, gpusim.Config{NoisePct: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime = res.RuntimeSec
+				launches = len(prog.Launches)
+			}
+			b.ReportMetric(1000*runtime, "runtime_ms")
+			b.ReportMetric(float64(launches), "kernels")
+		})
+	}
+}
+
+// BenchmarkAblationTreeDepth sweeps the Decision Tree depth limit and
+// reports the evaluation MAPE per depth — the pruning ablation from
+// DESIGN.md.
+func BenchmarkAblationTreeDepth(b *testing.B) {
+	s := getSuite(b)
+	trX, trY := s.Train.XY()
+	evX, evY := s.Eval.XY()
+	for _, depth := range []int{2, 4, 8, 0} {
+		depth := depth
+		name := "unlimited"
+		if depth > 0 {
+			name = string(rune('0' + depth))
+		}
+		b.Run("depth_"+name, func(b *testing.B) {
+			var mape float64
+			for i := 0; i < b.N; i++ {
+				tree := &mlearn.DecisionTree{MaxDepth: depth, MinLeaf: 1, MinSplit: 2}
+				if err := tree.Fit(trX, trY); err != nil {
+					b.Fatal(err)
+				}
+				pred := mlearn.PredictAll(tree, evX)
+				m, err := metrics.MAPE(evY, pred)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mape = m
+			}
+			b.ReportMetric(mape, "mape_%")
+		})
+	}
+}
+
+// BenchmarkAblationFeatureSet drops the GPU features and measures the
+// single-platform degradation — why cross-platform prediction needs
+// hardware predictors (paper, Section V).
+func BenchmarkAblationFeatureSet(b *testing.B) {
+	s := getSuite(b)
+	trX, trY := s.Train.XY()
+	evX, evY := s.Eval.XY()
+	run := func(b *testing.B, width int) float64 {
+		var mape float64
+		for i := 0; i < b.N; i++ {
+			cut := func(rows [][]float64) [][]float64 {
+				out := make([][]float64, len(rows))
+				for j, r := range rows {
+					out[j] = r[:width]
+				}
+				return out
+			}
+			tree := mlearn.NewDecisionTree()
+			if err := tree.Fit(cut(trX), trY); err != nil {
+				b.Fatal(err)
+			}
+			pred := mlearn.PredictAll(tree, cut(evX))
+			m, err := metrics.MAPE(evY, pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mape = m
+		}
+		return mape
+	}
+	b.Run("cnn_features_only", func(b *testing.B) {
+		b.ReportMetric(run(b, 2), "mape_%")
+	})
+	b.Run("cnn_plus_gpu_features", func(b *testing.B) {
+		b.ReportMetric(run(b, len(core.FeatureNames)), "mape_%")
+	})
+}
+
+// BenchmarkPipelinePerModel measures the per-CNN analysis cost (compile +
+// slice + abstract execution) for representative networks.
+func BenchmarkPipelinePerModel(b *testing.B) {
+	for _, name := range []string{"alexnet", "mobilenetv2", "resnet50v2", "inceptionv3", "efficientnetb3"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeCNN(name, core.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPUSimulator measures one full-model timing simulation.
+func BenchmarkGPUSimulator(b *testing.B) {
+	a, err := core.AnalyzeCNN("resnet50v2", core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := gpu.MustLookup("gtx1080ti")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gpusim.Simulate(a.Report, spec, gpusim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPTXRoundTrip measures printing and parsing a full generated
+// module.
+func BenchmarkPTXRoundTrip(b *testing.B) {
+	m := zoo.MustBuild("alexnet")
+	prog, err := ptxgen.Compile(m, ptxgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := ptx.Print(prog.Module)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod, err := ptx.Parse(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mod.Kernels) == 0 {
+			b.Fatal("no kernels")
+		}
+	}
+}
+
+// BenchmarkEstimatorPredict measures a single prediction (the paper's
+// t_pm, reported in nanoseconds per op).
+func BenchmarkEstimatorPredict(b *testing.B) {
+	s := getSuite(b)
+	est, err := core.TrainEstimator(s.Train, mlearn.NewDecisionTree())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := s.Analyses["vgg16"]
+	spec := gpu.MustLookup("t4")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Predict(a, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatasetBuild measures the full phase-1 dataset creation.
+func BenchmarkDatasetBuild(b *testing.B) {
+	cfg := core.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		ds, _, err := cnnperf.BuildDataset([]string{"alexnet", "mobilenet", "mobilenetv2"}, cnnperf.TrainingGPUs(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Len() != 6 {
+			b.Fatal("unexpected dataset size")
+		}
+	}
+}

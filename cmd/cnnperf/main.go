@@ -1,0 +1,357 @@
+// Command cnnperf is the command-line front end of the performance
+// estimation pipeline.
+//
+// Usage:
+//
+//	cnnperf models                      list the CNN zoo
+//	cnnperf gpus                        list the GPU catalogue
+//	cnnperf analyze <model>             static + dynamic analysis of one CNN
+//	cnnperf dataset [-out file.csv]     build the phase-1 training dataset
+//	cnnperf evaluate                    compare the five regressors (Table II)
+//	cnnperf predict <model> <gpu>       estimate IPC without execution
+//	cnnperf profile <model> <gpu>       nvprof-style simulated profile
+//	cnnperf sweep <model> <gpu>         DVFS frequency sweep
+//	cnnperf crossval [-k n]             k-fold cross-validation of all regressors
+//	cnnperf train [-out est.json]       train and persist the Decision Tree estimator
+//	cnnperf dot <model>                 Graphviz dot of the CNN graph
+//	cnnperf dse <model> [-power W] [-latency s] [-eff]
+//	                                    rank candidate GPUs under constraints
+//	cnnperf stats                       dataset feature statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cnnperf"
+	"cnnperf/internal/core"
+	"cnnperf/internal/mlearn"
+	"cnnperf/internal/mlearn/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := cnnperf.DefaultConfig()
+	var err error
+	switch os.Args[1] {
+	case "models":
+		for _, n := range cnnperf.ModelNames() {
+			fmt.Println(n)
+		}
+	case "gpus":
+		for _, id := range cnnperf.GPUNames() {
+			spec := cnnperf.MustGPU(id)
+			fmt.Printf("%-12s %-22s %5d cores %4d SMs %7.0f GB/s %6d KiB L2\n",
+				id, spec.Name, spec.CUDACores, spec.SMs, spec.MemBandwidthGBs, spec.L2CacheKB)
+		}
+	case "analyze":
+		err = runAnalyze(os.Args[2:], cfg)
+	case "dataset":
+		err = runDataset(os.Args[2:], cfg)
+	case "evaluate":
+		err = runEvaluate(cfg)
+	case "predict":
+		err = runPredict(os.Args[2:], cfg)
+	case "profile":
+		err = runProfile(os.Args[2:], cfg)
+	case "sweep":
+		err = runSweep(os.Args[2:], cfg)
+	case "crossval":
+		err = runCrossval(os.Args[2:], cfg)
+	case "train":
+		err = runTrain(os.Args[2:], cfg)
+	case "dot":
+		err = runDot(os.Args[2:])
+	case "dse":
+		err = runDSE(os.Args[2:], cfg)
+	case "stats":
+		err = runStats(cfg)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("cnnperf: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cnnperf <models|gpus|analyze|dataset|evaluate|predict|profile|sweep|crossval|train|dot|dse|stats> [args]")
+}
+
+func runAnalyze(args []string, cfg cnnperf.Config) error {
+	if len(args) != 1 {
+		return fmt.Errorf("analyze needs exactly one model name")
+	}
+	a, err := cnnperf.AnalyzeCNN(args[0], cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model:                  %s\n", a.Name)
+	fmt.Printf("input:                  %s\n", a.Summary.Input)
+	fmt.Printf("weighted layers:        %d\n", a.Summary.Layers)
+	fmt.Printf("graph nodes:            %d\n", a.Summary.TotalNodes)
+	fmt.Printf("trainable parameters:   %d\n", a.Summary.TrainableParams)
+	fmt.Printf("neurons:                %d\n", a.Summary.Neurons)
+	fmt.Printf("forward FLOPs:          %d\n", a.Summary.FLOPs)
+	fmt.Printf("kernels:                %d\n", len(a.Report.Kernels))
+	fmt.Printf("executed instructions:  %d\n", a.Report.Executed)
+	fmt.Printf("mean control slice:     %.1f%% of static code\n", 100*a.Report.MeanSliceFraction)
+	fmt.Printf("analysis time (t_dca):  %s\n", a.DCATime.Round(1e5))
+	return nil
+}
+
+func runDataset(args []string, cfg cnnperf.Config) error {
+	fs := flag.NewFlagSet("dataset", flag.ContinueOnError)
+	out := fs.String("out", "dataset.csv", "output CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d observations to %s\n", ds.Len(), *out)
+	return nil
+}
+
+func runEvaluate(cfg cnnperf.Config) error {
+	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		return err
+	}
+	train, eval, err := ds.Split(0.7, cfg.SplitSeed)
+	if err != nil {
+		return err
+	}
+	evals, err := cnnperf.EvaluateRegressors(train, eval, cnnperf.DefaultRegressors(cfg.SplitSeed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %10s %8s %9s\n", "Regression Model", "MAPE", "R2", "adj.R2")
+	for _, e := range evals {
+		fmt.Printf("%-20s %9.2f%% %8.3f %9.3f\n", e.Name, e.MAPE, e.R2, e.AdjR2)
+	}
+	best, err := cnnperf.BestByMAPE(evals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("winner: %s\n", best.Name)
+	return nil
+}
+
+func runPredict(args []string, cfg cnnperf.Config) error {
+	if len(args) != 2 {
+		return fmt.Errorf("predict needs <model> <gpu>")
+	}
+	model, gpuID := args[0], args[1]
+	spec, err := cnnperf.GPU(gpuID)
+	if err != nil {
+		return err
+	}
+	// Train on every Table I CNN except the target (leave-one-out so the
+	// prediction is honest even for zoo models).
+	var trainModels []string
+	for _, n := range cnnperf.TableIModels() {
+		if n != model {
+			trainModels = append(trainModels, n)
+		}
+	}
+	ds, _, err := cnnperf.BuildDataset(trainModels, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		return err
+	}
+	est, err := cnnperf.TrainEstimator(ds, mlearn.NewDecisionTree())
+	if err != nil {
+		return err
+	}
+	a, err := core.AnalyzeCNN(model, cfg)
+	if err != nil {
+		return err
+	}
+	ipc, err := est.Predict(a, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted IPC of %s on %s: %.1f (in %s)\n", model, spec.Name, ipc, est.LastPredictTime())
+	// Ground truth from the simulator for comparison.
+	sim, err := cnnperf.SimulateCNN(model, gpuID, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated (measured) IPC:          %.1f  (error %+.1f%%)\n",
+		sim.IPC, 100*(ipc-sim.IPC)/sim.IPC)
+	return nil
+}
+
+func runProfile(args []string, cfg cnnperf.Config) error {
+	if len(args) != 2 {
+		return fmt.Errorf("profile needs <model> <gpu>")
+	}
+	p, err := cnnperf.ProfileCNN(args[0], args[1], cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Format(15))
+	return nil
+}
+
+func runSweep(args []string, cfg cnnperf.Config) error {
+	if len(args) != 2 {
+		return fmt.Errorf("sweep needs <model> <gpu>")
+	}
+	spec, err := cnnperf.GPU(args[1])
+	if err != nil {
+		return err
+	}
+	base := spec.BoostClockMHz
+	clocks := []float64{0.5 * base, 0.65 * base, 0.8 * base, 0.9 * base, base, 1.15 * base, 1.3 * base}
+	points, err := cnnperf.FrequencySweep(args[0], args[1], clocks, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DVFS sweep of %s on %s:\n", args[0], spec.Name)
+	fmt.Printf("%10s %12s %12s %10s %10s\n", "clock MHz", "runtime s", "IPC", "power W", "energy J")
+	for _, pt := range points {
+		fmt.Printf("%10.0f %12.5f %12.1f %10.1f %10.2f\n",
+			pt.ClockMHz, pt.Result.RuntimeSec, pt.Result.IPC, pt.Result.AvgPowerW, pt.Result.EnergyJ)
+	}
+	return nil
+}
+
+func runCrossval(args []string, cfg cnnperf.Config) error {
+	fs := flag.NewFlagSet("crossval", flag.ContinueOnError)
+	k := fs.Int("k", 5, "number of folds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		return err
+	}
+	factories := map[string]func() cnnperf.Regressor{
+		"linear_regression": func() cnnperf.Regressor { return cnnperf.NewLinearRegression() },
+		"knn":               func() cnnperf.Regressor { return cnnperf.NewKNN(3) },
+		"random_forest":     func() cnnperf.Regressor { return cnnperf.NewRandomForest(100, cfg.SplitSeed) },
+		"decision_tree":     func() cnnperf.Regressor { return cnnperf.NewDecisionTree() },
+		"xgboost":           func() cnnperf.Regressor { return cnnperf.NewXGBoost(cfg.SplitSeed) },
+	}
+	fmt.Printf("%-20s %12s %12s %10s\n", "Regression Model", "mean MAPE", "std MAPE", "mean R2")
+	for _, name := range []string{"linear_regression", "knn", "random_forest", "decision_tree", "xgboost"} {
+		res, err := cnnperf.CrossValidate(factories[name], ds, *k, cfg.SplitSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %11.2f%% %11.2f%% %10.3f\n", name, res.MeanMAPE, res.StdMAPE, res.MeanR2)
+	}
+	return nil
+}
+
+func runTrain(args []string, cfg cnnperf.Config) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	out := fs.String("out", "estimator.json", "output path for the trained estimator")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		return err
+	}
+	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := est.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained decision-tree estimator on %d observations, saved to %s\n", ds.Len(), *out)
+	return nil
+}
+
+func runDot(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("dot needs exactly one model name")
+	}
+	m, err := cnnperf.BuildCNN(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(m.DOT())
+	return nil
+}
+
+func runDSE(args []string, cfg cnnperf.Config) error {
+	if len(args) < 1 {
+		return fmt.Errorf("dse needs a model name")
+	}
+	model := args[0]
+	fs := flag.NewFlagSet("dse", flag.ContinueOnError)
+	power := fs.Float64("power", 0, "power budget in watts (0 = unconstrained)")
+	latency := fs.Float64("latency", 0, "latency bound in seconds (0 = unconstrained)")
+	eff := fs.Bool("eff", false, "rank by performance per watt instead of latency")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var trainModels []string
+	for _, n := range cnnperf.TableIModels() {
+		if n != model {
+			trainModels = append(trainModels, n)
+		}
+	}
+	ds, _, err := cnnperf.BuildDataset(trainModels, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		return err
+	}
+	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	if err != nil {
+		return err
+	}
+	a, err := cnnperf.AnalyzeCNN(model, cfg)
+	if err != nil {
+		return err
+	}
+	obj := cnnperf.MinLatency
+	if *eff {
+		obj = cnnperf.MaxEfficiency
+	}
+	res, err := cnnperf.ExploreDesignSpace(est, a, cnnperf.GPUNames(),
+		cnnperf.DSEConstraints{MaxPowerW: *power, MaxLatencySec: *latency}, obj)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runStats(cfg cnnperf.Config) error {
+	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		return err
+	}
+	stats, err := ds.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d observations\n", ds.Len())
+	fmt.Print(dataset.FormatStats(stats))
+	return nil
+}

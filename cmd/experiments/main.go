@@ -1,0 +1,117 @@
+// Command experiments regenerates the paper's tables and figures from
+// the reproduction pipeline.
+//
+// Usage:
+//
+//	experiments [-table 1|2|3|4] [-figure 4] [-all]
+//
+// With no flags it runs everything. Table II/III/Fig4/Table IV share one
+// phase-1 dataset build over the 31 Table I CNNs and both training GPUs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cnnperf/internal/core"
+	"cnnperf/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-4)")
+	figure := flag.Int("figure", 0, "regenerate one figure (4)")
+	all := flag.Bool("all", false, "regenerate everything")
+	ext := flag.Bool("ext", false, "also run the extension studies (cross-validation, DVFS, feature sets)")
+	simcomp := flag.Bool("simcomp", false, "run the cycle-level-simulator comparison (slow)")
+	flag.Parse()
+
+	if *table == 0 && *figure == 0 && !*ext && !*simcomp {
+		*all = true
+	}
+	log.SetFlags(0)
+
+	cfg := core.DefaultConfig()
+	var suite *experiments.Suite
+	needSuite := *all || *table >= 2 || *figure == 4 || *ext || *simcomp
+	if needSuite {
+		var err error
+		suite, err = experiments.NewSuite(cfg)
+		if err != nil {
+			log.Fatalf("building dataset: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dataset: %d rows (train %d / eval %d) built in %s\n",
+			suite.Data.Len(), suite.Train.Len(), suite.Eval.Len(), suite.BuildTime.Round(1e6))
+	}
+
+	if *all || *table == 1 {
+		if suite == nil {
+			var err error
+			suite, err = experiments.NewSuite(cfg)
+			if err != nil {
+				log.Fatalf("building dataset: %v", err)
+			}
+		}
+		fmt.Println(suite.TableI())
+	}
+	if *all || *table == 2 {
+		_, text, err := suite.TableII()
+		if err != nil {
+			log.Fatalf("table II: %v", err)
+		}
+		fmt.Println(text)
+	}
+	if *all || *table == 3 {
+		_, text, err := suite.TableIII()
+		if err != nil {
+			log.Fatalf("table III: %v", err)
+		}
+		fmt.Println(text)
+	}
+	if *all || *figure == 4 {
+		_, text, err := suite.Fig4()
+		if err != nil {
+			log.Fatalf("figure 4: %v", err)
+		}
+		fmt.Println(text)
+	}
+	if *all || *table == 4 {
+		_, text, err := suite.TableIV()
+		if err != nil {
+			log.Fatalf("table IV: %v", err)
+		}
+		fmt.Println(text)
+	}
+	if *ext {
+		_, text, err := suite.CrossValidation(5)
+		if err != nil {
+			log.Fatalf("cross-validation: %v", err)
+		}
+		fmt.Println(text)
+		_, text, err = suite.FrequencyScaling("resnet50v2", "gtx1080ti",
+			[]float64{800, 1000, 1200, 1400, 1582, 1800, 2000})
+		if err != nil {
+			log.Fatalf("frequency scaling: %v", err)
+		}
+		fmt.Println(text)
+		text, err = suite.ExtendedFeatureStudy()
+		if err != nil {
+			log.Fatalf("feature study: %v", err)
+		}
+		fmt.Println(text)
+		_, _, text, err = suite.DatasetSizeStudy()
+		if err != nil {
+			log.Fatalf("dataset-size study: %v", err)
+		}
+		fmt.Println(text)
+	}
+	if *simcomp {
+		text, err := suite.SimulatorComparison(
+			[]string{"alexnet", "mobilenetv2", "squeezenet", "resnet18"}, "gtx1080ti")
+		if err != nil {
+			log.Fatalf("simulator comparison: %v", err)
+		}
+		fmt.Println(text)
+	}
+}

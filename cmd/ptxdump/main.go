@@ -1,0 +1,80 @@
+// Command ptxdump compiles a CNN from the zoo into PTX and prints the
+// assembly, per-kernel statistics, or dynamic-analysis details.
+//
+// Usage:
+//
+//	ptxdump [-stats] [-kernel name] [-batch n] <model>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cnnperf/internal/dca"
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+func main() {
+	log.SetFlags(0)
+	stats := flag.Bool("stats", false, "print per-kernel statistics instead of assembly")
+	kernel := flag.String("kernel", "", "restrict output to kernels whose name contains this substring")
+	batch := flag.Int("batch", 1, "inference batch size")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ptxdump [-stats] [-kernel substr] [-batch n] <model>")
+		os.Exit(2)
+	}
+	m, err := zoo.Build(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("ptxdump: %v", err)
+	}
+	prog, err := ptxgen.Compile(m, ptxgen.Options{Batch: *batch})
+	if err != nil {
+		log.Fatalf("ptxdump: %v", err)
+	}
+	if *stats {
+		printStats(prog, *kernel)
+		return
+	}
+	if *kernel == "" {
+		fmt.Print(ptx.Print(prog.Module))
+		return
+	}
+	sub := &ptx.Module{
+		Version:     prog.Module.Version,
+		Target:      prog.Module.Target,
+		AddressSize: prog.Module.AddressSize,
+	}
+	for _, k := range prog.Module.Kernels {
+		if strings.Contains(k.Name, *kernel) {
+			sub.Kernels = append(sub.Kernels, k)
+		}
+	}
+	if len(sub.Kernels) == 0 {
+		log.Fatalf("ptxdump: no kernel matches %q", *kernel)
+	}
+	fmt.Print(ptx.Print(sub))
+}
+
+func printStats(prog *ptxgen.Program, filter string) {
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+	if err != nil {
+		log.Fatalf("ptxdump: %v", err)
+	}
+	fmt.Printf("model %s: %d kernels, %d static instructions, %d executed\n",
+		prog.Model, len(prog.Module.Kernels), prog.Module.StaticInstructions(), rep.Executed)
+	fmt.Printf("%-36s %8s %8s %8s %14s %16s\n",
+		"kernel", "static", "slice", "thread", "threads", "executed")
+	for _, kr := range rep.Kernels {
+		if filter != "" && !strings.Contains(kr.Kernel, filter) {
+			continue
+		}
+		fmt.Printf("%-36s %8d %8d %8d %14d %16d\n",
+			kr.Kernel, kr.Static, kr.SliceSize, kr.PerThread, kr.Threads, kr.Executed)
+	}
+}

@@ -1,0 +1,293 @@
+package cnnperf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cnnperf"
+)
+
+func TestPublicCatalogues(t *testing.T) {
+	if got := len(cnnperf.TableIModels()); got != 31 {
+		t.Errorf("TableIModels = %d, want 31", got)
+	}
+	if got := len(cnnperf.TrainingGPUs()); got != 2 {
+		t.Errorf("TrainingGPUs = %d, want 2", got)
+	}
+	if got := len(cnnperf.DSEGPUs()); got != 7 {
+		t.Errorf("DSEGPUs = %d, want 7", got)
+	}
+	if len(cnnperf.ModelNames()) < 31 {
+		t.Error("zoo must expose at least the Table I models")
+	}
+	if len(cnnperf.GPUNames()) < 10 {
+		t.Error("GPU catalogue too small")
+	}
+	if cnnperf.FeatureNames[0] != "executed_instructions" {
+		t.Errorf("schema head = %s", cnnperf.FeatureNames[0])
+	}
+}
+
+func TestPublicBuildAndAnalyze(t *testing.T) {
+	m, err := cnnperf.BuildCNN("mobilenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := cnnperf.Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TrainableParams != 4231976 {
+		t.Errorf("mobilenet params = %d", sum.TrainableParams)
+	}
+	if _, err := cnnperf.BuildCNN("nope"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestPublicCustomModelPipeline(t *testing.T) {
+	b, x := cnnperf.NewModel("pub-test", cnnperf.Shape{H: 8, W: 8, C: 3})
+	x = b.Add(cnnperf.Conv(4, 3, 1, cnnperf.Same), x)
+	x = b.Add(cnnperf.ReLU(), x)
+	x = b.Add(cnnperf.GlobalAvgPool(), x)
+	x = b.Add(cnnperf.FC(2), x)
+	m, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cnnperf.Config{}
+	a, err := cnnperf.AnalyzeModel(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.Executed <= 0 {
+		t.Error("no executed instructions")
+	}
+	p, err := cnnperf.ProfileModel(m, "t4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IPC <= 0 {
+		t.Error("profile IPC non-positive")
+	}
+}
+
+func TestPublicGeneratePTX(t *testing.T) {
+	asm, err := cnnperf.GeneratePTX("alexnet", cnnperf.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".version", ".visible .entry", "fma.rn.f32", "bra"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("PTX missing %q", want)
+		}
+	}
+	if _, err := cnnperf.GeneratePTX("nope", cnnperf.Config{}); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestPublicExecutedInstructionsAndSimulate(t *testing.T) {
+	cfg := cnnperf.Config{}
+	n, err := cnnperf.ExecutedInstructions("alexnet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Errorf("executed = %d", n)
+	}
+	sim, err := cnnperf.SimulateCNN("alexnet", "gtx1080ti", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Instructions != n {
+		t.Errorf("simulator instructions %d != DCA %d", sim.Instructions, n)
+	}
+	if _, err := cnnperf.SimulateCNN("alexnet", "voodoo", cfg); err == nil {
+		t.Error("unknown GPU should error")
+	}
+	if _, err := cnnperf.ProfileCNN("nope", "t4", cfg); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := cnnperf.ProfileCNN("alexnet", "voodoo", cfg); err == nil {
+		t.Error("unknown GPU should error")
+	}
+}
+
+func TestPublicRegressorConstructors(t *testing.T) {
+	regs := []cnnperf.Regressor{
+		cnnperf.NewDecisionTree(),
+		cnnperf.NewLinearRegression(),
+		cnnperf.NewKNN(3),
+		cnnperf.NewRandomForest(5, 1),
+		cnnperf.NewXGBoost(1),
+	}
+	X := [][]float64{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}}
+	y := []float64{1, 2, 3, 4, 5, 6}
+	for _, r := range regs {
+		if err := r.Fit(X, y); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+		if p := r.Predict([]float64{3, 4}); p <= 0 {
+			t.Errorf("%s: predict %f", r.Name(), p)
+		}
+	}
+	if len(cnnperf.DefaultRegressors(1)) != 5 {
+		t.Error("DefaultRegressors must return the paper's five candidates")
+	}
+}
+
+func TestPublicEndToEndSmall(t *testing.T) {
+	cfg := cnnperf.DefaultConfig()
+	cfg.PTX.Batch = 1 // keep the smoke test fast
+	models := []string{"alexnet", "mobilenet", "mobilenetv2", "densenet121"}
+	ds, analyses, err := cnnperf.BuildDataset(models, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, eval, err := ds.Split(0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, err := cnnperf.EvaluateRegressors(train, eval, cnnperf.DefaultRegressors(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cnnperf.BestByMAPE(evals); err != nil {
+		t.Fatal(err)
+	}
+	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc, err := est.Predict(analyses["alexnet"], cnnperf.MustGPU("p100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc <= 0 {
+		t.Errorf("IPC = %f", ipc)
+	}
+}
+
+func TestPublicCrossValidate(t *testing.T) {
+	cfg := cnnperf.Config{}
+	models := []string{"alexnet", "mobilenet", "mobilenetv2", "densenet121", "squeezenet", "resnet18"}
+	ds, _, err := cnnperf.BuildDataset(models, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cnnperf.CrossValidate(func() cnnperf.Regressor { return cnnperf.NewDecisionTree() }, ds, 4, 1)
+	if err != nil {
+		t.Fatalf("cv: %v", err)
+	}
+	if res.Folds != 4 || res.MeanMAPE <= 0 {
+		t.Errorf("cv result = %+v", res)
+	}
+}
+
+func TestPublicFrequencySweep(t *testing.T) {
+	points, err := cnnperf.FrequencySweep("alexnet", "gtx1080ti", []float64{1000, 1582}, cnnperf.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[1].Result.RuntimeSec > points[0].Result.RuntimeSec {
+		t.Error("higher clock should not be slower")
+	}
+	if _, err := cnnperf.FrequencySweep("nope", "t4", []float64{1000}, cnnperf.Config{}); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := cnnperf.FrequencySweep("alexnet", "voodoo", []float64{1000}, cnnperf.Config{}); err == nil {
+		t.Error("unknown GPU should error")
+	}
+}
+
+func TestPublicExtendedFeatures(t *testing.T) {
+	if len(cnnperf.ExtendedFeatureNames) != len(cnnperf.FeatureNames)+2 {
+		t.Error("extended schema must add flops and macs")
+	}
+	cfg := cnnperf.Config{ExtendedFeatures: true}
+	ds, _, err := cnnperf.BuildDataset([]string{"alexnet", "mobilenet"}, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.FeatureNames) != len(cnnperf.ExtendedFeatureNames) {
+		t.Errorf("dataset schema = %d", len(ds.FeatureNames))
+	}
+}
+
+func TestPublicDetailedSimulator(t *testing.T) {
+	cfg := cnnperf.Config{}
+	res, err := cnnperf.SimulateCNNDetailed("squeezenet", "gtx1080ti", cfg)
+	if err != nil {
+		t.Fatalf("detailed: %v", err)
+	}
+	truth, err := cnnperf.SimulateCNN("squeezenet", "gtx1080ti", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := (res.IPC - truth.IPC) / truth.IPC
+	if dev < -0.30 || dev > 0.30 {
+		t.Errorf("detailed IPC %f deviates %+.0f%% from analytic %f", res.IPC, 100*dev, truth.IPC)
+	}
+	if _, err := cnnperf.SimulateCNNDetailed("nope", "t4", cfg); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := cnnperf.SimulateCNNDetailed("squeezenet", "voodoo", cfg); err == nil {
+		t.Error("unknown GPU should error")
+	}
+}
+
+func TestPublicDSE(t *testing.T) {
+	cfg := cnnperf.Config{}
+	models := []string{"alexnet", "mobilenet", "mobilenetv2", "squeezenet"}
+	ds, analyses, err := cnnperf.BuildDataset(models, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cnnperf.ExploreDesignSpace(est, analyses["mobilenetv2"], cnnperf.DSEGPUs(),
+		cnnperf.DSEConstraints{MaxPowerW: 100}, cnnperf.MaxEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := res.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Spec.TDPWatts > 100 {
+		t.Errorf("best pick %s violates the power budget", best.ID)
+	}
+}
+
+func TestPublicEstimatorSaveLoad(t *testing.T) {
+	cfg := cnnperf.Config{}
+	ds, analyses, err := cnnperf.BuildDataset([]string{"alexnet", "mobilenet"}, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cnnperf.LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cnnperf.MustGPU("t4")
+	a, _ := est.Predict(analyses["alexnet"], spec)
+	b, _ := back.Predict(analyses["alexnet"], spec)
+	if a != b {
+		t.Error("loaded estimator predicts differently")
+	}
+}

@@ -1,0 +1,70 @@
+package cnnperf_test
+
+import (
+	"fmt"
+
+	"cnnperf"
+)
+
+// ExampleAnalyzeCNN shows the phase-1 analysis of one network: the
+// Static Analyzer's trainable-parameter count and the Dynamic Code
+// Analysis' executed-instruction total.
+func ExampleAnalyzeCNN() {
+	a, err := cnnperf.AnalyzeCNN("mobilenet", cnnperf.Config{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("trainable parameters: %d\n", a.Summary.TrainableParams)
+	fmt.Printf("kernels: %d\n", len(a.Report.Kernels))
+	fmt.Printf("executed instructions: %d\n", a.Report.Executed)
+	// Output:
+	// trainable parameters: 4231976
+	// kernels: 84
+	// executed instructions: 7724821024
+}
+
+// ExampleAnalyze shows the Static Analyzer on a custom graph built with
+// the public ops.
+func ExampleAnalyze() {
+	b, x := cnnperf.NewModel("demo", cnnperf.Shape{H: 32, W: 32, C: 3})
+	x = b.Add(cnnperf.Conv(8, 3, 1, cnnperf.Same), x)
+	x = b.Add(cnnperf.ReLU(), x)
+	x = b.Add(cnnperf.GlobalAvgPool(), x)
+	x = b.Add(cnnperf.FC(10), x)
+	m, err := b.Build(x)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s, err := cnnperf.Analyze(m)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("layers=%d params=%d\n", s.Layers, s.TrainableParams)
+	// Output:
+	// layers=2 params=314
+}
+
+// ExampleGPU shows the hardware feature vector the estimator consumes.
+func ExampleGPU() {
+	spec, err := cnnperf.GPU("gtx1080ti")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d CUDA cores, %.0f GB/s\n", spec.Name, spec.CUDACores, spec.MemBandwidthGBs)
+	// Output:
+	// GTX 1080 Ti: 3584 CUDA cores, 484 GB/s
+}
+
+// ExampleDSETime shows the Section V timing model: one dynamic code
+// analysis plus n predictions versus n profiling sessions.
+func ExampleDSETime() {
+	d := cnnperf.DSETime{N: 7, TDCASec: 24.8, TPMSec: 11, TPSec: 663}
+	fmt.Printf("naive: %.1f s, ours: %.1f s, speed-up: %.1fx\n",
+		d.Naive(), d.Estimated(), d.Speedup())
+	// Output:
+	// naive: 4641.0 s, ours: 101.8 s, speed-up: 45.6x
+}

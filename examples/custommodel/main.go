@@ -1,0 +1,107 @@
+// Custom model: the estimator is not limited to the 31 published CNNs.
+// This example defines a new network with the graph-builder API (a small
+// residual SE-net), runs the Static Analyzer and the Dynamic Code
+// Analysis on it, inspects a slice of its generated PTX, and predicts
+// its IPC on three GPUs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cnnperf"
+)
+
+// buildTinySENet defines a custom CNN: a strided stem, two residual
+// blocks with squeeze-excitation gates, and a 100-class head.
+func buildTinySENet() (*cnnperf.Model, error) {
+	b, x := cnnperf.NewModel("tiny-senet", cnnperf.Shape{H: 64, W: 64, C: 3})
+	x = b.Add(cnnperf.ConvNoBias(32, 3, 2, cnnperf.Same), x)
+	x = b.Add(cnnperf.BN(), x)
+	x = b.Add(cnnperf.ReLU(), x)
+	for i, filters := range []int{32, 64} {
+		stride := 1
+		shortcut := x
+		if i > 0 {
+			stride = 2
+			shortcut = b.Add(cnnperf.ConvNoBias(filters, 1, stride, cnnperf.Same), x)
+		}
+		y := b.Add(cnnperf.ConvNoBias(filters, 3, stride, cnnperf.Same), x)
+		y = b.Add(cnnperf.BN(), y)
+		y = b.Add(cnnperf.ReLU(), y)
+		y = b.Add(cnnperf.ConvNoBias(filters, 3, 1, cnnperf.Same), y)
+		y = b.Add(cnnperf.BN(), y)
+		// Squeeze-and-excite gate.
+		se := b.Add(cnnperf.GlobalAvgPool(), y)
+		se = b.Add(cnnperf.Conv(filters/4, 1, 1, cnnperf.Same), se)
+		se = b.Add(cnnperf.ReLU(), se)
+		se = b.Add(cnnperf.Conv(filters, 1, 1, cnnperf.Same), se)
+		se = b.Add(cnnperf.Sigmoid(), se)
+		y = b.Add(cnnperf.Multiply{}, y, se)
+		x = b.Add(cnnperf.Add{}, shortcut, y)
+		x = b.Add(cnnperf.ReLU(), x)
+	}
+	x = b.Add(cnnperf.GlobalAvgPool(), x)
+	x = b.Add(cnnperf.FC(100), x)
+	x = b.Add(cnnperf.Softmax(), x)
+	return b.Build(x)
+}
+
+func main() {
+	log.SetFlags(0)
+	cfg := cnnperf.DefaultConfig()
+
+	m, err := buildTinySENet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := cnnperf.Analyze(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static analysis of %s:\n  layers=%d  params=%d  neurons=%d  flops=%d\n",
+		sum.Name, sum.Layers, sum.TrainableParams, sum.Neurons, sum.FLOPs)
+
+	a, err := cnnperf.AnalyzeModel(m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic code analysis:\n  kernels=%d  executed=%d  slice=%.1f%%  t_dca=%s\n",
+		len(a.Report.Kernels), a.Report.Executed,
+		100*a.Report.MeanSliceFraction, a.DCATime.Round(1e5))
+
+	// Peek at the generated PTX for one of the paper's Table I nets to
+	// show the nvcc-style output the analysis consumes.
+	asm, err := cnnperf.GeneratePTX("alexnet", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.SplitN(asm, "\n", 25)
+	fmt.Println("\nfirst lines of alexnet PTX:")
+	for _, l := range lines[:24] {
+		fmt.Println("  " + l)
+	}
+
+	// Train on the zoo, predict the custom net on three GPUs.
+	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted IPC of the custom network:")
+	for _, gid := range []string{"gtx1080ti", "v100s", "t4"} {
+		spec, err := cnnperf.GPU(gid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc, err := est.Predict(a, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %8.1f\n", gid, ipc)
+	}
+}

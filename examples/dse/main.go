@@ -1,0 +1,83 @@
+// Design-space exploration (the paper's motivating scenario): pick the
+// right GPGPU for a CNN under design constraints — a latency target and
+// a power budget — without prototyping on any device. The naive
+// alternative profiles the network on every candidate (minutes per
+// device, Table IV); the estimator answers in microseconds per device
+// after one dynamic code analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cnnperf"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := cnnperf.DefaultConfig()
+	target := "efficientnetb4"
+
+	// Train the estimator on the full Table I dataset minus the target.
+	var trainModels []string
+	for _, n := range cnnperf.TableIModels() {
+		if n != target {
+			trainModels = append(trainModels, n)
+		}
+	}
+	fmt.Println("phase 1: building the training dataset ...")
+	ds, _, err := cnnperf.BuildDataset(trainModels, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One dynamic code analysis for the target CNN (t_dca) ...
+	a, err := cnnperf.AnalyzeCNN(target, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t_dca for %s: %s\n\n", target, a.DCATime.Round(1e6))
+
+	// Scenario 1: a data-centre deployment chasing raw latency.
+	res, err := cnnperf.ExploreDesignSpace(est, a, cnnperf.DSEGPUs(),
+		cnnperf.DSEConstraints{}, cnnperf.MinLatency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+
+	// Scenario 2: an edge box with a 75 W budget, ranked by efficiency.
+	res, err = cnnperf.ExploreDesignSpace(est, a, cnnperf.DSEGPUs(),
+		cnnperf.DSEConstraints{MaxPowerW: 75}, cnnperf.MaxEfficiency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Format())
+	best, err := res.Best()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nedge pick: %s (%s, %d W) at predicted %.1f ms\n",
+		best.ID, best.Spec.Name, best.Spec.TDPWatts, 1000*best.PredictedLatencySec)
+
+	// Cost comparison against the naive profile-everything approach.
+	prof, err := cnnperf.ProfileCNN(target, "gtx1080ti", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(cnnperf.DSEGPUs())
+	d := cnnperf.DSETime{
+		N:       n,
+		TDCASec: a.DCATime.Seconds(),
+		TPMSec:  est.LastPredictTime().Seconds(),
+		TPSec:   prof.ProfilingCostSec,
+	}
+	fmt.Printf("\nnaive approach (profile on each GPU): %8.1f s\n", d.Naive())
+	fmt.Printf("proposed approach (t_dca + n*t_pm):   %8.4f s\n", d.Estimated())
+	fmt.Printf("speed-up: %.0fx\n", d.Speedup())
+}

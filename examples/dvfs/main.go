@@ -1,0 +1,50 @@
+// DVFS study (the paper's future work, and the scenario of its
+// reference [9]): sweep a CNN across core clocks on one GPU and observe
+// how runtime, per-cycle IPC, power and energy respond. These batch-16
+// workloads are memory-bound, so a 2.5x clock range buys only a few
+// percent of runtime while per-cycle IPC collapses — and with static
+// power dominating, finishing sooner ("race to idle") is also the
+// energy-optimal policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cnnperf"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := cnnperf.DefaultConfig()
+	cfg.Sim.NoisePct = -1 // deterministic sweep
+
+	gpuID := "gtx1080ti"
+	spec, err := cnnperf.GPU(gpuID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := spec.BoostClockMHz
+	clocks := []float64{0.5 * base, 0.625 * base, 0.75 * base, 0.875 * base, base, 1.125 * base, 1.25 * base}
+
+	for _, model := range []string{"vgg16", "mobilenetv2"} {
+		points, err := cnnperf.FrequencySweep(model, gpuID, clocks, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on %s:\n", model, spec.Name)
+		fmt.Printf("%10s %12s %10s %10s %10s\n", "clock MHz", "runtime ms", "IPC", "power W", "energy J")
+		bestEnergy := points[0]
+		for _, pt := range points {
+			fmt.Printf("%10.0f %12.2f %10.1f %10.1f %10.3f\n",
+				pt.ClockMHz, 1000*pt.Result.RuntimeSec, pt.Result.IPC,
+				pt.Result.AvgPowerW, pt.Result.EnergyJ)
+			if pt.Result.EnergyJ < bestEnergy.Result.EnergyJ {
+				bestEnergy = pt
+			}
+		}
+		speedup := points[0].Result.RuntimeSec / points[len(points)-1].Result.RuntimeSec
+		fmt.Printf("-> 2.5x clock range buys only %.2fx runtime; energy-optimal (race-to-idle) point: %.0f MHz\n\n",
+			speedup, bestEnergy.ClockMHz)
+	}
+}

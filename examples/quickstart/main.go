@@ -1,0 +1,64 @@
+// Quickstart: build the paper's training dataset over a handful of CNNs,
+// train the Decision Tree estimator, and predict the IPC of a held-out
+// network on both training GPUs — without ever "running" it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cnnperf"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := cnnperf.DefaultConfig()
+
+	// Phase 1: dataset creation over a training subset of the zoo.
+	// The target network (ResNet-50 v2) is deliberately excluded.
+	trainModels := []string{
+		"alexnet", "vgg16", "mobilenet", "mobilenetv2", "densenet121",
+		"inceptionv3", "xception", "efficientnetb0", "efficientnetb3",
+		"resnet101", "resnet152v2", "nasnetmobile",
+	}
+	fmt.Printf("building dataset over %d CNNs x %d GPUs ...\n",
+		len(trainModels), len(cnnperf.TrainingGPUs()))
+	ds, _, err := cnnperf.BuildDataset(trainModels, cnnperf.TrainingGPUs(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d observations, %d features each\n", ds.Len(), len(cnnperf.FeatureNames))
+
+	// Phase 2: train the winning regressor on everything we have.
+	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Analyse the unseen CNN: static analyzer + dynamic code analysis.
+	target := "resnet50v2"
+	a, err := cnnperf.AnalyzeCNN(target, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s: %d trainable parameters, %d executed PTX instructions (t_dca %s)\n",
+		target, a.Summary.TrainableParams, a.Report.Executed, a.DCATime.Round(1e6))
+
+	// Predict on both GPUs and compare with the simulated measurement.
+	for _, gid := range cnnperf.TrainingGPUs() {
+		spec, err := cnnperf.GPU(gid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc, err := est.Predict(a, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := cnnperf.SimulateCNN(target, gid, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s predicted IPC %7.1f | measured %7.1f | error %+5.1f%% | t_pm %s\n",
+			gid, ipc, sim.IPC, 100*(ipc-sim.IPC)/sim.IPC, est.LastPredictTime())
+	}
+}

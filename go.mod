@@ -1,0 +1,3 @@
+module cnnperf
+
+go 1.22

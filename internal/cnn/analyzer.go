@@ -1,0 +1,65 @@
+package cnn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary is the Static Analyzer report for one model: the per-CNN columns
+// of the paper's Table I plus the FLOP estimate the paper lists as future
+// work.
+type Summary struct {
+	// Name is the model name.
+	Name string
+	// Input is the model input shape.
+	Input Shape
+	// Layers is the number of weighted (conv/dense) layers.
+	Layers int
+	// TotalNodes is the number of graph operations.
+	TotalNodes int
+	// Neurons is the total neuron count.
+	Neurons int64
+	// TrainableParams is the total trainable-parameter count.
+	TrainableParams int64
+	// FLOPs is the forward-pass FLOP estimate for batch size 1.
+	FLOPs int64
+	// MACs is the multiply-accumulate count of the weighted layers.
+	MACs int64
+}
+
+// Analyze runs the Static Analyzer over a model.
+func Analyze(m *Model) (Summary, error) {
+	if m == nil {
+		return Summary{}, fmt.Errorf("cnn: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Name:            m.Name,
+		Input:           m.InputShape,
+		Layers:          m.WeightedLayers(),
+		TotalNodes:      m.LayerCount(),
+		Neurons:         m.NeuronCount(),
+		TrainableParams: m.TrainableParams(),
+		FLOPs:           m.FLOPs(),
+		MACs:            m.MACs(),
+	}, nil
+}
+
+// String renders the summary as a single human-readable line.
+func (s Summary) String() string {
+	return fmt.Sprintf("%-20s input=%-11s layers=%-4d neurons=%-12d params=%-12d flops=%d",
+		s.Name, s.Input, s.Layers, s.Neurons, s.TrainableParams, s.FLOPs)
+}
+
+// FormatTable renders a set of summaries as an aligned text table in the
+// style of the paper's Table I.
+func FormatTable(rows []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-11s %7s %14s %16s %16s\n", "Model name", "Input Size", "Layers", "Neurons", "Trainable Params", "FLOPs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %-11s %7d %14d %16d %16d\n", r.Name, r.Input, r.Layers, r.Neurons, r.TrainableParams, r.FLOPs)
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package cnn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the model graph in Graphviz dot format: one node per
+// operation labelled with its kind, output shape and parameter count;
+// edges follow the dataflow. Useful for inspecting the zoo topologies.
+func (m *Model) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.Name)
+	b.WriteString("\trankdir=TB;\n\tnode [shape=box, fontsize=10];\n")
+	for _, n := range m.nodes {
+		label := fmt.Sprintf("%s\\n%s -> %s", n.Name, n.Op.Kind(), n.shape)
+		if p := n.Op.Params(inputShapes(n)); p > 0 {
+			label += fmt.Sprintf("\\nparams %d", p)
+		}
+		shape := "box"
+		switch n.Op.(type) {
+		case InputOp:
+			shape = "ellipse"
+		case Add, Multiply, Concat:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "\tn%d [label=\"%s\", shape=%s];\n", n.id, label, shape)
+	}
+	for _, n := range m.nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "\tn%d -> n%d;\n", in.id, n.id)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

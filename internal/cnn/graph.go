@@ -1,0 +1,291 @@
+package cnn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one operation instance inside a Model graph.
+type Node struct {
+	// Name is the unique layer name inside the model.
+	Name string
+	// Op is the operation the node performs.
+	Op Op
+	// Inputs are the producer nodes feeding this node.
+	Inputs []*Node
+
+	id    int
+	shape Shape
+}
+
+// OutShape returns the inferred output shape of the node. It is valid
+// after Model.Finalize (Builder.Build calls it).
+func (n *Node) OutShape() Shape { return n.shape }
+
+// ID returns the topological index of the node inside its model.
+func (n *Node) ID() int { return n.id }
+
+// Model is an immutable CNN computation graph plus its inferred shapes.
+type Model struct {
+	// Name identifies the network (e.g. "vgg16").
+	Name string
+	// InputShape is the model input feature-map shape.
+	InputShape Shape
+
+	nodes  []*Node
+	byName map[string]*Node
+	output *Node
+}
+
+// Nodes returns the graph nodes in topological order.
+func (m *Model) Nodes() []*Node { return m.nodes }
+
+// Output returns the model's final node.
+func (m *Model) Output() *Node { return m.output }
+
+// Node returns the node with the given name, or nil.
+func (m *Model) Node(name string) *Node { return m.byName[name] }
+
+// Builder incrementally constructs a Model. All Add* helpers panic-free:
+// the first error is latched and returned by Build, which keeps network
+// definitions readable (a pattern borrowed from strings.Builder-style
+// APIs with deferred error handling).
+type Builder struct {
+	model   *Model
+	counter map[string]int
+	err     error
+}
+
+// NewBuilder starts a model with the given name and input shape and
+// returns the builder together with the input node.
+func NewBuilder(name string, input Shape) (*Builder, *Node) {
+	b := &Builder{
+		model: &Model{
+			Name:       name,
+			InputShape: input,
+			byName:     make(map[string]*Node),
+		},
+		counter: make(map[string]int),
+	}
+	in := b.Add(InputOp{Shape: input})
+	return b, in
+}
+
+// Err returns the first error recorded while building, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(err error) *Node {
+	if b.err == nil {
+		b.err = err
+	}
+	// Return a placeholder so chained building code does not nil-panic;
+	// Build will report the latched error.
+	return &Node{Name: "<error>", Op: InputOp{Shape: Shape{1, 1, 1}}, shape: Shape{1, 1, 1}}
+}
+
+// Add appends a node computing op over the given inputs, inferring its
+// shape immediately. The node name is auto-generated from the op kind.
+func (b *Builder) Add(op Op, inputs ...*Node) *Node {
+	kind := op.Kind()
+	b.counter[kind]++
+	return b.AddNamed(fmt.Sprintf("%s_%d", kind, b.counter[kind]), op, inputs...)
+}
+
+// AddNamed is Add with an explicit unique layer name.
+func (b *Builder) AddNamed(name string, op Op, inputs ...*Node) *Node {
+	if b.err != nil {
+		return b.fail(b.err)
+	}
+	if _, dup := b.model.byName[name]; dup {
+		return b.fail(fmt.Errorf("cnn: duplicate layer name %q in model %q", name, b.model.Name))
+	}
+	ins := make([]Shape, len(inputs))
+	for i, p := range inputs {
+		if p == nil {
+			return b.fail(fmt.Errorf("cnn: nil input to layer %q", name))
+		}
+		ins[i] = p.shape
+	}
+	out, err := op.OutShape(ins)
+	if err != nil {
+		return b.fail(fmt.Errorf("cnn: model %q layer %q: %w", b.model.Name, name, err))
+	}
+	n := &Node{Name: name, Op: op, Inputs: inputs, id: len(b.model.nodes), shape: out}
+	b.model.nodes = append(b.model.nodes, n)
+	b.model.byName[name] = n
+	return n
+}
+
+// Build finalises the model with the given output node.
+func (b *Builder) Build(output *Node) (*Model, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if output == nil {
+		return nil, fmt.Errorf("cnn: model %q has nil output", b.model.Name)
+	}
+	if b.model.byName[output.Name] != output {
+		return nil, fmt.Errorf("cnn: output node %q does not belong to model %q", output.Name, b.model.Name)
+	}
+	b.model.output = output
+	return b.model, nil
+}
+
+// MustBuild is Build but panics on error; intended for the model zoo where
+// a failure is a programming bug.
+func (b *Builder) MustBuild(output *Node) *Model {
+	m, err := b.Build(output)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// inputShapes collects the already-inferred input shapes of a node.
+func inputShapes(n *Node) []Shape {
+	ins := make([]Shape, len(n.Inputs))
+	for i, p := range n.Inputs {
+		ins[i] = p.shape
+	}
+	return ins
+}
+
+// TrainableParams returns the total number of trainable parameters of the
+// model: the sum over all layers, exactly what the paper's Static Analyzer
+// computes for the "trainable parameters" predictor.
+func (m *Model) TrainableParams() int64 {
+	var total int64
+	for _, n := range m.nodes {
+		total += n.Op.Params(inputShapes(n))
+	}
+	return total
+}
+
+// NeuronCount returns the total number of neurons of the model (sum of the
+// output units of all computational layers), matching the "Neurons" column
+// of the paper's Table I.
+func (m *Model) NeuronCount() int64 {
+	var total int64
+	for _, n := range m.nodes {
+		total += n.Op.Neurons(inputShapes(n), n.shape)
+	}
+	return total
+}
+
+// ActivationVolume returns the sum of the output elements of every graph
+// node, including the input and shape-plumbing nodes. This is the
+// convention behind the "Neurons" column of the paper's Table I (the sum
+// of all Keras layer output sizes); NeuronCount is the stricter
+// computational-neurons metric.
+func (m *Model) ActivationVolume() int64 {
+	var total int64
+	for _, n := range m.nodes {
+		total += n.shape.Elements()
+	}
+	return total
+}
+
+// FLOPs returns the estimated floating-point operations of one forward
+// pass with batch size 1 (the paper lists FLOPs/MACs as future-work
+// features; the analyzer supports them already).
+func (m *Model) FLOPs() int64 {
+	var total int64
+	for _, n := range m.nodes {
+		total += n.Op.FLOPs(inputShapes(n), n.shape)
+	}
+	return total
+}
+
+// MACs returns the multiply-accumulate count of one forward pass over
+// the weighted layers (convolutions and dense layers) — together with
+// FLOPs one of the extra complexity features the paper's future work
+// proposes.
+func (m *Model) MACs() int64 {
+	var total int64
+	for _, n := range m.nodes {
+		switch op := n.Op.(type) {
+		case Conv2D:
+			g := int64(op.Groups)
+			if g <= 0 {
+				g = 1
+			}
+			total += n.shape.Elements() * int64(op.KH) * int64(op.KW) * (int64(n.Inputs[0].shape.C) / g)
+		case DepthwiseConv2D:
+			total += n.shape.Elements() * int64(op.KH) * int64(op.KW)
+		case Dense:
+			total += int64(n.Inputs[0].shape.C) * int64(op.Units)
+		}
+	}
+	return total
+}
+
+// WeightedLayers returns the number of layers carrying trainable weights
+// of convolution or dense type — the depth convention used by names like
+// "ResNet50".
+func (m *Model) WeightedLayers() int {
+	count := 0
+	for _, n := range m.nodes {
+		switch n.Op.(type) {
+		case Conv2D, DepthwiseConv2D, Dense:
+			count++
+		}
+	}
+	return count
+}
+
+// LayerCount returns the total number of graph nodes excluding the input.
+func (m *Model) LayerCount() int { return len(m.nodes) - 1 }
+
+// OpHistogram returns the number of nodes per op kind, sorted by kind for
+// deterministic output.
+func (m *Model) OpHistogram() []OpCount {
+	hist := make(map[string]int)
+	for _, n := range m.nodes {
+		hist[n.Op.Kind()]++
+	}
+	out := make([]OpCount, 0, len(hist))
+	for k, c := range hist {
+		out = append(out, OpCount{Kind: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// OpCount pairs an op kind with its node count.
+type OpCount struct {
+	// Kind is the op kind identifier.
+	Kind string
+	// Count is the number of nodes of that kind.
+	Count int
+}
+
+// Validate re-checks graph consistency: topological input ordering, shape
+// inference agreement and reachability of the output.
+func (m *Model) Validate() error {
+	if m.output == nil {
+		return fmt.Errorf("cnn: model %q has no output", m.Name)
+	}
+	seen := make(map[*Node]bool, len(m.nodes))
+	for i, n := range m.nodes {
+		if n.id != i {
+			return fmt.Errorf("cnn: model %q node %q has id %d at index %d", m.Name, n.Name, n.id, i)
+		}
+		for _, p := range n.Inputs {
+			if !seen[p] {
+				return fmt.Errorf("cnn: model %q node %q uses input %q that does not precede it", m.Name, n.Name, p.Name)
+			}
+		}
+		out, err := n.Op.OutShape(inputShapes(n))
+		if err != nil {
+			return fmt.Errorf("cnn: model %q node %q: %w", m.Name, n.Name, err)
+		}
+		if out != n.shape {
+			return fmt.Errorf("cnn: model %q node %q shape mismatch: stored %v inferred %v", m.Name, n.Name, n.shape, out)
+		}
+		seen[n] = true
+	}
+	if !seen[m.output] {
+		return fmt.Errorf("cnn: model %q output %q not in node list", m.Name, m.output.Name)
+	}
+	return nil
+}

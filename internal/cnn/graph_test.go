@@ -1,0 +1,233 @@
+package cnn
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyNet builds a small LeNet-style model whose parameter count is easy to
+// verify by hand.
+func tinyNet(t *testing.T) *Model {
+	t.Helper()
+	b, x := NewBuilder("tiny", Shape{28, 28, 1})
+	x = b.Add(Conv(6, 5, 1, Valid), x)   // 5*5*1*6+6 = 156 params, out 24x24x6
+	x = b.Add(ReLU(), x)                 //
+	x = b.Add(MaxPool2D(2, 2, Valid), x) // 12x12x6
+	x = b.Add(Conv(16, 5, 1, Valid), x)  // 5*5*6*16+16 = 2416, out 8x8x16
+	x = b.Add(ReLU(), x)
+	x = b.Add(MaxPool2D(2, 2, Valid), x) // 4x4x16
+	x = b.Add(Flatten{}, x)              // 256
+	x = b.Add(FC(120), x)                // 256*120+120 = 30840
+	x = b.Add(ReLU(), x)
+	x = b.Add(FC(84), x) // 120*84+84 = 10164
+	x = b.Add(ReLU(), x)
+	x = b.Add(FC(10), x) // 84*10+10 = 850
+	x = b.Add(Softmax(), x)
+	m, err := b.Build(x)
+	if err != nil {
+		t.Fatalf("build tiny: %v", err)
+	}
+	return m
+}
+
+func TestTinyNetAnalysis(t *testing.T) {
+	m := tinyNet(t)
+	want := int64(156 + 2416 + 30840 + 10164 + 850)
+	if p := m.TrainableParams(); p != want {
+		t.Errorf("params = %d, want %d", p, want)
+	}
+	if l := m.WeightedLayers(); l != 5 {
+		t.Errorf("weighted layers = %d, want 5", l)
+	}
+	if m.Output().OutShape() != (Shape{1, 1, 10}) {
+		t.Errorf("output shape = %v", m.Output().OutShape())
+	}
+	// Neurons: conv outs + pool outs + dense outs + add-like; here:
+	// 24*24*6 + 12*12*6 + 8*8*16 + 4*4*16 + 120 + 84 + 10.
+	wantNeurons := int64(24*24*6 + 12*12*6 + 8*8*16 + 4*4*16 + 120 + 84 + 10)
+	if n := m.NeuronCount(); n != wantNeurons {
+		t.Errorf("neurons = %d, want %d", n, wantNeurons)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestAnalyzeSummary(t *testing.T) {
+	m := tinyNet(t)
+	s, err := Analyze(m)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if s.Name != "tiny" || s.TrainableParams != m.TrainableParams() {
+		t.Errorf("summary mismatch: %+v", s)
+	}
+	if s.FLOPs <= 0 {
+		t.Error("FLOPs should be positive")
+	}
+	if !strings.Contains(s.String(), "tiny") {
+		t.Error("summary string should contain model name")
+	}
+	table := FormatTable([]Summary{s})
+	if !strings.Contains(table, "Trainable Params") || !strings.Contains(table, "tiny") {
+		t.Errorf("table missing columns:\n%s", table)
+	}
+	if _, err := Analyze(nil); err == nil {
+		t.Error("Analyze(nil) should error")
+	}
+}
+
+func TestBuilderErrorLatching(t *testing.T) {
+	b, x := NewBuilder("bad", Shape{8, 8, 3})
+	// Dense over non-flat input: latches an error but keeps returning
+	// usable placeholder nodes.
+	x = b.Add(FC(10), x)
+	x = b.Add(ReLU(), x)
+	if b.Err() == nil {
+		t.Fatal("expected latched error")
+	}
+	if _, err := b.Build(x); err == nil {
+		t.Error("Build must surface the latched error")
+	}
+}
+
+func TestBuilderDuplicateName(t *testing.T) {
+	b, x := NewBuilder("dup", Shape{8, 8, 3})
+	x = b.AddNamed("conv", Conv(4, 3, 1, Same), x)
+	_ = b.AddNamed("conv", ReLU(), x)
+	if b.Err() == nil {
+		t.Error("duplicate layer name should error")
+	}
+}
+
+func TestBuilderForeignOutput(t *testing.T) {
+	b1, x1 := NewBuilder("a", Shape{8, 8, 3})
+	_, x2 := NewBuilder("b", Shape{8, 8, 3})
+	_ = x1
+	if _, err := b1.Build(x2); err == nil {
+		t.Error("building with a foreign node should error")
+	}
+	if _, err := b1.Build(nil); err == nil {
+		t.Error("building with nil output should error")
+	}
+}
+
+func TestResidualGraph(t *testing.T) {
+	b, x := NewBuilder("res", Shape{56, 56, 64})
+	branch := b.Add(ConvNoBias(64, 3, 1, Same), x)
+	branch = b.Add(BN(), branch)
+	branch = b.Add(ReLU(), branch)
+	branch = b.Add(ConvNoBias(64, 3, 1, Same), branch)
+	branch = b.Add(BN(), branch)
+	sum := b.Add(Add{}, x, branch)
+	out := b.Add(ReLU(), sum)
+	m, err := b.Build(out)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	want := int64(2*(3*3*64*64) + 2*(2*64))
+	if p := m.TrainableParams(); p != want {
+		t.Errorf("params = %d, want %d", p, want)
+	}
+	if m.Output().OutShape() != (Shape{56, 56, 64}) {
+		t.Errorf("output = %v", m.Output().OutShape())
+	}
+}
+
+func TestOpHistogramAndLookup(t *testing.T) {
+	m := tinyNet(t)
+	hist := m.OpHistogram()
+	counts := make(map[string]int)
+	for _, h := range hist {
+		counts[h.Kind] = h.Count
+	}
+	if counts["conv2d"] != 2 || counts["dense"] != 3 || counts["max_pool2d"] != 2 {
+		t.Errorf("histogram wrong: %v", counts)
+	}
+	// Deterministic sorted order.
+	for i := 1; i < len(hist); i++ {
+		if hist[i-1].Kind >= hist[i].Kind {
+			t.Error("histogram not sorted")
+		}
+	}
+	if m.Node("dense_1") == nil {
+		t.Error("node lookup by generated name failed")
+	}
+	if m.Node("nope") != nil {
+		t.Error("lookup of missing node should be nil")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on latched error")
+		}
+	}()
+	b, x := NewBuilder("bad", Shape{4, 4, 2})
+	x = b.Add(FC(3), x) // error: not flat
+	b.MustBuild(x)
+}
+
+func TestMACs(t *testing.T) {
+	m := tinyNet(t)
+	// conv1: 24*24*6*5*5*1; conv2: 8*8*16*5*5*6; dense: 256*120+120*84+84*10.
+	want := int64(24*24*6*25 + 8*8*16*150 + 256*120 + 120*84 + 84*10)
+	if got := m.MACs(); got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+	// FLOPs of weighted layers = 2*MACs + biases; total FLOPs larger.
+	if m.FLOPs() < 2*m.MACs() {
+		t.Error("FLOPs must be at least twice MACs")
+	}
+	s, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MACs != want {
+		t.Errorf("summary MACs = %d", s.MACs)
+	}
+}
+
+func TestGroupedConvMACs(t *testing.T) {
+	b, x := NewBuilder("grp", Shape{8, 8, 8})
+	x = b.Add(cnn2Grouped(), x)
+	m, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grouped conv: out 8*8*16, per-output K = 3*3*(8/2) = 36.
+	if got, want := m.MACs(), int64(8*8*16*36); got != want {
+		t.Errorf("grouped MACs = %d, want %d", got, want)
+	}
+}
+
+func cnn2Grouped() Conv2D {
+	return Conv2D{Filters: 16, KH: 3, KW: 3, SH: 1, SW: 1, Pad: Same, Groups: 2}
+}
+
+func TestDOTExport(t *testing.T) {
+	m := tinyNet(t)
+	dot := m.DOT()
+	for _, want := range []string{`digraph "tiny"`, "conv2d", "ellipse", "->", "params 156"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Every non-input node must have at least one incoming edge.
+	edges := strings.Count(dot, " -> ")
+	if edges < m.LayerCount() {
+		t.Errorf("DOT has %d edges for %d layers", edges, m.LayerCount())
+	}
+	// Merge nodes render as diamonds.
+	b, x := NewBuilder("m", Shape{4, 4, 2})
+	y := b.Add(ReLU(), x)
+	z := b.Add(Add{}, x, y)
+	mm, err := b.Build(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mm.DOT(), "diamond") {
+		t.Error("merge ops should render as diamonds")
+	}
+}

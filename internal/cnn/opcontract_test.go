@@ -1,0 +1,135 @@
+package cnn
+
+import "testing"
+
+// TestOpContracts sweeps every op through the full Op interface on a
+// representative input and checks the universal contracts: shapes valid,
+// params/neurons/FLOPs non-negative, zero-param ops report zero, and
+// neuron counts match the documented convention.
+func TestOpContracts(t *testing.T) {
+	fm := Shape{14, 14, 8}  // feature map input
+	flat := Shape{1, 1, 64} // flat input
+	gate := Shape{1, 1, 8}  // broadcastable gate
+
+	cases := []struct {
+		name       string
+		op         Op
+		ins        []Shape
+		wantParams bool // op carries trainable parameters
+		outNeurons bool // op contributes its output elements as neurons
+	}{
+		{"conv", Conv(4, 3, 1, Same), []Shape{fm}, true, true},
+		{"conv_grouped", Conv2D{Filters: 8, KH: 3, KW: 3, SH: 1, SW: 1, Pad: Same, Groups: 2}, []Shape{fm}, true, true},
+		{"depthwise", DepthwiseConv(3, 1, Same), []Shape{fm}, true, true},
+		{"depthwise_mult", DepthwiseConv2D{KH: 3, KW: 3, SH: 1, SW: 1, Pad: Same, Multiplier: 2, UseBias: true}, []Shape{fm}, true, true},
+		{"dense", FC(10), []Shape{flat}, true, true},
+		{"dense_nobias", Dense{Units: 10}, []Shape{flat}, true, true},
+		{"maxpool", MaxPool2D(2, 2, Valid), []Shape{fm}, false, true},
+		{"avgpool", AvgPool2D(2, 2, Valid), []Shape{fm}, false, true},
+		{"gap", GlobalAvgPool(), []Shape{fm}, false, true},
+		{"gmp", GlobalMaxPool(), []Shape{fm}, false, true},
+		{"bn", BN(), []Shape{fm}, true, false},
+		{"gn", GroupNorm{Groups: 4}, []Shape{fm}, true, false},
+		{"relu", ReLU(), []Shape{fm}, false, false},
+		{"swish", Swish(), []Shape{fm}, false, false},
+		{"sigmoid", Sigmoid(), []Shape{fm}, false, false},
+		{"softmax", Softmax(), []Shape{flat}, false, false},
+		{"tanh", Activation{Fn: "tanh"}, []Shape{fm}, false, false},
+		{"flatten", Flatten{}, []Shape{fm}, false, false},
+		{"dropout", Dropout{Rate: 0.5}, []Shape{fm}, false, false},
+		{"pad", Pad2D(2), []Shape{fm}, false, false},
+		{"add", Add{}, []Shape{fm, fm}, false, true},
+		{"add3", Add{}, []Shape{fm, fm, fm}, false, true},
+		{"multiply", Multiply{}, []Shape{fm, gate}, false, true},
+		{"concat", Concat{}, []Shape{fm, fm}, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := c.op.OutShape(c.ins)
+			if err != nil {
+				t.Fatalf("OutShape: %v", err)
+			}
+			if !out.Valid() {
+				t.Fatalf("invalid output %v", out)
+			}
+			if c.op.Kind() == "" {
+				t.Error("empty kind")
+			}
+			p := c.op.Params(c.ins)
+			if p < 0 {
+				t.Errorf("negative params %d", p)
+			}
+			if c.wantParams != (p > 0) {
+				t.Errorf("params = %d, wantParams = %v", p, c.wantParams)
+			}
+			n := c.op.Neurons(c.ins, out)
+			if n < 0 {
+				t.Errorf("negative neurons %d", n)
+			}
+			if c.outNeurons && n != out.Elements() {
+				t.Errorf("neurons = %d, want out elements %d", n, out.Elements())
+			}
+			if !c.outNeurons && n != 0 {
+				t.Errorf("neurons = %d, want 0", n)
+			}
+			if f := c.op.FLOPs(c.ins, out); f < 0 {
+				t.Errorf("negative FLOPs %d", f)
+			}
+			// Every op except Input must reject a zero-input call.
+			if _, err := c.op.OutShape(nil); err == nil {
+				t.Error("OutShape(nil) should error")
+			}
+		})
+	}
+	// InputOp contract.
+	in := InputOp{Shape: fm}
+	if out, err := in.OutShape(nil); err != nil || out != fm {
+		t.Errorf("input OutShape = %v, %v", out, err)
+	}
+	if _, err := in.OutShape([]Shape{fm}); err == nil {
+		t.Error("input with inputs should error")
+	}
+	if _, err := (InputOp{}).OutShape(nil); err == nil {
+		t.Error("invalid input shape should error")
+	}
+	if in.Params(nil) != 0 || in.Neurons(nil, fm) != 0 || in.FLOPs(nil, fm) != 0 {
+		t.Error("input must be free")
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	m := tinyNet(t)
+	nodes := m.Nodes()
+	if len(nodes) != m.LayerCount()+1 {
+		t.Errorf("Nodes = %d, layers+input = %d", len(nodes), m.LayerCount()+1)
+	}
+	for i, n := range nodes {
+		if n.ID() != i {
+			t.Errorf("node %d has ID %d", i, n.ID())
+		}
+	}
+	// ActivationVolume >= NeuronCount (it includes every node's output).
+	if m.ActivationVolume() < m.NeuronCount() {
+		t.Error("activation volume must dominate neuron count")
+	}
+	// And equals the sum over all node shapes.
+	var want int64
+	for _, n := range nodes {
+		want += n.OutShape().Elements()
+	}
+	if m.ActivationVolume() != want {
+		t.Errorf("activation volume %d != %d", m.ActivationVolume(), want)
+	}
+}
+
+func TestGlobalMaxPoolInGraph(t *testing.T) {
+	b, x := NewBuilder("gmp", Shape{8, 8, 4})
+	x = b.Add(GlobalMaxPool(), x)
+	m, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Output().OutShape() != (Shape{1, 1, 4}) {
+		t.Errorf("out = %v", m.Output().OutShape())
+	}
+}

@@ -1,0 +1,683 @@
+package cnn
+
+import "fmt"
+
+// Op is a network operation. Implementations are pure descriptions: they
+// compute output shapes, trainable-parameter counts, neuron counts and FLOP
+// estimates from their configuration and input shapes without allocating
+// any weights.
+type Op interface {
+	// Kind returns a short stable identifier such as "conv2d".
+	Kind() string
+	// OutShape infers the output shape from the input shapes.
+	OutShape(ins []Shape) (Shape, error)
+	// Params returns the number of trainable parameters of the op.
+	Params(ins []Shape) int64
+	// Neurons returns the number of neurons (output units) the op
+	// contributes to the network, following the convention that only
+	// layers performing a computation (conv, dense, pooling, merge)
+	// contribute their output elements.
+	Neurons(ins []Shape, out Shape) int64
+	// FLOPs estimates the floating-point operations of one forward pass
+	// (multiply and add counted separately).
+	FLOPs(ins []Shape, out Shape) int64
+}
+
+func oneInput(kind string, ins []Shape) (Shape, error) {
+	if len(ins) != 1 {
+		return Shape{}, fmt.Errorf("cnn: %s expects exactly 1 input, got %d", kind, len(ins))
+	}
+	if !ins[0].Valid() {
+		return Shape{}, fmt.Errorf("cnn: %s got invalid input shape %v", kind, ins[0])
+	}
+	return ins[0], nil
+}
+
+// ---------------------------------------------------------------------------
+// Input
+// ---------------------------------------------------------------------------
+
+// InputOp is the graph source; it carries the model input shape.
+type InputOp struct {
+	// Shape is the model's input feature-map shape.
+	Shape Shape
+}
+
+// Kind implements Op.
+func (o InputOp) Kind() string { return "input" }
+
+// OutShape implements Op.
+func (o InputOp) OutShape(ins []Shape) (Shape, error) {
+	if len(ins) != 0 {
+		return Shape{}, fmt.Errorf("cnn: input op takes no inputs")
+	}
+	if !o.Shape.Valid() {
+		return Shape{}, fmt.Errorf("cnn: invalid input shape %v", o.Shape)
+	}
+	return o.Shape, nil
+}
+
+// Params implements Op.
+func (o InputOp) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o InputOp) Neurons([]Shape, Shape) int64 { return 0 }
+
+// FLOPs implements Op.
+func (o InputOp) FLOPs([]Shape, Shape) int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Conv2D
+// ---------------------------------------------------------------------------
+
+// Conv2D is a standard (optionally grouped) 2-D convolution.
+type Conv2D struct {
+	// Filters is the number of output channels.
+	Filters int
+	// KH, KW are the kernel height and width.
+	KH, KW int
+	// SH, SW are the vertical and horizontal strides.
+	SH, SW int
+	// Pad selects Same or Valid padding.
+	Pad Padding
+	// UseBias adds one trainable bias per filter.
+	UseBias bool
+	// Groups splits input and output channels into independent groups
+	// (1 = dense convolution). Input channels must divide evenly.
+	Groups int
+}
+
+// Conv is a convenience constructor for a square-kernel convolution with
+// bias and a single group.
+func Conv(filters, k, stride int, pad Padding) Conv2D {
+	return Conv2D{Filters: filters, KH: k, KW: k, SH: stride, SW: stride, Pad: pad, UseBias: true, Groups: 1}
+}
+
+// ConvNoBias is Conv without the bias term (the usual form before
+// batch normalisation).
+func ConvNoBias(filters, k, stride int, pad Padding) Conv2D {
+	return Conv2D{Filters: filters, KH: k, KW: k, SH: stride, SW: stride, Pad: pad, UseBias: false, Groups: 1}
+}
+
+// Kind implements Op.
+func (o Conv2D) Kind() string { return "conv2d" }
+
+func (o Conv2D) groups() int {
+	if o.Groups <= 0 {
+		return 1
+	}
+	return o.Groups
+}
+
+// OutShape implements Op.
+func (o Conv2D) OutShape(ins []Shape) (Shape, error) {
+	in, err := oneInput(o.Kind(), ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	if o.Filters <= 0 {
+		return Shape{}, fmt.Errorf("cnn: conv2d needs positive filter count, got %d", o.Filters)
+	}
+	if in.C%o.groups() != 0 || o.Filters%o.groups() != 0 {
+		return Shape{}, fmt.Errorf("cnn: conv2d groups %d must divide channels %d and filters %d", o.groups(), in.C, o.Filters)
+	}
+	h, err := windowOut(in.H, o.KH, o.SH, o.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	w, err := windowOut(in.W, o.KW, o.SW, o.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Shape{H: h, W: w, C: o.Filters}, nil
+}
+
+// Params implements Op.
+func (o Conv2D) Params(ins []Shape) int64 {
+	in := ins[0]
+	g := int64(o.groups())
+	weights := int64(o.KH) * int64(o.KW) * (int64(in.C) / g) * int64(o.Filters)
+	if o.UseBias {
+		weights += int64(o.Filters)
+	}
+	return weights
+}
+
+// Neurons implements Op.
+func (o Conv2D) Neurons(_ []Shape, out Shape) int64 { return out.Elements() }
+
+// FLOPs implements Op.
+func (o Conv2D) FLOPs(ins []Shape, out Shape) int64 {
+	in := ins[0]
+	g := int64(o.groups())
+	macs := out.Elements() * int64(o.KH) * int64(o.KW) * (int64(in.C) / g)
+	fl := 2 * macs
+	if o.UseBias {
+		fl += out.Elements()
+	}
+	return fl
+}
+
+// ---------------------------------------------------------------------------
+// DepthwiseConv2D
+// ---------------------------------------------------------------------------
+
+// DepthwiseConv2D convolves each input channel independently with its own
+// kernel (MobileNet-style), multiplying the channel count by Multiplier.
+type DepthwiseConv2D struct {
+	// KH, KW are the kernel dimensions.
+	KH, KW int
+	// SH, SW are the strides.
+	SH, SW int
+	// Pad selects Same or Valid padding.
+	Pad Padding
+	// Multiplier is the depth multiplier (usually 1).
+	Multiplier int
+	// UseBias adds one trainable bias per output channel.
+	UseBias bool
+}
+
+// DepthwiseConv builds a square-kernel depthwise convolution without bias
+// and multiplier 1.
+func DepthwiseConv(k, stride int, pad Padding) DepthwiseConv2D {
+	return DepthwiseConv2D{KH: k, KW: k, SH: stride, SW: stride, Pad: pad, Multiplier: 1}
+}
+
+// Kind implements Op.
+func (o DepthwiseConv2D) Kind() string { return "depthwise_conv2d" }
+
+func (o DepthwiseConv2D) mult() int {
+	if o.Multiplier <= 0 {
+		return 1
+	}
+	return o.Multiplier
+}
+
+// OutShape implements Op.
+func (o DepthwiseConv2D) OutShape(ins []Shape) (Shape, error) {
+	in, err := oneInput(o.Kind(), ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	h, err := windowOut(in.H, o.KH, o.SH, o.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	w, err := windowOut(in.W, o.KW, o.SW, o.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Shape{H: h, W: w, C: in.C * o.mult()}, nil
+}
+
+// Params implements Op.
+func (o DepthwiseConv2D) Params(ins []Shape) int64 {
+	in := ins[0]
+	p := int64(o.KH) * int64(o.KW) * int64(in.C) * int64(o.mult())
+	if o.UseBias {
+		p += int64(in.C) * int64(o.mult())
+	}
+	return p
+}
+
+// Neurons implements Op.
+func (o DepthwiseConv2D) Neurons(_ []Shape, out Shape) int64 { return out.Elements() }
+
+// FLOPs implements Op.
+func (o DepthwiseConv2D) FLOPs(_ []Shape, out Shape) int64 {
+	macs := out.Elements() * int64(o.KH) * int64(o.KW)
+	fl := 2 * macs
+	if o.UseBias {
+		fl += out.Elements()
+	}
+	return fl
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+// Dense is a fully connected layer over a flat input vector.
+type Dense struct {
+	// Units is the number of output neurons.
+	Units int
+	// UseBias adds one trainable bias per unit.
+	UseBias bool
+}
+
+// FC builds a dense layer with bias.
+func FC(units int) Dense { return Dense{Units: units, UseBias: true} }
+
+// Kind implements Op.
+func (o Dense) Kind() string { return "dense" }
+
+// OutShape implements Op.
+func (o Dense) OutShape(ins []Shape) (Shape, error) {
+	in, err := oneInput(o.Kind(), ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	if o.Units <= 0 {
+		return Shape{}, fmt.Errorf("cnn: dense needs positive units, got %d", o.Units)
+	}
+	if !in.Flat() {
+		return Shape{}, fmt.Errorf("cnn: dense requires a flat input, got %v (insert Flatten)", in)
+	}
+	return Shape{H: 1, W: 1, C: o.Units}, nil
+}
+
+// Params implements Op.
+func (o Dense) Params(ins []Shape) int64 {
+	p := int64(ins[0].C) * int64(o.Units)
+	if o.UseBias {
+		p += int64(o.Units)
+	}
+	return p
+}
+
+// Neurons implements Op.
+func (o Dense) Neurons(_ []Shape, out Shape) int64 { return out.Elements() }
+
+// FLOPs implements Op.
+func (o Dense) FLOPs(ins []Shape, out Shape) int64 {
+	fl := 2 * int64(ins[0].C) * int64(o.Units)
+	if o.UseBias {
+		fl += out.Elements()
+	}
+	return fl
+}
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+// PoolKind distinguishes max and average pooling.
+type PoolKind int
+
+const (
+	// MaxPool selects the maximum inside each window.
+	MaxPool PoolKind = iota
+	// AvgPool averages each window.
+	AvgPool
+)
+
+// Pool2D is a spatial pooling layer.
+type Pool2D struct {
+	// Kind selects max or average pooling.
+	Kind2 PoolKind
+	// KH, KW are the window dimensions.
+	KH, KW int
+	// SH, SW are the strides.
+	SH, SW int
+	// Pad selects Same or Valid padding.
+	Pad Padding
+}
+
+// MaxPool2D builds a square max-pooling layer.
+func MaxPool2D(k, stride int, pad Padding) Pool2D {
+	return Pool2D{Kind2: MaxPool, KH: k, KW: k, SH: stride, SW: stride, Pad: pad}
+}
+
+// AvgPool2D builds a square average-pooling layer.
+func AvgPool2D(k, stride int, pad Padding) Pool2D {
+	return Pool2D{Kind2: AvgPool, KH: k, KW: k, SH: stride, SW: stride, Pad: pad}
+}
+
+// Kind implements Op.
+func (o Pool2D) Kind() string {
+	if o.Kind2 == AvgPool {
+		return "avg_pool2d"
+	}
+	return "max_pool2d"
+}
+
+// OutShape implements Op.
+func (o Pool2D) OutShape(ins []Shape) (Shape, error) {
+	in, err := oneInput(o.Kind(), ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	h, err := windowOut(in.H, o.KH, o.SH, o.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	w, err := windowOut(in.W, o.KW, o.SW, o.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Shape{H: h, W: w, C: in.C}, nil
+}
+
+// Params implements Op.
+func (o Pool2D) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o Pool2D) Neurons(_ []Shape, out Shape) int64 { return out.Elements() }
+
+// FLOPs implements Op.
+func (o Pool2D) FLOPs(_ []Shape, out Shape) int64 {
+	return out.Elements() * int64(o.KH) * int64(o.KW)
+}
+
+// GlobalPool2D reduces the spatial dimensions to 1x1.
+type GlobalPool2D struct {
+	// Kind2 selects max or average reduction.
+	Kind2 PoolKind
+}
+
+// GlobalAvgPool builds a global average pooling layer.
+func GlobalAvgPool() GlobalPool2D { return GlobalPool2D{Kind2: AvgPool} }
+
+// GlobalMaxPool builds a global max pooling layer.
+func GlobalMaxPool() GlobalPool2D { return GlobalPool2D{Kind2: MaxPool} }
+
+// Kind implements Op.
+func (o GlobalPool2D) Kind() string {
+	if o.Kind2 == AvgPool {
+		return "global_avg_pool"
+	}
+	return "global_max_pool"
+}
+
+// OutShape implements Op.
+func (o GlobalPool2D) OutShape(ins []Shape) (Shape, error) {
+	in, err := oneInput(o.Kind(), ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Shape{H: 1, W: 1, C: in.C}, nil
+}
+
+// Params implements Op.
+func (o GlobalPool2D) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o GlobalPool2D) Neurons(_ []Shape, out Shape) int64 { return out.Elements() }
+
+// FLOPs implements Op.
+func (o GlobalPool2D) FLOPs(ins []Shape, _ Shape) int64 { return ins[0].Elements() }
+
+// ---------------------------------------------------------------------------
+// Normalisation
+// ---------------------------------------------------------------------------
+
+// BatchNorm is channel-wise batch normalisation. Following the Keras
+// convention, only the scale (gamma) and shift (beta) are trainable; the
+// moving statistics are not counted.
+type BatchNorm struct {
+	// Scale includes the gamma parameter (true for all the paper's nets).
+	Scale bool
+	// Center includes the beta parameter.
+	Center bool
+}
+
+// BN builds a standard batch normalisation with scale and center.
+func BN() BatchNorm { return BatchNorm{Scale: true, Center: true} }
+
+// Kind implements Op.
+func (o BatchNorm) Kind() string { return "batch_norm" }
+
+// OutShape implements Op.
+func (o BatchNorm) OutShape(ins []Shape) (Shape, error) { return oneInput(o.Kind(), ins) }
+
+// Params implements Op.
+func (o BatchNorm) Params(ins []Shape) int64 {
+	var per int64
+	if o.Scale {
+		per++
+	}
+	if o.Center {
+		per++
+	}
+	return per * int64(ins[0].C)
+}
+
+// Neurons implements Op.
+func (o BatchNorm) Neurons([]Shape, Shape) int64 { return 0 }
+
+// FLOPs implements Op.
+func (o BatchNorm) FLOPs(_ []Shape, out Shape) int64 { return 2 * out.Elements() }
+
+// GroupNorm normalises groups of channels (used by the Big Transfer
+// m-r* ResNets of Table I). Gamma and beta are trainable per channel.
+type GroupNorm struct {
+	// Groups is the number of channel groups.
+	Groups int
+}
+
+// Kind implements Op.
+func (o GroupNorm) Kind() string { return "group_norm" }
+
+// OutShape implements Op.
+func (o GroupNorm) OutShape(ins []Shape) (Shape, error) { return oneInput(o.Kind(), ins) }
+
+// Params implements Op.
+func (o GroupNorm) Params(ins []Shape) int64 { return 2 * int64(ins[0].C) }
+
+// Neurons implements Op.
+func (o GroupNorm) Neurons([]Shape, Shape) int64 { return 0 }
+
+// FLOPs implements Op.
+func (o GroupNorm) FLOPs(_ []Shape, out Shape) int64 { return 4 * out.Elements() }
+
+// ---------------------------------------------------------------------------
+// Activations and shape plumbing
+// ---------------------------------------------------------------------------
+
+// Activation applies an element-wise non-linearity. It has no trainable
+// parameters; the Fn string (relu, relu6, swish, sigmoid, softmax, tanh,
+// gelu) only affects PTX generation downstream.
+type Activation struct {
+	// Fn names the activation function.
+	Fn string
+}
+
+// ReLU builds a rectified-linear activation.
+func ReLU() Activation { return Activation{Fn: "relu"} }
+
+// Swish builds a swish (SiLU) activation (EfficientNet).
+func Swish() Activation { return Activation{Fn: "swish"} }
+
+// Softmax builds a softmax activation (classifier heads).
+func Softmax() Activation { return Activation{Fn: "softmax"} }
+
+// Sigmoid builds a sigmoid activation (squeeze-excite gates).
+func Sigmoid() Activation { return Activation{Fn: "sigmoid"} }
+
+// Kind implements Op.
+func (o Activation) Kind() string { return "activation" }
+
+// OutShape implements Op.
+func (o Activation) OutShape(ins []Shape) (Shape, error) { return oneInput(o.Kind(), ins) }
+
+// Params implements Op.
+func (o Activation) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o Activation) Neurons([]Shape, Shape) int64 { return 0 }
+
+// FLOPs implements Op.
+func (o Activation) FLOPs(_ []Shape, out Shape) int64 {
+	switch o.Fn {
+	case "swish", "sigmoid", "softmax", "gelu", "tanh":
+		return 4 * out.Elements()
+	default:
+		return out.Elements()
+	}
+}
+
+// Flatten collapses a feature map to a flat vector.
+type Flatten struct{}
+
+// Kind implements Op.
+func (o Flatten) Kind() string { return "flatten" }
+
+// OutShape implements Op.
+func (o Flatten) OutShape(ins []Shape) (Shape, error) {
+	in, err := oneInput(o.Kind(), ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Shape{H: 1, W: 1, C: int(in.Elements())}, nil
+}
+
+// Params implements Op.
+func (o Flatten) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o Flatten) Neurons([]Shape, Shape) int64 { return 0 }
+
+// FLOPs implements Op.
+func (o Flatten) FLOPs([]Shape, Shape) int64 { return 0 }
+
+// Dropout is an inference no-op kept so that graph depth matches the
+// published topologies.
+type Dropout struct {
+	// Rate is the training-time drop probability (unused at inference).
+	Rate float64
+}
+
+// Kind implements Op.
+func (o Dropout) Kind() string { return "dropout" }
+
+// OutShape implements Op.
+func (o Dropout) OutShape(ins []Shape) (Shape, error) { return oneInput(o.Kind(), ins) }
+
+// Params implements Op.
+func (o Dropout) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o Dropout) Neurons([]Shape, Shape) int64 { return 0 }
+
+// FLOPs implements Op.
+func (o Dropout) FLOPs([]Shape, Shape) int64 { return 0 }
+
+// ZeroPad2D adds explicit spatial zero padding (used before strided
+// valid-padding convolutions in ResNet/Inception style stems).
+type ZeroPad2D struct {
+	// Top, Bottom, Left, Right are the per-side pad amounts.
+	Top, Bottom, Left, Right int
+}
+
+// Pad2D pads symmetrically by p on all sides.
+func Pad2D(p int) ZeroPad2D { return ZeroPad2D{Top: p, Bottom: p, Left: p, Right: p} }
+
+// Kind implements Op.
+func (o ZeroPad2D) Kind() string { return "zero_pad2d" }
+
+// OutShape implements Op.
+func (o ZeroPad2D) OutShape(ins []Shape) (Shape, error) {
+	in, err := oneInput(o.Kind(), ins)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Shape{H: in.H + o.Top + o.Bottom, W: in.W + o.Left + o.Right, C: in.C}, nil
+}
+
+// Params implements Op.
+func (o ZeroPad2D) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o ZeroPad2D) Neurons([]Shape, Shape) int64 { return 0 }
+
+// FLOPs implements Op.
+func (o ZeroPad2D) FLOPs([]Shape, Shape) int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Merge ops
+// ---------------------------------------------------------------------------
+
+// Add sums feature maps element-wise (residual connections).
+type Add struct{}
+
+// Kind implements Op.
+func (o Add) Kind() string { return "add" }
+
+// OutShape implements Op.
+func (o Add) OutShape(ins []Shape) (Shape, error) {
+	if len(ins) < 2 {
+		return Shape{}, fmt.Errorf("cnn: add needs at least 2 inputs, got %d", len(ins))
+	}
+	for _, s := range ins[1:] {
+		if s != ins[0] {
+			return Shape{}, fmt.Errorf("cnn: add shape mismatch %v vs %v", ins[0], s)
+		}
+	}
+	return ins[0], nil
+}
+
+// Params implements Op.
+func (o Add) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o Add) Neurons(_ []Shape, out Shape) int64 { return out.Elements() }
+
+// FLOPs implements Op.
+func (o Add) FLOPs(ins []Shape, out Shape) int64 {
+	return int64(len(ins)-1) * out.Elements()
+}
+
+// Multiply multiplies feature maps element-wise, broadcasting 1x1xC gates
+// across the spatial extent (squeeze-and-excite).
+type Multiply struct{}
+
+// Kind implements Op.
+func (o Multiply) Kind() string { return "multiply" }
+
+// OutShape implements Op.
+func (o Multiply) OutShape(ins []Shape) (Shape, error) {
+	if len(ins) != 2 {
+		return Shape{}, fmt.Errorf("cnn: multiply needs exactly 2 inputs, got %d", len(ins))
+	}
+	a, b := ins[0], ins[1]
+	if a == b {
+		return a, nil
+	}
+	// Broadcast a 1x1xC gate over HxWxC.
+	if b.Flat() && b.C == a.C {
+		return a, nil
+	}
+	if a.Flat() && a.C == b.C {
+		return b, nil
+	}
+	return Shape{}, fmt.Errorf("cnn: multiply shape mismatch %v vs %v", a, b)
+}
+
+// Params implements Op.
+func (o Multiply) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o Multiply) Neurons(_ []Shape, out Shape) int64 { return out.Elements() }
+
+// FLOPs implements Op.
+func (o Multiply) FLOPs(_ []Shape, out Shape) int64 { return out.Elements() }
+
+// Concat joins feature maps along the channel axis (DenseNet, Inception).
+type Concat struct{}
+
+// Kind implements Op.
+func (o Concat) Kind() string { return "concat" }
+
+// OutShape implements Op.
+func (o Concat) OutShape(ins []Shape) (Shape, error) {
+	if len(ins) < 2 {
+		return Shape{}, fmt.Errorf("cnn: concat needs at least 2 inputs, got %d", len(ins))
+	}
+	c := 0
+	for _, s := range ins {
+		if s.H != ins[0].H || s.W != ins[0].W {
+			return Shape{}, fmt.Errorf("cnn: concat spatial mismatch %v vs %v", ins[0], s)
+		}
+		c += s.C
+	}
+	return Shape{H: ins[0].H, W: ins[0].W, C: c}, nil
+}
+
+// Params implements Op.
+func (o Concat) Params([]Shape) int64 { return 0 }
+
+// Neurons implements Op.
+func (o Concat) Neurons([]Shape, Shape) int64 { return 0 }
+
+// FLOPs implements Op.
+func (o Concat) FLOPs([]Shape, Shape) int64 { return 0 }

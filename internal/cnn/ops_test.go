@@ -1,0 +1,249 @@
+package cnn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func shapeOf(t *testing.T, op Op, ins ...Shape) Shape {
+	t.Helper()
+	out, err := op.OutShape(ins)
+	if err != nil {
+		t.Fatalf("%s.OutShape(%v): %v", op.Kind(), ins, err)
+	}
+	return out
+}
+
+func TestConv2DShapeAndParams(t *testing.T) {
+	in := Shape{224, 224, 3}
+	op := Conv(64, 3, 1, Same)
+	out := shapeOf(t, op, in)
+	if out != (Shape{224, 224, 64}) {
+		t.Errorf("out = %v", out)
+	}
+	// 3*3*3*64 weights + 64 bias = 1792 (the classic VGG16 first layer).
+	if p := op.Params([]Shape{in}); p != 1792 {
+		t.Errorf("params = %d, want 1792", p)
+	}
+	// FLOPs = 2*macs + bias adds.
+	wantFLOPs := int64(2*224*224*64*3*3*3 + 224*224*64)
+	if f := op.FLOPs([]Shape{in}, out); f != wantFLOPs {
+		t.Errorf("flops = %d, want %d", f, wantFLOPs)
+	}
+}
+
+func TestConv2DStridedValid(t *testing.T) {
+	// AlexNet first layer: 227x227x3, 96 filters 11x11 stride 4 valid -> 55x55x96.
+	in := Shape{227, 227, 3}
+	op := Conv(96, 11, 4, Valid)
+	out := shapeOf(t, op, in)
+	if out != (Shape{55, 55, 96}) {
+		t.Errorf("out = %v, want 55x55x96", out)
+	}
+	if p := op.Params([]Shape{in}); p != 11*11*3*96+96 {
+		t.Errorf("params = %d", p)
+	}
+}
+
+func TestConv2DGroups(t *testing.T) {
+	in := Shape{27, 27, 96}
+	op := Conv2D{Filters: 256, KH: 5, KW: 5, SH: 1, SW: 1, Pad: Same, UseBias: true, Groups: 2}
+	out := shapeOf(t, op, in)
+	if out != (Shape{27, 27, 256}) {
+		t.Errorf("out = %v", out)
+	}
+	// Grouped conv halves the per-filter input channels.
+	if p := op.Params([]Shape{in}); p != 5*5*48*256+256 {
+		t.Errorf("params = %d, want %d", p, 5*5*48*256+256)
+	}
+	// Mismatched groups error.
+	bad := Conv2D{Filters: 10, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 3}
+	if _, err := bad.OutShape([]Shape{in}); err == nil {
+		t.Error("groups=3 over 96 channels and 10 filters should error")
+	}
+}
+
+func TestDepthwiseConvShapeAndParams(t *testing.T) {
+	in := Shape{112, 112, 32}
+	op := DepthwiseConv(3, 1, Same)
+	out := shapeOf(t, op, in)
+	if out != (Shape{112, 112, 32}) {
+		t.Errorf("out = %v", out)
+	}
+	if p := op.Params([]Shape{in}); p != 3*3*32 {
+		t.Errorf("params = %d, want 288", p)
+	}
+	withBias := DepthwiseConv2D{KH: 3, KW: 3, SH: 2, SW: 2, Pad: Same, Multiplier: 2, UseBias: true}
+	out = shapeOf(t, withBias, in)
+	if out != (Shape{56, 56, 64}) {
+		t.Errorf("out = %v, want 56x56x64", out)
+	}
+	if p := withBias.Params([]Shape{in}); p != 3*3*32*2+64 {
+		t.Errorf("params = %d", p)
+	}
+}
+
+func TestDenseShapeParamsAndErrors(t *testing.T) {
+	in := Shape{1, 1, 4096}
+	op := FC(1000)
+	out := shapeOf(t, op, in)
+	if out != (Shape{1, 1, 1000}) {
+		t.Errorf("out = %v", out)
+	}
+	if p := op.Params([]Shape{in}); p != 4096*1000+1000 {
+		t.Errorf("params = %d", p)
+	}
+	if _, err := op.OutShape([]Shape{{H: 7, W: 7, C: 512}}); err == nil {
+		t.Error("dense over non-flat input should error")
+	}
+	if _, err := (Dense{Units: 0}).OutShape([]Shape{in}); err == nil {
+		t.Error("dense with zero units should error")
+	}
+}
+
+func TestPooling(t *testing.T) {
+	in := Shape{112, 112, 64}
+	mp := MaxPool2D(2, 2, Valid)
+	if out := shapeOf(t, mp, in); out != (Shape{56, 56, 64}) {
+		t.Errorf("maxpool out = %v", out)
+	}
+	if mp.Params([]Shape{in}) != 0 {
+		t.Error("pooling has no params")
+	}
+	ap := AvgPool2D(3, 2, Same)
+	if out := shapeOf(t, ap, in); out != (Shape{56, 56, 64}) {
+		t.Errorf("avgpool out = %v", out)
+	}
+	if mp.Kind() != "max_pool2d" || ap.Kind() != "avg_pool2d" {
+		t.Error("pool kinds wrong")
+	}
+	g := GlobalAvgPool()
+	if out := shapeOf(t, g, Shape{7, 7, 2048}); out != (Shape{1, 1, 2048}) {
+		t.Errorf("gap out = %v", out)
+	}
+}
+
+func TestBatchNormParams(t *testing.T) {
+	in := Shape{56, 56, 256}
+	if p := BN().Params([]Shape{in}); p != 512 {
+		t.Errorf("BN params = %d, want 512", p)
+	}
+	scaleOnly := BatchNorm{Scale: true}
+	if p := scaleOnly.Params([]Shape{in}); p != 256 {
+		t.Errorf("scale-only BN params = %d, want 256", p)
+	}
+	if out := shapeOf(t, BN(), in); out != in {
+		t.Error("BN must preserve shape")
+	}
+}
+
+func TestGroupNorm(t *testing.T) {
+	in := Shape{56, 56, 256}
+	gn := GroupNorm{Groups: 32}
+	if p := gn.Params([]Shape{in}); p != 512 {
+		t.Errorf("GN params = %d, want 512", p)
+	}
+	if out := shapeOf(t, gn, in); out != in {
+		t.Error("GN must preserve shape")
+	}
+}
+
+func TestActivationFlattenDropoutZeroParams(t *testing.T) {
+	in := Shape{7, 7, 512}
+	for _, op := range []Op{ReLU(), Swish(), Softmax(), Sigmoid(), Dropout{Rate: 0.5}} {
+		if op.Params([]Shape{in}) != 0 {
+			t.Errorf("%s should have 0 params", op.Kind())
+		}
+	}
+	fl := Flatten{}
+	out := shapeOf(t, fl, in)
+	if out != (Shape{1, 1, 7 * 7 * 512}) {
+		t.Errorf("flatten out = %v", out)
+	}
+}
+
+func TestZeroPad(t *testing.T) {
+	in := Shape{224, 224, 3}
+	out := shapeOf(t, Pad2D(3), in)
+	if out != (Shape{230, 230, 3}) {
+		t.Errorf("pad out = %v", out)
+	}
+	asym := ZeroPad2D{Top: 0, Bottom: 1, Left: 0, Right: 1}
+	if out := shapeOf(t, asym, in); out != (Shape{225, 225, 3}) {
+		t.Errorf("asym pad out = %v", out)
+	}
+}
+
+func TestMergeOps(t *testing.T) {
+	a := Shape{56, 56, 64}
+	if out := shapeOf(t, Add{}, a, a); out != a {
+		t.Errorf("add out = %v", out)
+	}
+	if _, err := (Add{}).OutShape([]Shape{a, {H: 56, W: 56, C: 128}}); err == nil {
+		t.Error("mismatched add should error")
+	}
+	if _, err := (Add{}).OutShape([]Shape{a}); err == nil {
+		t.Error("single-input add should error")
+	}
+	out := shapeOf(t, Concat{}, a, Shape{56, 56, 32}, Shape{56, 56, 16})
+	if out != (Shape{56, 56, 112}) {
+		t.Errorf("concat out = %v", out)
+	}
+	if _, err := (Concat{}).OutShape([]Shape{a, {H: 28, W: 28, C: 64}}); err == nil {
+		t.Error("spatial-mismatched concat should error")
+	}
+	// SE gate broadcast.
+	gate := Shape{1, 1, 64}
+	if out := shapeOf(t, Multiply{}, a, gate); out != a {
+		t.Errorf("multiply broadcast out = %v", out)
+	}
+	if out := shapeOf(t, Multiply{}, gate, a); out != a {
+		t.Errorf("multiply broadcast (swapped) out = %v", out)
+	}
+	if _, err := (Multiply{}).OutShape([]Shape{a, {H: 1, W: 1, C: 32}}); err == nil {
+		t.Error("channel-mismatched multiply should error")
+	}
+}
+
+// Property: conv params are independent of the spatial input extent.
+func TestConvParamsSpatialInvariant(t *testing.T) {
+	f := func(h, w uint8, filters, k uint8) bool {
+		in1 := Shape{int(h%200) + 16, int(w%200) + 16, 32}
+		in2 := Shape{int(h%100) + 64, int(w%100) + 64, 32}
+		op := Conv(int(filters%64)+1, int(k%5)+1, 1, Same)
+		return op.Params([]Shape{in1}) == op.Params([]Shape{in2})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: 1x1 convolution params equal a dense layer over channels
+// (plus identical bias handling) — the pointwise/dense equivalence.
+func TestPointwiseConvEqualsDense(t *testing.T) {
+	f := func(cin, cout uint8) bool {
+		ci, co := int(cin)*3+1, int(cout)*3+1
+		conv := Conv(co, 1, 1, Same)
+		dense := FC(co)
+		return conv.Params([]Shape{{14, 14, ci}}) == dense.Params([]Shape{{1, 1, ci}})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: depthwise+pointwise (separable) is never more parameters than
+// the equivalent full convolution for kernels of size >= 2.
+func TestSeparableNeverExceedsFullConv(t *testing.T) {
+	f := func(cin, cout, k uint8) bool {
+		ci, co, kk := int(cin)+8, int(cout)+8, int(k%4)+2
+		in := Shape{28, 28, ci}
+		full := ConvNoBias(co, kk, 1, Same).Params([]Shape{in})
+		dw := DepthwiseConv(kk, 1, Same).Params([]Shape{in})
+		pw := ConvNoBias(co, 1, 1, Same).Params([]Shape{in})
+		return dw+pw <= full
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package cnn provides a graph-based intermediate representation for
+// convolutional neural networks together with the static analysis the
+// paper's "Static Analyzer" module performs: output-shape inference,
+// trainable-parameter counting, neuron counting and FLOP estimation.
+//
+// Models are directed acyclic graphs of typed operations (convolutions,
+// pooling, dense layers, normalisation, element-wise merges, ...). The
+// package is purely structural: it never allocates weight tensors, so
+// analysing even the largest networks of the paper's Table I takes
+// microseconds.
+package cnn
+
+import "fmt"
+
+// Shape describes the dimensions of a feature map flowing between layers.
+// Convolutional feature maps use all three fields; flat vectors (after
+// Flatten or Dense layers) are represented with H == W == 1 and C holding
+// the vector length.
+type Shape struct {
+	// H is the spatial height of the feature map.
+	H int
+	// W is the spatial width of the feature map.
+	W int
+	// C is the number of channels (or the vector length for flat shapes).
+	C int
+}
+
+// Elements returns the total number of scalar activations in the shape.
+func (s Shape) Elements() int64 {
+	return int64(s.H) * int64(s.W) * int64(s.C)
+}
+
+// Flat reports whether the shape is a flat vector (no spatial extent).
+func (s Shape) Flat() bool { return s.H == 1 && s.W == 1 }
+
+// Valid reports whether all dimensions are strictly positive.
+func (s Shape) Valid() bool { return s.H > 0 && s.W > 0 && s.C > 0 }
+
+// String renders the shape as HxWxC.
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%d", s.H, s.W, s.C)
+}
+
+// Padding selects the boundary handling of convolution and pooling windows.
+type Padding int
+
+const (
+	// Valid performs no padding: output = floor((in-k)/stride)+1.
+	Valid Padding = iota
+	// Same pads so that output = ceil(in/stride).
+	Same
+)
+
+// String returns the conventional lower-case padding name.
+func (p Padding) String() string {
+	if p == Same {
+		return "same"
+	}
+	return "valid"
+}
+
+// windowOut computes the output extent of a sliding window of size k with
+// the given stride and padding over an input extent of in.
+func windowOut(in, k, stride int, pad Padding) (int, error) {
+	if in <= 0 || k <= 0 || stride <= 0 {
+		return 0, fmt.Errorf("cnn: invalid window in=%d k=%d stride=%d", in, k, stride)
+	}
+	switch pad {
+	case Same:
+		return (in + stride - 1) / stride, nil
+	case Valid:
+		if k > in {
+			return 0, fmt.Errorf("cnn: window %d larger than input %d with valid padding", k, in)
+		}
+		return (in-k)/stride + 1, nil
+	default:
+		return 0, fmt.Errorf("cnn: unknown padding %d", pad)
+	}
+}
+
+// samePadTotal returns the total padding (both sides combined) that Same
+// padding adds for window k, stride s over extent in. Used by FLOP and
+// memory-traffic estimation.
+func samePadTotal(in, k, stride int) int {
+	out := (in + stride - 1) / stride
+	pad := (out-1)*stride + k - in
+	if pad < 0 {
+		pad = 0
+	}
+	return pad
+}

@@ -1,0 +1,146 @@
+package cnn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowOutValid(t *testing.T) {
+	cases := []struct {
+		in, k, s int
+		want     int
+	}{
+		{224, 3, 1, 222},
+		{224, 7, 2, 109},
+		{7, 7, 1, 1},
+		{5, 2, 2, 2},
+		{6, 2, 2, 3},
+		{32, 5, 1, 28},
+	}
+	for _, c := range cases {
+		got, err := windowOut(c.in, c.k, c.s, Valid)
+		if err != nil {
+			t.Fatalf("windowOut(%d,%d,%d,valid): %v", c.in, c.k, c.s, err)
+		}
+		if got != c.want {
+			t.Errorf("windowOut(%d,%d,%d,valid) = %d, want %d", c.in, c.k, c.s, got, c.want)
+		}
+	}
+}
+
+func TestWindowOutSame(t *testing.T) {
+	cases := []struct {
+		in, k, s int
+		want     int
+	}{
+		{224, 3, 1, 224},
+		{224, 3, 2, 112},
+		{225, 3, 2, 113},
+		{7, 3, 2, 4},
+		{1, 3, 1, 1},
+	}
+	for _, c := range cases {
+		got, err := windowOut(c.in, c.k, c.s, Same)
+		if err != nil {
+			t.Fatalf("windowOut(%d,%d,%d,same): %v", c.in, c.k, c.s, err)
+		}
+		if got != c.want {
+			t.Errorf("windowOut(%d,%d,%d,same) = %d, want %d", c.in, c.k, c.s, got, c.want)
+		}
+	}
+}
+
+func TestWindowOutErrors(t *testing.T) {
+	if _, err := windowOut(3, 5, 1, Valid); err == nil {
+		t.Error("window larger than input with valid padding should error")
+	}
+	if _, err := windowOut(0, 1, 1, Same); err == nil {
+		t.Error("zero input extent should error")
+	}
+	if _, err := windowOut(8, 3, 0, Same); err == nil {
+		t.Error("zero stride should error")
+	}
+}
+
+// Property: Same padding with stride 1 always preserves the extent.
+func TestSamePaddingStrideOnePreserves(t *testing.T) {
+	f := func(in, k uint8) bool {
+		i, kk := int(in%200)+1, int(k%11)+1
+		out, err := windowOut(i, kk, 1, Same)
+		return err == nil && out == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: output extent is monotonically non-increasing in stride.
+func TestOutputMonotoneInStride(t *testing.T) {
+	f := func(in, k uint8) bool {
+		i, kk := int(in%200)+8, int(k%5)+1
+		prev := i + 1
+		for s := 1; s <= 4; s++ {
+			out, err := windowOut(i, kk, s, Same)
+			if err != nil || out > prev {
+				return false
+			}
+			prev = out
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: valid-padding output never exceeds same-padding output.
+func TestValidNeverExceedsSame(t *testing.T) {
+	f := func(in, k, s uint8) bool {
+		i := int(in%100) + 12
+		kk := int(k%7) + 1
+		ss := int(s%3) + 1
+		v, err1 := windowOut(i, kk, ss, Valid)
+		sm, err2 := windowOut(i, kk, ss, Same)
+		return err1 == nil && err2 == nil && v <= sm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamePadTotal(t *testing.T) {
+	// 224 input, 7x7 stride 2 same: out 112, pad = 111*2+7-224 = 5.
+	if got := samePadTotal(224, 7, 2); got != 5 {
+		t.Errorf("samePadTotal(224,7,2) = %d, want 5", got)
+	}
+	// stride 1 k=3: pad 2.
+	if got := samePadTotal(224, 3, 1); got != 2 {
+		t.Errorf("samePadTotal(224,3,1) = %d, want 2", got)
+	}
+	// Window 1: no padding ever.
+	if got := samePadTotal(17, 1, 1); got != 0 {
+		t.Errorf("samePadTotal(17,1,1) = %d, want 0", got)
+	}
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{H: 224, W: 224, C: 3}
+	if s.Elements() != 224*224*3 {
+		t.Errorf("Elements = %d", s.Elements())
+	}
+	if s.Flat() {
+		t.Error("224x224x3 should not be flat")
+	}
+	if !(Shape{1, 1, 1000}).Flat() {
+		t.Error("1x1x1000 should be flat")
+	}
+	if (Shape{0, 1, 1}).Valid() {
+		t.Error("zero-H shape should be invalid")
+	}
+	if s.String() != "224x224x3" {
+		t.Errorf("String = %q", s.String())
+	}
+	if Same.String() != "same" || Valid.String() != "valid" {
+		t.Error("padding String() wrong")
+	}
+}

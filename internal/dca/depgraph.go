@@ -1,0 +1,88 @@
+package dca
+
+import (
+	"strings"
+
+	"cnnperf/internal/ptx"
+)
+
+// DepGraph is the data-dependency graph G = {V, E} of one kernel: node i
+// is instruction i, and Deps[i] lists the instructions whose results
+// instruction i may consume (conservative: every definition of each
+// source register, in any block).
+type DepGraph struct {
+	// Deps[i] are the indices instruction i depends on.
+	Deps [][]int
+	// DefsOf maps a register name to the instructions defining it.
+	DefsOf map[string][]int
+}
+
+// Edges returns the total number of dependency edges |E|.
+func (g *DepGraph) Edges() int {
+	n := 0
+	for _, d := range g.Deps {
+		n += len(d)
+	}
+	return n
+}
+
+// regOperand extracts the register name from an operand, handling memory
+// references "[%rd1+4]" and plain registers "%r3". Immediates, labels and
+// parameter names return "".
+func regOperand(op string) string {
+	op = strings.TrimSpace(op)
+	if strings.HasPrefix(op, "[") {
+		op = strings.TrimPrefix(op, "[")
+		op = strings.TrimSuffix(op, "]")
+		if i := strings.IndexAny(op, "+-"); i > 0 {
+			op = op[:i]
+		}
+	}
+	if !strings.HasPrefix(op, "%") {
+		return ""
+	}
+	// Special read-only registers are not defined by instructions.
+	switch op {
+	case "%tid.x", "%tid.y", "%tid.z", "%ntid.x", "%ntid.y", "%ntid.z",
+		"%ctaid.x", "%ctaid.y", "%ctaid.z", "%nctaid.x", "%nctaid.y", "%nctaid.z":
+		return ""
+	}
+	return op
+}
+
+// BuildDepGraph constructs the dependency graph of a kernel body.
+func BuildDepGraph(k *ptx.Kernel) *DepGraph {
+	g := &DepGraph{
+		Deps:   make([][]int, len(k.Body)),
+		DefsOf: make(map[string][]int),
+	}
+	for i, in := range k.Body {
+		if d := in.Dest(); d != "" {
+			g.DefsOf[d] = append(g.DefsOf[d], i)
+		}
+		// FMA-style opcodes also read their destination; and guarded
+		// instructions depend on their predicate's definitions.
+	}
+	for i, in := range k.Body {
+		seen := make(map[int]bool)
+		addDefs := func(reg string) {
+			for _, d := range g.DefsOf[reg] {
+				if d != i && !seen[d] {
+					seen[d] = true
+					g.Deps[i] = append(g.Deps[i], d)
+				}
+			}
+		}
+		for _, src := range in.Sources() {
+			if r := regOperand(src); r != "" {
+				addDefs(r)
+			}
+		}
+		// Accumulator-style reads of the destination (fma acc,..,acc is
+		// covered by Sources; add.s32 r,r,1 likewise). Predicates:
+		if in.Pred != "" {
+			addDefs(in.Pred)
+		}
+	}
+	return g
+}

@@ -1,0 +1,190 @@
+package dca
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cnnperf/internal/ptx"
+)
+
+// buildSequentialLoops constructs a kernel with len(bounds) independent
+// counted loops; loop i runs bounds[i] times with fills[i] FP filler
+// instructions in its body. The closed-form dynamic instruction count is
+// sum(1 + n_i*(m_i+3)) + 1.
+func buildSequentialLoops(bounds, fills []int) (*ptx.Kernel, int64) {
+	k := &ptx.Kernel{Name: "seq"}
+	var want int64
+	for i, n := range bounds {
+		m := fills[i]
+		idx := fmt.Sprintf("%%r%d", i+1)
+		k.Append(ptx.Instruction{Opcode: "mov.u32", Operands: []string{idx, "0"}})
+		label := fmt.Sprintf("L%d", i)
+		if err := k.AddLabel(label); err != nil {
+			panic(err)
+		}
+		for f := 0; f < m; f++ {
+			reg := fmt.Sprintf("%%f%d", i*100+f+1)
+			k.Append(ptx.Instruction{Opcode: "mov.f32", Operands: []string{reg, "0f00000000"}})
+		}
+		k.Append(ptx.Instruction{Opcode: "add.s32", Operands: []string{idx, idx, "1"}})
+		pred := fmt.Sprintf("%%p%d", i+1)
+		k.Append(ptx.Instruction{Opcode: "setp.lt.s32", Operands: []string{pred, idx, fmt.Sprintf("%d", n)}})
+		k.Append(ptx.Instruction{Pred: pred, Opcode: "bra", Operands: []string{label}})
+		want += 1 + int64(n)*int64(m+3)
+	}
+	k.Append(ptx.Instruction{Opcode: "ret"})
+	return k, want + 1
+}
+
+// TestSequentialLoopCountProperty: for random loop structures, the
+// sliced abstract execution counts exactly the closed-form dynamic
+// instruction total.
+func TestSequentialLoopCountProperty(t *testing.T) {
+	f := func(rawBounds, rawFills [4]uint8, loops uint8) bool {
+		l := int(loops%4) + 1
+		bounds := make([]int, l)
+		fills := make([]int, l)
+		for i := 0; i < l; i++ {
+			bounds[i] = int(rawBounds[i]%50) + 1
+			fills[i] = int(rawFills[i] % 6)
+		}
+		k, want := buildSequentialLoops(bounds, fills)
+		g := BuildDepGraph(k)
+		s := BuildControlSlice(k, g)
+		res, err := ExecuteThread(k, s, nil, ThreadCtx{NTid: 1, NCtaID: 1}, ExecOptions{})
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		// Filler instructions must be outside the slice; controls inside.
+		if s.Size > len(k.Body) {
+			return false
+		}
+		return res.Steps == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNestedLoopCountProperty: a doubly nested loop executes
+// 2 + a*(4 + 3b) instructions for outer bound a and inner bound b.
+func TestNestedLoopCountProperty(t *testing.T) {
+	build := func(a, b int) *ptx.Kernel {
+		k := &ptx.Kernel{Name: "nested"}
+		k.Append(ptx.Instruction{Opcode: "mov.u32", Operands: []string{"%r1", "0"}})
+		if err := k.AddLabel("OUT"); err != nil {
+			panic(err)
+		}
+		k.Append(ptx.Instruction{Opcode: "mov.u32", Operands: []string{"%r2", "0"}})
+		if err := k.AddLabel("IN"); err != nil {
+			panic(err)
+		}
+		k.Append(ptx.Instruction{Opcode: "add.s32", Operands: []string{"%r2", "%r2", "1"}})
+		k.Append(ptx.Instruction{Opcode: "setp.lt.s32", Operands: []string{"%p2", "%r2", fmt.Sprintf("%d", b)}})
+		k.Append(ptx.Instruction{Pred: "%p2", Opcode: "bra", Operands: []string{"IN"}})
+		k.Append(ptx.Instruction{Opcode: "add.s32", Operands: []string{"%r1", "%r1", "1"}})
+		k.Append(ptx.Instruction{Opcode: "setp.lt.s32", Operands: []string{"%p1", "%r1", fmt.Sprintf("%d", a)}})
+		k.Append(ptx.Instruction{Pred: "%p1", Opcode: "bra", Operands: []string{"OUT"}})
+		k.Append(ptx.Instruction{Opcode: "ret"})
+		return k
+	}
+	f := func(ra, rb uint8) bool {
+		a, b := int(ra%20)+1, int(rb%20)+1
+		k := build(a, b)
+		g := BuildDepGraph(k)
+		s := BuildControlSlice(k, g)
+		res, err := ExecuteThread(k, s, nil, ThreadCtx{}, ExecOptions{})
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		want := int64(2 + a*(4+3*b))
+		if res.Steps != want {
+			t.Logf("a=%d b=%d: steps=%d want=%d", a, b, res.Steps, want)
+			return false
+		}
+		// The nested loop has exactly two back edges in the CFG.
+		cfg, err := BuildCFG(k)
+		if err != nil {
+			return false
+		}
+		return len(cfg.BackEdges()) == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSliceStableUnderFillerProperty: adding pure-FP filler instructions
+// never changes the slice size (they carry no control dependence).
+func TestSliceStableUnderFillerProperty(t *testing.T) {
+	f := func(rawBound, rawFill uint8) bool {
+		n := int(rawBound%30) + 1
+		fill := int(rawFill % 8)
+		kNo, _ := buildSequentialLoops([]int{n}, []int{0})
+		kFill, _ := buildSequentialLoops([]int{n}, []int{fill})
+		sNo := BuildControlSlice(kNo, BuildDepGraph(kNo))
+		sFill := BuildControlSlice(kFill, BuildDepGraph(kFill))
+		return sNo.Size == sFill.Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecutedScalesLinearlyWithThreads: for any launch whose threads all
+// take the in-bounds path, the executed total is active*perThread plus
+// the out-of-bounds remainder.
+func TestExecutedScalesLinearlyWithThreads(t *testing.T) {
+	f := func(rawThreads uint16) bool {
+		threads := int64(rawThreads%2000) + 1
+		k, _ := buildSequentialLoops([]int{5}, []int{2})
+		// Prepend a bounds check like the generator's prologue.
+		body := []ptx.Instruction{
+			{Opcode: "mov.u32", Operands: []string{"%r100", "%ctaid.x"}},
+			{Opcode: "mov.u32", Operands: []string{"%r101", "%ntid.x"}},
+			{Opcode: "mov.u32", Operands: []string{"%r102", "%tid.x"}},
+			{Opcode: "mad.lo.s32", Operands: []string{"%r103", "%r100", "%r101", "%r102"}},
+			{Opcode: "setp.ge.s32", Operands: []string{"%p100", "%r103", fmt.Sprintf("%d", threads)}},
+			{Pred: "%p100", Opcode: "bra", Operands: []string{"EXIT"}},
+		}
+		offset := len(body)
+		labels := make(map[string]int)
+		for name, idx := range k.Labels {
+			labels[name] = idx + offset
+		}
+		body = append(body, k.Body...)
+		labels["EXIT"] = len(body) - 1 // the ret instruction
+		k2 := &ptx.Kernel{Name: "guarded", Body: body, Labels: labels}
+
+		g := BuildDepGraph(k2)
+		s := BuildControlSlice(k2, g)
+		grid := int((threads + 255) / 256)
+		inRes, err := ExecuteThread(k2, s, nil, ThreadCtx{CtaID: 0, Tid: 0, NTid: 256, NCtaID: int64(grid)}, ExecOptions{})
+		if err != nil {
+			t.Logf("in-bounds: %v", err)
+			return false
+		}
+		total := int64(grid) * 256
+		wantOOB := int64(7) // 6 prologue + ret
+		got := threads*inRes.Steps + (total-threads)*wantOOB
+		// Cross-check with the analytic helper used by AnalyzeKernelLaunch.
+		if total > threads {
+			oobRes, err := ExecuteThread(k2, s, nil, ThreadCtx{CtaID: int64(grid) - 1, Tid: 255, NTid: 256, NCtaID: int64(grid)}, ExecOptions{})
+			if err != nil {
+				t.Logf("oob: %v", err)
+				return false
+			}
+			if oobRes.Steps != wantOOB {
+				t.Logf("oob steps = %d, want %d", oobRes.Steps, wantOOB)
+				return false
+			}
+		}
+		return got > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package dca
+
+import (
+	"testing"
+
+	"cnnperf/internal/ptx"
+)
+
+// execOne interprets a one-instruction kernel in Full mode with a
+// pre-seeded environment and returns the destination value.
+func execOne(t *testing.T, in ptx.Instruction, seed map[string]int64) (int64, error) {
+	t.Helper()
+	k := &ptx.Kernel{Name: "one"}
+	env := map[string]int64{}
+	for r, v := range seed {
+		env[r] = v
+	}
+	err := step(k, in, 0, env, map[string]int64{"p0": 77}, ThreadCtx{Tid: 3, NTid: 32}, ExecOptions{Full: true})
+	if err != nil {
+		return 0, err
+	}
+	return env[in.Dest()], nil
+}
+
+func ins(op string, operands ...string) ptx.Instruction {
+	return ptx.Instruction{Opcode: op, Operands: operands}
+}
+
+// TestStepOpcodeSemantics covers every interpreted opcode family.
+func TestStepOpcodeSemantics(t *testing.T) {
+	seed := map[string]int64{"%r1": 12, "%r2": 5, "%r3": -7, "%p1": 1, "%p2": 0}
+	cases := []struct {
+		in   ptx.Instruction
+		want int64
+	}{
+		{ins("mov.u32", "%rd", "42"), 42},
+		{ins("cvt.s64.s32", "%rd", "%r1"), 12},
+		{ins("cvta.to.global.u64", "%rd", "%r1"), 12},
+		{ins("neg.s32", "%rd", "%r1"), -12},
+		{ins("not.b32", "%rd", "%r2"), ^int64(5)},
+		{ins("abs.s32", "%rd", "%r3"), 7},
+		{ins("add.s32", "%rd", "%r1", "%r2"), 17},
+		{ins("sub.s32", "%rd", "%r1", "%r2"), 7},
+		{ins("mul.lo.s32", "%rd", "%r1", "%r2"), 60},
+		{ins("div.s32", "%rd", "%r1", "%r2"), 2},
+		{ins("rem.s32", "%rd", "%r1", "%r2"), 2},
+		{ins("min.s32", "%rd", "%r1", "%r2"), 5},
+		{ins("max.s32", "%rd", "%r1", "%r2"), 12},
+		{ins("and.b32", "%rd", "%r1", "%r2"), 4},
+		{ins("or.b32", "%rd", "%r1", "%r2"), 13},
+		{ins("xor.b32", "%rd", "%r1", "%r2"), 9},
+		{ins("shl.b32", "%rd", "%r2", "2"), 20},
+		{ins("shr.b32", "%rd", "%r1", "1"), 6},
+		{ins("mad.lo.s32", "%rd", "%r1", "%r2", "%r3"), 53},
+		{ins("fma.rn.f32", "%rd", "%r1", "%r2", "%r3"), 53},
+		{ins("setp.lt.s32", "%rd", "%r2", "%r1"), 1},
+		{ins("setp.gt.s32", "%rd", "%r2", "%r1"), 0},
+		{ins("setp.le.s32", "%rd", "%r2", "%r2"), 1},
+		{ins("setp.eq.s32", "%rd", "%r1", "%r1"), 1},
+		{ins("selp.b32", "%rd", "%r1", "%r2", "%p1"), 12},
+		{ins("selp.b32", "%rd", "%r1", "%r2", "%p2"), 5},
+		{ins("ld.param.u64", "%rd", "[p0]"), 77},
+		{ins("ld.global.f32", "%rd", "[%r1]"), 0}, // Full mode: loads read 0
+		{ins("rcp.approx.f32", "%rd", "%r1"), 0},
+		{ins("sqrt.approx.f32", "%rd", "%r1"), 0},
+	}
+	for _, c := range cases {
+		got, err := execOne(t, c.in, seed)
+		if err != nil {
+			t.Errorf("%s: %v", c.in.String(), err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %d, want %d", c.in.String(), got, c.want)
+		}
+	}
+}
+
+// TestStepErrors covers the interpreter's failure paths.
+func TestStepErrors(t *testing.T) {
+	seed := map[string]int64{"%r1": 1, "%r0": 0}
+	bad := []ptx.Instruction{
+		ins("add.s32", "%rd", "%r1"),            // missing source
+		ins("mad.lo.s32", "%rd", "%r1", "%r1"),  // missing third source
+		ins("selp.b32", "%rd", "%r1", "%r1"),    // missing predicate
+		ins("div.s32", "%rd", "%r1", "%r0"),     // divide by zero
+		ins("rem.s32", "%rd", "%r1", "%r0"),     // remainder by zero
+		ins("setp.zz.s32", "%rd", "%r1", "%r1"), // unknown comparison
+		ins("ld.param.u64", "%rd", "[missing]"), // unknown parameter
+		ins("add.s32", "%rd", "%r9", "%r1"),     // undefined register
+		ins("mov.u32", "%rd", "banana"),         // unparsable operand
+	}
+	for _, in := range bad {
+		if _, err := execOne(t, in, seed); err == nil {
+			t.Errorf("%s should error", in.String())
+		}
+	}
+	// Slice mode rejects data loads.
+	k := &ptx.Kernel{Name: "one"}
+	err := step(k, ins("ld.global.f32", "%rd", "[%r1]"), 0,
+		map[string]int64{"%r1": 1}, nil, ThreadCtx{}, ExecOptions{})
+	if err == nil {
+		t.Error("global load inside a slice should error")
+	}
+	// Unknown opcode family.
+	err = step(k, ins("frobnicate.s32", "%rd", "%r1"),
+		0, map[string]int64{"%r1": 1}, nil, ThreadCtx{}, ExecOptions{Full: true})
+	if err == nil {
+		t.Error("unknown opcode should error")
+	}
+}
+
+// TestStepSideEffectFree: stores and barriers change no registers.
+func TestStepSideEffectFree(t *testing.T) {
+	env := map[string]int64{"%r1": 1, "%rd1": 4096, "%f1": 0}
+	k := &ptx.Kernel{Name: "one"}
+	for _, in := range []ptx.Instruction{
+		ins("st.global.f32", "[%rd1]", "%f1"),
+		ins("st.shared.f32", "[%rd1]", "%f1"),
+		ins("bar.sync", "0"),
+	} {
+		before := len(env)
+		if err := step(k, in, 0, env, nil, ThreadCtx{}, ExecOptions{Full: true}); err != nil {
+			t.Errorf("%s: %v", in.String(), err)
+		}
+		if len(env) != before {
+			t.Errorf("%s changed the environment", in.String())
+		}
+	}
+}
+
+func TestPredicatedNonBranchSkips(t *testing.T) {
+	// A guarded mov with a false predicate is counted but has no effect.
+	k := &ptx.Kernel{Name: "pred"}
+	k.Append(ptx.Instruction{Opcode: "setp.lt.s32", Operands: []string{"%p1", "5", "3"}}) // false
+	k.Append(ptx.Instruction{Pred: "%p1", Opcode: "mov.u32", Operands: []string{"%r1", "99"}})
+	k.Append(ptx.Instruction{Opcode: "setp.eq.s32", Operands: []string{"%p2", "1", "1"}}) // true
+	k.Append(ptx.Instruction{Pred: "%p2", PredNeg: true, Opcode: "mov.u32", Operands: []string{"%r1", "42"}})
+	k.Append(ptx.Instruction{Opcode: "ret"})
+	g := BuildDepGraph(k)
+	s := BuildControlSlice(k, g)
+	// Force full interpretation so the movs are evaluated.
+	res, err := ExecuteThread(k, s, nil, ThreadCtx{}, ExecOptions{Full: true})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res.Steps != 5 {
+		t.Errorf("steps = %d, want 5 (guarded instructions still issue)", res.Steps)
+	}
+}
+
+func TestSliceFractionEmpty(t *testing.T) {
+	s := &ControlSlice{}
+	if s.Fraction() != 0 {
+		t.Error("empty slice fraction should be 0")
+	}
+}

@@ -1,0 +1,164 @@
+// Package dse implements the design-space exploration the paper's
+// introduction motivates: selecting the right GPGPU accelerator for a
+// CNN's inference under design constraints (latency, power, memory,
+// cost) without prototyping on every device. The trained estimator
+// predicts IPC per candidate; combined with the dynamic instruction
+// count this yields a predicted latency, and the hardware datasheet
+// supplies power and memory — all without executing the network.
+package dse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnnperf/internal/core"
+	"cnnperf/internal/gpu"
+)
+
+// Constraints bound the acceptable design points. Zero values disable a
+// constraint.
+type Constraints struct {
+	// MaxLatencySec rejects devices whose predicted inference latency
+	// exceeds this bound (the "on-time computation" requirement).
+	MaxLatencySec float64
+	// MaxPowerW rejects devices whose TDP exceeds this bound (edge and
+	// IoT deployments).
+	MaxPowerW float64
+	// MinMemGB rejects devices with less device memory than the model
+	// plus activations need.
+	MinMemGB float64
+}
+
+// Candidate is one scored design point.
+type Candidate struct {
+	// ID is the catalogue id of the device.
+	ID string
+	// Spec is the device datasheet.
+	Spec gpu.Spec
+	// PredictedIPC is the estimator's output.
+	PredictedIPC float64
+	// PredictedLatencySec is executed-instructions / (IPC * clock).
+	PredictedLatencySec float64
+	// PerfPerWatt is 1/(latency * TDP) — higher is better.
+	PerfPerWatt float64
+	// Feasible reports whether every constraint holds.
+	Feasible bool
+	// Violations lists the violated constraints.
+	Violations []string
+}
+
+// Objective selects the ranking criterion.
+type Objective int
+
+const (
+	// MinLatency ranks by predicted latency, fastest first.
+	MinLatency Objective = iota
+	// MaxEfficiency ranks by performance per watt.
+	MaxEfficiency
+)
+
+// Result is the outcome of one exploration.
+type Result struct {
+	// Model is the CNN explored for.
+	Model string
+	// Objective is the ranking criterion used.
+	Objective Objective
+	// Candidates are all scored devices, ranked best first with
+	// infeasible candidates after feasible ones.
+	Candidates []Candidate
+}
+
+// Best returns the top feasible candidate.
+func (r *Result) Best() (Candidate, error) {
+	for _, c := range r.Candidates {
+		if c.Feasible {
+			return c, nil
+		}
+	}
+	return Candidate{}, fmt.Errorf("dse: no feasible design point for %s", r.Model)
+}
+
+// Explore scores every candidate GPU for the analysed CNN using the
+// trained estimator and ranks them under the given objective and
+// constraints.
+func Explore(est *core.Estimator, a *core.ModelAnalysis, candidateIDs []string, cons Constraints, obj Objective) (*Result, error) {
+	if est == nil || a == nil {
+		return nil, fmt.Errorf("dse: nil estimator or analysis")
+	}
+	if len(candidateIDs) == 0 {
+		return nil, fmt.Errorf("dse: no candidate devices")
+	}
+	res := &Result{Model: a.Name, Objective: obj}
+	for _, id := range candidateIDs {
+		spec, err := gpu.Lookup(id)
+		if err != nil {
+			return nil, fmt.Errorf("dse: %w", err)
+		}
+		ipc, err := est.Predict(a, spec)
+		if err != nil {
+			return nil, fmt.Errorf("dse: predicting %s on %s: %w", a.Name, id, err)
+		}
+		c := Candidate{ID: id, Spec: spec, PredictedIPC: ipc}
+		clockHz := spec.BoostClockMHz * 1e6
+		c.PredictedLatencySec = float64(a.Report.Executed) / (ipc * clockHz)
+		if spec.TDPWatts > 0 {
+			c.PerfPerWatt = 1 / (c.PredictedLatencySec * float64(spec.TDPWatts))
+		}
+		c.Feasible = true
+		if cons.MaxLatencySec > 0 && c.PredictedLatencySec > cons.MaxLatencySec {
+			c.Feasible = false
+			c.Violations = append(c.Violations,
+				fmt.Sprintf("latency %.4fs > %.4fs", c.PredictedLatencySec, cons.MaxLatencySec))
+		}
+		if cons.MaxPowerW > 0 && float64(spec.TDPWatts) > cons.MaxPowerW {
+			c.Feasible = false
+			c.Violations = append(c.Violations,
+				fmt.Sprintf("TDP %dW > %.0fW", spec.TDPWatts, cons.MaxPowerW))
+		}
+		// Memory need: weights + a working-activations allowance.
+		needGB := float64(4*a.Summary.TrainableParams)/1e9 + 0.5
+		if cons.MinMemGB > needGB {
+			needGB = cons.MinMemGB
+		}
+		if spec.MemSizeGB < needGB {
+			c.Feasible = false
+			c.Violations = append(c.Violations,
+				fmt.Sprintf("memory %.0fGB < %.1fGB needed", spec.MemSizeGB, needGB))
+		}
+		res.Candidates = append(res.Candidates, c)
+	}
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		a, b := res.Candidates[i], res.Candidates[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		switch obj {
+		case MaxEfficiency:
+			return a.PerfPerWatt > b.PerfPerWatt
+		default:
+			return a.PredictedLatencySec < b.PredictedLatencySec
+		}
+	})
+	return res, nil
+}
+
+// Format renders the exploration as an aligned table.
+func (r *Result) Format() string {
+	var b strings.Builder
+	obj := "min latency"
+	if r.Objective == MaxEfficiency {
+		obj = "max perf/W"
+	}
+	fmt.Fprintf(&b, "DSE for %s (objective: %s)\n", r.Model, obj)
+	fmt.Fprintf(&b, "%-4s %-14s %10s %12s %12s  %s\n", "rank", "device", "IPC", "latency s", "perf/W", "notes")
+	for i, c := range r.Candidates {
+		note := "ok"
+		if !c.Feasible {
+			note = "INFEASIBLE: " + strings.Join(c.Violations, "; ")
+		}
+		fmt.Fprintf(&b, "%-4d %-14s %10.1f %12.5f %12.5f  %s\n",
+			i+1, c.ID, c.PredictedIPC, c.PredictedLatencySec, c.PerfPerWatt, note)
+	}
+	return b.String()
+}

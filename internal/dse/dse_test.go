@@ -1,0 +1,136 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"cnnperf/internal/core"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/mlearn"
+)
+
+// trainedEstimator builds a small dataset and estimator shared by tests.
+func trainedEstimator(t *testing.T) (*core.Estimator, *core.ModelAnalysis) {
+	t.Helper()
+	cfg := core.Config{}
+	models := []string{"alexnet", "mobilenet", "mobilenetv2", "squeezenet", "resnet18"}
+	ds, analyses, err := core.BuildDataset(models, gpu.TrainingGPUs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.TrainEstimator(ds, mlearn.NewDecisionTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, analyses["mobilenetv2"]
+}
+
+func TestExploreRanksByLatency(t *testing.T) {
+	est, a := trainedEstimator(t)
+	res, err := Explore(est, a, gpu.TableIVGPUs, Constraints{}, MinLatency)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if len(res.Candidates) != len(gpu.TableIVGPUs) {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	for i := 1; i < len(res.Candidates); i++ {
+		a, b := res.Candidates[i-1], res.Candidates[i]
+		if a.Feasible && b.Feasible && a.PredictedLatencySec > b.PredictedLatencySec {
+			t.Error("feasible candidates not sorted by latency")
+		}
+	}
+	best, err := res.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.PredictedLatencySec <= 0 || best.PredictedIPC <= 0 {
+		t.Errorf("best candidate implausible: %+v", best)
+	}
+}
+
+func TestExploreConstraints(t *testing.T) {
+	est, a := trainedEstimator(t)
+	// A 60 W power budget excludes every 250 W card.
+	res, err := Explore(est, a, gpu.TableIVGPUs, Constraints{MaxPowerW: 60}, MinLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := 0
+	for _, c := range res.Candidates {
+		if c.Feasible {
+			feasible++
+			if c.Spec.TDPWatts > 60 {
+				t.Errorf("%s: infeasible TDP marked feasible", c.ID)
+			}
+		} else if len(c.Violations) == 0 {
+			t.Errorf("%s: infeasible without violations", c.ID)
+		}
+	}
+	if feasible == 0 {
+		t.Error("the 47W Quadro P1000 should satisfy a 60W budget")
+	}
+	// Impossible latency bound: no feasible point, Best errors.
+	res, err = Explore(est, a, gpu.TableIVGPUs, Constraints{MaxLatencySec: 1e-12}, MinLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Best(); err == nil {
+		t.Error("impossible constraints should leave no best candidate")
+	}
+	// Memory constraint.
+	res, err = Explore(est, a, gpu.TableIVGPUs, Constraints{MinMemGB: 20}, MinLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Candidates {
+		if c.Feasible && c.Spec.MemSizeGB < 20 {
+			t.Errorf("%s: memory constraint ignored", c.ID)
+		}
+	}
+}
+
+func TestExploreEfficiencyObjective(t *testing.T) {
+	est, a := trainedEstimator(t)
+	res, err := Explore(est, a, gpu.TableIVGPUs, Constraints{}, MaxEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Candidates); i++ {
+		x, y := res.Candidates[i-1], res.Candidates[i]
+		if x.Feasible && y.Feasible && x.PerfPerWatt < y.PerfPerWatt {
+			t.Error("not sorted by efficiency")
+		}
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	est, a := trainedEstimator(t)
+	if _, err := Explore(nil, a, gpu.TableIVGPUs, Constraints{}, MinLatency); err == nil {
+		t.Error("nil estimator should error")
+	}
+	if _, err := Explore(est, nil, gpu.TableIVGPUs, Constraints{}, MinLatency); err == nil {
+		t.Error("nil analysis should error")
+	}
+	if _, err := Explore(est, a, nil, Constraints{}, MinLatency); err == nil {
+		t.Error("no candidates should error")
+	}
+	if _, err := Explore(est, a, []string{"voodoo"}, Constraints{}, MinLatency); err == nil {
+		t.Error("unknown device should error")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	est, a := trainedEstimator(t)
+	res, err := Explore(est, a, gpu.TableIVGPUs, Constraints{MaxPowerW: 60}, MaxEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Format()
+	if !strings.Contains(text, "max perf/W") || !strings.Contains(text, "INFEASIBLE") {
+		t.Errorf("format missing content:\n%s", text)
+	}
+	if !strings.Contains(text, "quadrop1000") {
+		t.Error("format missing candidates")
+	}
+}

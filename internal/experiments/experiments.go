@@ -1,0 +1,353 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table I (the CNN inventory), Table II (regressor
+// comparison), Table III (feature importances), Fig. 4 (predicted vs
+// original IPC for held-out CNNs) and Table IV (DSE time: naive profiling
+// vs the proposed estimator). The cmd/experiments binary and the root
+// benchmark suite both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cnnperf/internal/cnn"
+	"cnnperf/internal/core"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/mlearn"
+	"cnnperf/internal/mlearn/dataset"
+	"cnnperf/internal/mlearn/metrics"
+	"cnnperf/internal/profiler"
+	"cnnperf/internal/zoo"
+)
+
+// Suite holds the shared state of one experimental run: the phase-1
+// dataset over the Table I CNNs and training GPUs, its 70/30 split and
+// the cached per-CNN analyses.
+type Suite struct {
+	// Cfg is the pipeline configuration.
+	Cfg core.Config
+	// Data is the full observation table.
+	Data *dataset.Dataset
+	// Train and Eval are the frozen 70/30 split.
+	Train, Eval *dataset.Dataset
+	// Analyses caches the per-CNN analysis by model name.
+	Analyses map[string]*core.ModelAnalysis
+	// BuildTime is the wall clock spent creating the dataset.
+	BuildTime time.Duration
+}
+
+// NewSuite builds the phase-1 dataset over all Table I CNNs and the two
+// training GPUs, then splits it with the configured seed.
+func NewSuite(cfg core.Config) (*Suite, error) {
+	start := time.Now()
+	ds, analyses, err := core.BuildDataset(zoo.TableIOrder, gpu.TrainingGPUs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	frac := cfg.TrainFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.7
+	}
+	train, eval, err := ds.Split(frac, cfg.SplitSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Cfg:       cfg,
+		Data:      ds,
+		Train:     train,
+		Eval:      eval,
+		Analyses:  analyses,
+		BuildTime: time.Since(start),
+	}, nil
+}
+
+// TableI renders the CNN inventory with the reproduced static-analysis
+// columns next to the paper's reference values.
+func (s *Suite) TableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: CNN models (reproduced static analysis vs paper)\n")
+	fmt.Fprintf(&b, "%-19s %-9s %7s %14s %16s %16s %9s\n",
+		"Model", "Input", "Layers", "Neurons*", "Params (ours)", "Params (paper)", "dev")
+	for _, name := range zoo.TableIOrder {
+		ref, _ := zoo.TableI(name)
+		m := zoo.MustBuild(name)
+		sum, err := cnn.Analyze(m)
+		if err != nil {
+			fmt.Fprintf(&b, "%-19s ERROR %v\n", name, err)
+			continue
+		}
+		dev := 100 * (float64(sum.TrainableParams) - float64(ref.TrainableParams)) / float64(ref.TrainableParams)
+		fmt.Fprintf(&b, "%-19s %-9s %7d %14d %16d %16d %+8.2f%%\n",
+			name, sum.Input, sum.Layers, m.ActivationVolume(), sum.TrainableParams, ref.TrainableParams, dev)
+	}
+	b.WriteString("*Neurons = sum of all layer output elements (the paper's Keras-layer convention).\n")
+	return b.String()
+}
+
+// TableII trains the five candidate regressors and returns their
+// evaluation rows plus the rendered table.
+func (s *Suite) TableII() ([]core.Evaluation, string, error) {
+	evals, err := core.EvaluateRegressors(s.Train, s.Eval, core.DefaultRegressors(s.Cfg.SplitSeed))
+	if err != nil {
+		return nil, "", err
+	}
+	// Paper values for side-by-side comparison.
+	paper := map[string][3]float64{
+		"linear_regression": {8.07, -0.0034, -0.4439},
+		"knn":               {5.94, 0.34, 0.08},
+		"random_forest":     {7.12, 0.22, -0.12},
+		"decision_tree":     {5.73, 0.45, 0.19},
+		"xgboost":           {7.59, 0.14, -0.24},
+	}
+	var b strings.Builder
+	b.WriteString("Table II: regression model comparison (ours vs paper)\n")
+	fmt.Fprintf(&b, "%-20s %10s %8s %9s   %10s %8s %9s\n",
+		"Regression Model", "MAPE", "R2", "adj.R2", "MAPE(pap)", "R2(pap)", "adj(pap)")
+	for _, e := range evals {
+		p := paper[e.Name]
+		fmt.Fprintf(&b, "%-20s %9.2f%% %8.3f %9.3f   %9.2f%% %8.3f %9.3f\n",
+			e.Name, e.MAPE, e.R2, e.AdjR2, p[0], p[1], p[2])
+	}
+	best, err := core.BestByMAPE(evals)
+	if err == nil {
+		fmt.Fprintf(&b, "Winner: %s (paper: decision_tree)\n", best.Name)
+	}
+	return evals, b.String(), nil
+}
+
+// TableIII trains the final Decision Tree and returns its sorted feature
+// importances plus the rendered table.
+func (s *Suite) TableIII() ([]core.FeatureImportance, string, error) {
+	est, err := core.TrainEstimator(s.Train, mlearn.NewDecisionTree())
+	if err != nil {
+		return nil, "", err
+	}
+	imps, err := est.Importances()
+	if err != nil {
+		return nil, "", err
+	}
+	var b strings.Builder
+	b.WriteString("Table III: Decision Tree predictor importances (top rows; paper: MemBW 0.726, params 0.260, instr 0.014)\n")
+	fmt.Fprintf(&b, "%-24s %12s\n", "Feature", "Importance")
+	for _, fi := range imps {
+		if fi.Importance < 1e-6 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %12.5f\n", fi.Feature, fi.Importance)
+	}
+	return imps, b.String(), nil
+}
+
+// Fig4Point is one bar pair of the paper's Fig. 4.
+type Fig4Point struct {
+	// Model is the held-out CNN.
+	Model string
+	// GPU is the device of the observation.
+	GPU string
+	// Original is the measured (simulated-profiler) IPC.
+	Original float64
+	// Predicted is the regressor's estimate.
+	Predicted float64
+}
+
+// Fig4Series holds predicted-vs-original points for one regressor.
+type Fig4Series struct {
+	// Regressor is the model name (decision_tree, knn, xgboost,
+	// random_forest — the paper's four panels).
+	Regressor string
+	// Points are the per-CNN comparisons.
+	Points []Fig4Point
+	// MAPE is the series' error over the shown points.
+	MAPE float64
+}
+
+// Fig4 reproduces the paper's Fig. 4: predicted vs original IPC for six
+// evaluation CNNs (disjoint from training) on the GTX 1080 Ti, for the
+// four non-linear regressors.
+func (s *Suite) Fig4() ([]Fig4Series, string, error) {
+	// Pick up to six eval rows on the 1080 Ti.
+	var rows []dataset.Row
+	for _, r := range s.Eval.Rows {
+		if strings.HasSuffix(r.Tag, "@gtx1080ti") {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tag < rows[j].Tag })
+	if len(rows) > 6 {
+		rows = rows[:6]
+	}
+	if len(rows) == 0 {
+		return nil, "", fmt.Errorf("experiments: no 1080Ti rows in the evaluation split")
+	}
+	trX, trY := s.Train.XY()
+	panels := []mlearn.Regressor{
+		mlearn.NewDecisionTree(),
+		mlearn.NewKNN(3),
+		mlearn.NewXGBoost(s.Cfg.SplitSeed),
+		mlearn.NewRandomForest(100, s.Cfg.SplitSeed),
+	}
+	var out []Fig4Series
+	var b strings.Builder
+	b.WriteString("Fig. 4: predicted vs original IPC for held-out CNNs on GTX 1080 Ti\n")
+	for _, reg := range panels {
+		if err := reg.Fit(trX, trY); err != nil {
+			return nil, "", err
+		}
+		series := Fig4Series{Regressor: reg.Name()}
+		var yT, yP []float64
+		for _, r := range rows {
+			model := strings.TrimSuffix(r.Tag, "@gtx1080ti")
+			pred := reg.Predict(r.X)
+			series.Points = append(series.Points, Fig4Point{
+				Model: model, GPU: "gtx1080ti", Original: r.Y, Predicted: pred,
+			})
+			yT = append(yT, r.Y)
+			yP = append(yP, pred)
+		}
+		if m, err := metrics.MAPE(yT, yP); err == nil {
+			series.MAPE = m
+		}
+		out = append(out, series)
+		fmt.Fprintf(&b, "(%s)  MAPE %.2f%%\n", reg.Name(), series.MAPE)
+		// Find the scale for the bar chart.
+		maxIPC := 0.0
+		for _, p := range series.Points {
+			if p.Original > maxIPC {
+				maxIPC = p.Original
+			}
+			if p.Predicted > maxIPC {
+				maxIPC = p.Predicted
+			}
+		}
+		for _, p := range series.Points {
+			fmt.Fprintf(&b, "  %-20s original %8.1f %s\n", p.Model, p.Original, bar(p.Original, maxIPC, 40, '#'))
+			fmt.Fprintf(&b, "  %-20s predicted%8.1f %s  (%+.1f%%)\n", "",
+				p.Predicted, bar(p.Predicted, maxIPC, 40, '='), 100*(p.Predicted-p.Original)/p.Original)
+		}
+	}
+	return out, b.String(), nil
+}
+
+// bar renders a proportional ASCII bar of up to width characters.
+func bar(v, max float64, width int, ch byte) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat(string(ch), n)
+}
+
+// TableIVRow is the timing comparison for one CNN.
+type TableIVRow struct {
+	// Model is the CNN.
+	Model string
+	// TP is the simulated nvprof session cost in seconds (t_p).
+	TP float64
+	// TPM is the measured predictive-model time in seconds (t_pm).
+	TPM float64
+	// TDCA is the measured dynamic-code-analysis time in seconds (t_dca).
+	TDCA float64
+	// Naive[n-1] is T_measur for n GPUs.
+	Naive [7]float64
+	// Ours[n-1] is T_est for n GPUs.
+	Ours [7]float64
+	// Speedup7 is the speed-up at n = 7.
+	Speedup7 float64
+}
+
+// tableIVModels are the CNNs of the paper's Table IV.
+var tableIVModels = []string{
+	"efficientnetb3", "efficientnetb4", "efficientnetb5", "efficientnetb6",
+	"efficientnetb7", "xception", "mobilenetv2",
+}
+
+// TableIV reproduces the DSE timing comparison: profiling every CNN on n
+// GPUs (naive) versus one dynamic code analysis plus n model predictions
+// (ours). t_p is the simulated nvprof cost; t_dca and t_pm are measured
+// on this machine.
+func (s *Suite) TableIV() ([]TableIVRow, string, error) {
+	est, err := core.TrainEstimator(s.Train, mlearn.NewDecisionTree())
+	if err != nil {
+		return nil, "", err
+	}
+	refGPU, err := gpu.Lookup("gtx1080ti")
+	if err != nil {
+		return nil, "", err
+	}
+	pcfg := s.Cfg.Prof
+	pcfg.Sim = s.Cfg.Sim
+	var rows []TableIVRow
+	var b strings.Builder
+	b.WriteString("Table IV: DSE time, naive profiling vs proposed estimator (seconds)\n")
+	fmt.Fprintf(&b, "%-16s %9s %10s %10s   %10s %10s %9s\n",
+		"CNN", "t_p", "t_dca", "t_pm", "naive n=7", "ours n=7", "speedup")
+	for _, name := range tableIVModels {
+		a, err := s.analysis(name)
+		if err != nil {
+			return nil, "", err
+		}
+		prof, err := profiler.RunWithReport(a.Report, refGPU, pcfg)
+		if err != nil {
+			return nil, "", err
+		}
+		// t_pm: measure an actual prediction sweep over the 7 GPUs.
+		tpmTotal := 0.0
+		for _, gid := range gpu.TableIVGPUs {
+			spec, err := gpu.Lookup(gid)
+			if err != nil {
+				return nil, "", err
+			}
+			if _, err := est.Predict(a, spec); err != nil {
+				return nil, "", err
+			}
+			tpmTotal += est.LastPredictTime().Seconds()
+		}
+		row := TableIVRow{
+			Model: name,
+			TP:    prof.ProfilingCostSec,
+			TPM:   tpmTotal / float64(len(gpu.TableIVGPUs)),
+			TDCA:  a.DCATime.Seconds(),
+		}
+		for n := 1; n <= 7; n++ {
+			d := core.DSETime{N: n, TDCASec: row.TDCA, TPMSec: row.TPM, TPSec: row.TP}
+			row.Naive[n-1] = d.Naive()
+			row.Ours[n-1] = d.Estimated()
+			if n == 7 {
+				row.Speedup7 = d.Speedup()
+			}
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(&b, "%-16s %9.1f %10.4f %10.2e   %10.1f %10.4f %8.0fx\n",
+			name, row.TP, row.TDCA, row.TPM, row.Naive[6], row.Ours[6], row.Speedup7)
+	}
+	var avg float64
+	for _, r := range rows {
+		avg += r.Speedup7
+	}
+	avg /= float64(len(rows))
+	fmt.Fprintf(&b, "Average speed-up at n=7: %.0fx (paper: ~33x at n=1 with framework-bound t_dca; see EXPERIMENTS.md)\n", avg)
+	return rows, b.String(), nil
+}
+
+// analysis returns the cached analysis for a model, creating it if the
+// suite's dataset did not include it.
+func (s *Suite) analysis(name string) (*core.ModelAnalysis, error) {
+	if a, ok := s.Analyses[name]; ok {
+		return a, nil
+	}
+	a, err := core.AnalyzeCNN(name, s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Analyses[name] = a
+	return a, nil
+}

@@ -1,0 +1,257 @@
+// Package gpu provides the architectural feature database of the GPGPUs
+// the paper uses as prediction targets. All values are public datasheet
+// numbers — exactly the information the paper's cross-platform predictors
+// are built from (CUDA cores, clocks, memory bandwidth, L2 cache, ...).
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes the architectural features of one GPGPU. The numeric
+// fields double as the hardware predictors of the training dataset.
+type Spec struct {
+	// Name is the marketing name, e.g. "GTX 1080 Ti".
+	Name string
+	// Architecture is the NVIDIA microarchitecture generation.
+	Architecture string
+	// CUDACores is the total count of CUDA cores.
+	CUDACores int
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// BaseClockMHz is the base core clock in MHz.
+	BaseClockMHz float64
+	// BoostClockMHz is the boost core clock in MHz.
+	BoostClockMHz float64
+	// MemClockMHz is the effective memory clock in MHz.
+	MemClockMHz float64
+	// MemBusBits is the memory interface width in bits.
+	MemBusBits int
+	// MemBandwidthGBs is the peak memory bandwidth in GB/s.
+	MemBandwidthGBs float64
+	// MemSizeGB is the device memory size in GB.
+	MemSizeGB float64
+	// L2CacheKB is the L2 cache size in KiB.
+	L2CacheKB int
+	// RegistersPerSM is the 32-bit register file size per SM.
+	RegistersPerSM int
+	// SharedMemPerSMKB is the shared-memory capacity per SM in KiB.
+	SharedMemPerSMKB int
+	// FP32TFLOPS is the peak single-precision throughput in TFLOP/s.
+	FP32TFLOPS float64
+	// TDPWatts is the board power in watts.
+	TDPWatts int
+}
+
+// PeakFLOPs returns the theoretical FP32 throughput in FLOP/s computed
+// from cores and boost clock (2 FLOPs per core per cycle).
+func (s Spec) PeakFLOPs() float64 {
+	return 2 * float64(s.CUDACores) * s.BoostClockMHz * 1e6
+}
+
+// BytesPerCycle returns the DRAM bytes deliverable per boost-clock cycle.
+func (s Spec) BytesPerCycle() float64 {
+	return s.MemBandwidthGBs * 1e9 / (s.BoostClockMHz * 1e6)
+}
+
+// Validate checks that the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("gpu: spec has empty name")
+	case s.CUDACores <= 0 || s.SMs <= 0:
+		return fmt.Errorf("gpu: %s: cores/SMs must be positive", s.Name)
+	case s.CUDACores%s.SMs != 0:
+		return fmt.Errorf("gpu: %s: %d cores do not divide into %d SMs", s.Name, s.CUDACores, s.SMs)
+	case s.BaseClockMHz <= 0 || s.BoostClockMHz < s.BaseClockMHz:
+		return fmt.Errorf("gpu: %s: implausible clocks base=%f boost=%f", s.Name, s.BaseClockMHz, s.BoostClockMHz)
+	case s.MemBandwidthGBs <= 0 || s.L2CacheKB <= 0 || s.MemSizeGB <= 0:
+		return fmt.Errorf("gpu: %s: memory system fields must be positive", s.Name)
+	}
+	return nil
+}
+
+// CoresPerSM returns the CUDA cores per streaming multiprocessor.
+func (s Spec) CoresPerSM() int { return s.CUDACores / s.SMs }
+
+// FeatureNames lists the hardware predictor names in the order Features
+// returns them. The order is part of the dataset schema. Memory bandwidth
+// leads: with few training devices many architectural features separate
+// the GPUs equally well, and CART resolves exact split-gain ties toward
+// the earliest feature — bandwidth, which the paper's Table III likewise
+// identifies as the dominant hardware predictor.
+var FeatureNames = []string{
+	"mem_bandwidth_gbs",
+	"cuda_cores",
+	"sm_count",
+	"base_clock_mhz",
+	"boost_clock_mhz",
+	"mem_size_gb",
+	"l2_cache_kb",
+	"mem_bus_bits",
+}
+
+// Features returns the hardware predictor vector in FeatureNames order.
+func (s Spec) Features() []float64 {
+	return []float64{
+		s.MemBandwidthGBs,
+		float64(s.CUDACores),
+		float64(s.SMs),
+		s.BaseClockMHz,
+		s.BoostClockMHz,
+		s.MemSizeGB,
+		float64(s.L2CacheKB),
+		float64(s.MemBusBits),
+	}
+}
+
+// catalog holds the built-in GPU database keyed by canonical id.
+var catalog = map[string]Spec{
+	"gtx1080ti": {
+		Name: "GTX 1080 Ti", Architecture: "Pascal",
+		CUDACores: 3584, SMs: 28,
+		BaseClockMHz: 1480, BoostClockMHz: 1582,
+		MemClockMHz: 11008, MemBusBits: 352, MemBandwidthGBs: 484,
+		MemSizeGB: 11, L2CacheKB: 2816,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 96,
+		FP32TFLOPS: 11.3, TDPWatts: 250,
+	},
+	"v100s": {
+		Name: "V100S", Architecture: "Volta",
+		CUDACores: 5120, SMs: 80,
+		BaseClockMHz: 1245, BoostClockMHz: 1597,
+		MemClockMHz: 1106, MemBusBits: 4096, MemBandwidthGBs: 1134,
+		MemSizeGB: 32, L2CacheKB: 6144,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 96,
+		FP32TFLOPS: 16.4, TDPWatts: 250,
+	},
+	"quadrop1000": {
+		Name: "Quadro P1000", Architecture: "Pascal",
+		CUDACores: 640, SMs: 5,
+		BaseClockMHz: 1266, BoostClockMHz: 1480,
+		MemClockMHz: 5000, MemBusBits: 128, MemBandwidthGBs: 80,
+		MemSizeGB: 4, L2CacheKB: 1024,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 96,
+		FP32TFLOPS: 1.9, TDPWatts: 47,
+	},
+	"p100": {
+		Name: "Tesla P100", Architecture: "Pascal",
+		CUDACores: 3584, SMs: 56,
+		BaseClockMHz: 1190, BoostClockMHz: 1329,
+		MemClockMHz: 715, MemBusBits: 4096, MemBandwidthGBs: 732,
+		MemSizeGB: 16, L2CacheKB: 4096,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 64,
+		FP32TFLOPS: 9.5, TDPWatts: 250,
+	},
+	"t4": {
+		Name: "Tesla T4", Architecture: "Turing",
+		CUDACores: 2560, SMs: 40,
+		BaseClockMHz: 585, BoostClockMHz: 1590,
+		MemClockMHz: 5001, MemBusBits: 256, MemBandwidthGBs: 320,
+		MemSizeGB: 16, L2CacheKB: 4096,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 64,
+		FP32TFLOPS: 8.1, TDPWatts: 70,
+	},
+	"rtx2080ti": {
+		Name: "RTX 2080 Ti", Architecture: "Turing",
+		CUDACores: 4352, SMs: 68,
+		BaseClockMHz: 1350, BoostClockMHz: 1545,
+		MemClockMHz: 14000, MemBusBits: 352, MemBandwidthGBs: 616,
+		MemSizeGB: 11, L2CacheKB: 5632,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 64,
+		FP32TFLOPS: 13.4, TDPWatts: 250,
+	},
+	"a100": {
+		Name: "A100", Architecture: "Ampere",
+		CUDACores: 6912, SMs: 108,
+		BaseClockMHz: 765, BoostClockMHz: 1410,
+		MemClockMHz: 1215, MemBusBits: 5120, MemBandwidthGBs: 1555,
+		MemSizeGB: 40, L2CacheKB: 40960,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 164,
+		FP32TFLOPS: 19.5, TDPWatts: 400,
+	},
+	"k80": {
+		Name: "Tesla K80 (per GPU)", Architecture: "Kepler",
+		CUDACores: 2496, SMs: 13,
+		BaseClockMHz: 560, BoostClockMHz: 875,
+		MemClockMHz: 2505, MemBusBits: 384, MemBandwidthGBs: 240,
+		MemSizeGB: 12, L2CacheKB: 1536,
+		RegistersPerSM: 131072, SharedMemPerSMKB: 112,
+		FP32TFLOPS: 4.37, TDPWatts: 150,
+	},
+	"gtx1060": {
+		Name: "GTX 1060 6GB", Architecture: "Pascal",
+		CUDACores: 1280, SMs: 10,
+		BaseClockMHz: 1506, BoostClockMHz: 1708,
+		MemClockMHz: 8008, MemBusBits: 192, MemBandwidthGBs: 192,
+		MemSizeGB: 6, L2CacheKB: 1536,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 96,
+		FP32TFLOPS: 4.4, TDPWatts: 120,
+	},
+	"jetsonnano": {
+		Name: "Jetson Nano", Architecture: "Maxwell",
+		CUDACores: 128, SMs: 1,
+		BaseClockMHz: 640, BoostClockMHz: 921,
+		MemClockMHz: 1600, MemBusBits: 64, MemBandwidthGBs: 25.6,
+		MemSizeGB: 4, L2CacheKB: 256,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 64,
+		FP32TFLOPS: 0.472, TDPWatts: 10,
+	},
+	"xaviernx": {
+		Name: "Jetson Xavier NX", Architecture: "Volta",
+		CUDACores: 384, SMs: 6,
+		BaseClockMHz: 854, BoostClockMHz: 1100,
+		MemClockMHz: 1600, MemBusBits: 128, MemBandwidthGBs: 51.2,
+		MemSizeGB: 8, L2CacheKB: 512,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 96,
+		FP32TFLOPS: 0.845, TDPWatts: 15,
+	},
+	"rtx3090": {
+		Name: "RTX 3090", Architecture: "Ampere",
+		CUDACores: 10496, SMs: 82,
+		BaseClockMHz: 1395, BoostClockMHz: 1695,
+		MemClockMHz: 19500, MemBusBits: 384, MemBandwidthGBs: 936,
+		MemSizeGB: 24, L2CacheKB: 6144,
+		RegistersPerSM: 65536, SharedMemPerSMKB: 128,
+		FP32TFLOPS: 35.6, TDPWatts: 350,
+	},
+}
+
+// TrainingGPUs are the two devices the paper builds its training dataset
+// on (Section IV-A).
+var TrainingGPUs = []string{"gtx1080ti", "v100s"}
+
+// TableIVGPUs are the seven devices of the paper's DSE experiment
+// (Table IV mentions GTX 1080Ti, V100S and Quadro P1000 among seven).
+var TableIVGPUs = []string{
+	"gtx1080ti", "v100s", "quadrop1000", "p100", "t4", "rtx2080ti", "gtx1060",
+}
+
+// Lookup returns the spec for a canonical id such as "gtx1080ti".
+func Lookup(id string) (Spec, error) {
+	s, ok := catalog[id]
+	if !ok {
+		return Spec{}, fmt.Errorf("gpu: unknown device %q", id)
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup but panics on unknown ids.
+func MustLookup(id string) Spec {
+	s, err := Lookup(id)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// IDs returns all known device ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(catalog))
+	for id := range catalog {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,183 @@
+package gpu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCatalogValid(t *testing.T) {
+	for _, id := range IDs() {
+		s := MustLookup(id)
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, err := Lookup("gtx1080ti")
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if s.CUDACores != 3584 || s.MemBandwidthGBs != 484 {
+		t.Errorf("1080Ti datasheet wrong: %+v", s)
+	}
+	if _, err := Lookup("riva-tnt2"); err == nil {
+		t.Error("unknown GPU should error")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic on unknown id")
+		}
+	}()
+	MustLookup("nope")
+}
+
+func TestTrainingAndTableIVGPUsExist(t *testing.T) {
+	for _, id := range append(append([]string{}, TrainingGPUs...), TableIVGPUs...) {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	if len(TrainingGPUs) != 2 {
+		t.Errorf("paper trains on 2 GPUs, have %d", len(TrainingGPUs))
+	}
+	if len(TableIVGPUs) != 7 {
+		t.Errorf("Table IV uses 7 GPUs, have %d", len(TableIVGPUs))
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	s := MustLookup("v100s")
+	f := s.Features()
+	if len(f) != len(FeatureNames) {
+		t.Fatalf("feature vector length %d != %d names", len(f), len(FeatureNames))
+	}
+	// Spot-check the schema order (bandwidth leads the schema).
+	if f[0] != 1134 {
+		t.Errorf("mem_bandwidth_gbs = %f", f[0])
+	}
+	if f[1] != 5120 {
+		t.Errorf("cuda_cores = %f", f[1])
+	}
+	for i, name := range FeatureNames {
+		if f[i] <= 0 {
+			t.Errorf("feature %s non-positive: %f", name, f[i])
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	s := MustLookup("gtx1080ti")
+	// Peak FLOPs = 2 * 3584 * 1582 MHz ~ 11.3 TFLOP/s.
+	pf := s.PeakFLOPs()
+	if pf < 11e12 || pf > 11.6e12 {
+		t.Errorf("peak FLOPs = %g", pf)
+	}
+	bpc := s.BytesPerCycle()
+	if bpc < 250 || bpc > 350 {
+		t.Errorf("bytes/cycle = %f, expected about 306", bpc)
+	}
+	if s.CoresPerSM() != 128 {
+		t.Errorf("cores/SM = %d, Pascal has 128", s.CoresPerSM())
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	good := MustLookup("t4")
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.CUDACores = 0 },
+		func(s *Spec) { s.CUDACores = good.SMs*128 + 1 },
+		func(s *Spec) { s.BoostClockMHz = s.BaseClockMHz - 1 },
+		func(s *Spec) { s.MemBandwidthGBs = 0 },
+		func(s *Spec) { s.L2CacheKB = -1 },
+	}
+	for i, mutate := range cases {
+		s := good
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		} else if !strings.Contains(err.Error(), "gpu:") {
+			t.Errorf("case %d: error missing package prefix: %v", i, err)
+		}
+	}
+}
+
+func TestIDsSortedAndStable(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+	if len(ids) < 10 {
+		t.Errorf("expected at least 10 devices, have %d", len(ids))
+	}
+}
+
+func TestParseAndWriteSpecs(t *testing.T) {
+	// Round-trip the built-in catalogue through the JSON format.
+	all := map[string]Spec{}
+	for _, id := range IDs() {
+		all[id] = MustLookup(id)
+	}
+	var buf bytes.Buffer
+	if err := WriteSpecs(&buf, all); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ParseSpecs(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(back) != len(all) {
+		t.Fatalf("round trip lost specs: %d vs %d", len(back), len(all))
+	}
+	for id, want := range all {
+		if back[id] != want {
+			t.Errorf("%s: round trip changed the spec", id)
+		}
+	}
+}
+
+func TestParseSpecsErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"[]",
+		`[{"Name":"x"}]`, // no id
+		`[{"id":"a","Name":"A","CUDACores":128,"SMs":1,"BaseClockMHz":1000,"BoostClockMHz":1100,"MemBandwidthGBs":100,"MemSizeGB":4,"L2CacheKB":512},
+		  {"id":"a","Name":"A2","CUDACores":128,"SMs":1,"BaseClockMHz":1000,"BoostClockMHz":1100,"MemBandwidthGBs":100,"MemSizeGB":4,"L2CacheKB":512}]`, // dup
+		`[{"id":"bad","Name":"Bad","CUDACores":0,"SMs":1}]`, // invalid spec
+	}
+	for i, src := range cases {
+		if _, err := ParseSpecs(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRegister(t *testing.T) {
+	custom := MustLookup("t4")
+	custom.Name = "Custom Edge GPU"
+	if err := Register("customedge", custom); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	defer delete(catalog, "customedge")
+	got, err := Lookup("customedge")
+	if err != nil || got.Name != "Custom Edge GPU" {
+		t.Errorf("lookup after register: %+v, %v", got, err)
+	}
+	if err := Register("customedge", custom); err == nil {
+		t.Error("duplicate registration should error")
+	}
+	if err := Register("", custom); err == nil {
+		t.Error("empty id should error")
+	}
+	if err := Register("badspec", Spec{}); err == nil {
+		t.Error("invalid spec should error")
+	}
+}

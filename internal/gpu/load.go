@@ -1,0 +1,77 @@
+package gpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// specJSON is the serialisable form of a Spec with its catalogue id.
+type specJSON struct {
+	ID string `json:"id"`
+	Spec
+}
+
+// ParseSpecs reads a JSON array of device specs (each with an "id" field
+// next to the Spec fields), validating every entry. It lets users extend
+// the design space beyond the built-in catalogue without recompiling.
+func ParseSpecs(r io.Reader) (map[string]Spec, error) {
+	var raw []specJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("gpu: decoding specs: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("gpu: no specs in input")
+	}
+	out := make(map[string]Spec, len(raw))
+	for i, sj := range raw {
+		if sj.ID == "" {
+			return nil, fmt.Errorf("gpu: spec %d has no id", i)
+		}
+		if _, dup := out[sj.ID]; dup {
+			return nil, fmt.Errorf("gpu: duplicate id %q", sj.ID)
+		}
+		if err := sj.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		out[sj.ID] = sj.Spec
+	}
+	return out, nil
+}
+
+// Register adds a device to the catalogue (or returns an error if the id
+// exists). Intended for user-supplied specs loaded with ParseSpecs.
+func Register(id string, s Spec) error {
+	if id == "" {
+		return fmt.Errorf("gpu: empty device id")
+	}
+	if _, dup := catalog[id]; dup {
+		return fmt.Errorf("gpu: device %q already registered", id)
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	catalog[id] = s
+	return nil
+}
+
+// WriteSpecs serialises a set of specs in the ParseSpecs format, sorted
+// by id for stable output.
+func WriteSpecs(w io.Writer, specs map[string]Spec) error {
+	ids := make([]string, 0, len(specs))
+	for id := range specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]specJSON, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, specJSON{ID: id, Spec: specs[id]})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("gpu: encoding specs: %w", err)
+	}
+	return nil
+}

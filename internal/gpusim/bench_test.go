@@ -1,0 +1,53 @@
+package gpusim
+
+import (
+	"testing"
+
+	"cnnperf/internal/dca"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+func zooReport(b *testing.B, name string) *dca.Report {
+	b.Helper()
+	m := zoo.MustBuild(name)
+	prog, err := ptxgen.Compile(m, ptxgen.Options{Batch: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkSimulate measures a full-model timing simulation per device.
+func BenchmarkSimulate(b *testing.B) {
+	rep := zooReport(b, "resnet50v2")
+	for _, id := range []string{"gtx1080ti", "v100s", "a100"} {
+		id := id
+		spec := gpu.MustLookup(id)
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(rep, spec, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrequencySweep measures a 7-point DVFS sweep.
+func BenchmarkFrequencySweep(b *testing.B) {
+	rep := zooReport(b, "mobilenetv2")
+	spec := gpu.MustLookup("gtx1080ti")
+	clocks := []float64{800, 1000, 1200, 1400, 1582, 1800, 2000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FrequencySweep(rep, spec, clocks, Config{NoisePct: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package gpusim is a deterministic SIMT timing simulator. It stands in
+// for the paper's real GPUs and nvprof measurements (repro substitution:
+// no NVIDIA hardware is available): given the dynamic instruction mix a
+// CNN's kernels execute (from the dynamic code analysis) and a GPU's
+// architectural datasheet, it models per-class functional-unit
+// throughput, occupancy, L2-filtered DRAM traffic and kernel launch
+// overhead, and reports cycles, IPC and runtime. The model is intentionally
+// non-linear in the hardware features — exactly the structure the paper's
+// regression study probes.
+package gpusim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"cnnperf/internal/dca"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/ptx"
+)
+
+// Config tunes the simulator.
+type Config struct {
+	// Seed perturbs the measurement noise (0 = default seed).
+	Seed int64
+	// NoisePct is the peak-to-peak measurement noise in percent
+	// (default 3). Set negative to disable noise entirely.
+	NoisePct float64
+	// LaunchOverheadUs is the per-kernel launch latency in microseconds
+	// (default 4).
+	LaunchOverheadUs float64
+	// ClockMHz overrides the simulation clock (default: boost clock).
+	ClockMHz float64
+}
+
+func (c Config) noisePct() float64 {
+	if c.NoisePct < 0 {
+		return 0
+	}
+	if c.NoisePct == 0 {
+		return 3
+	}
+	return c.NoisePct
+}
+
+func (c Config) launchOverheadUs() float64 {
+	if c.LaunchOverheadUs <= 0 {
+		return 4
+	}
+	return c.LaunchOverheadUs
+}
+
+// KernelTiming is the simulated timing of one kernel launch.
+type KernelTiming struct {
+	// Kernel is the kernel name.
+	Kernel string
+	// Cycles is the simulated duration in core cycles.
+	Cycles float64
+	// ComputeCycles is the functional-unit-bound component.
+	ComputeCycles float64
+	// MemCycles is the DRAM-bound component.
+	MemCycles float64
+	// DRAMBytes is the modelled off-chip traffic.
+	DRAMBytes float64
+	// MemoryBound reports whether DRAM dominated the kernel.
+	MemoryBound bool
+}
+
+// Result is the simulated execution of one CNN on one GPU.
+type Result struct {
+	// Model is the simulated CNN.
+	Model string
+	// GPU is the simulated device name.
+	GPU string
+	// Cycles is the total simulated cycle count.
+	Cycles float64
+	// Instructions is the dynamic instruction total (from the DCA).
+	Instructions int64
+	// IPC is Instructions / Cycles — the paper's response variable.
+	IPC float64
+	// RuntimeSec is the simulated wall-clock inference latency.
+	RuntimeSec float64
+	// Kernels holds the per-launch timings.
+	Kernels []KernelTiming
+	// MemoryBoundFraction is the share of cycles spent in kernels
+	// dominated by DRAM bandwidth.
+	MemoryBoundFraction float64
+	// EnergyJ is the modelled energy of the run in joules (dynamic
+	// switching energy plus static power over the runtime), following
+	// the instruction-category energy model of the authors' companion
+	// power-estimation work.
+	EnergyJ float64
+	// AvgPowerW is EnergyJ / RuntimeSec, capped at the board TDP.
+	AvgPowerW float64
+}
+
+// energyPerInstrPJ returns the dynamic switching energy of one executed
+// instruction by class, in picojoules (16 nm-class reference values).
+func energyPerInstrPJ(c ptx.Class) float64 {
+	switch c {
+	case ptx.ClassFMA:
+		return 1.5
+	case ptx.ClassFP32:
+		return 1.2
+	case ptx.ClassIntALU:
+		return 0.8
+	case ptx.ClassSFU:
+		return 2.5
+	case ptx.ClassLoad, ptx.ClassStore:
+		return 4.0 // address path + L1/L2 access; DRAM priced per byte
+	case ptx.ClassLoadShared, ptx.ClassStoreShared:
+		return 1.0 // on-chip SRAM access
+	case ptx.ClassCompare, ptx.ClassMove, ptx.ClassConvert:
+		return 0.6
+	case ptx.ClassBranch:
+		return 0.5
+	default:
+		return 0.3
+	}
+}
+
+// dramEnergyPerBytePJ is the off-chip access energy.
+const dramEnergyPerBytePJ = 15.0
+
+// issueWidth returns the per-SM, per-cycle throughput of an instruction
+// class as a fraction of the SM's CUDA cores.
+func issueWidth(c ptx.Class) float64 {
+	switch c {
+	case ptx.ClassIntALU, ptx.ClassFP32, ptx.ClassFMA,
+		ptx.ClassCompare, ptx.ClassMove, ptx.ClassBranch, ptx.ClassControl:
+		return 1.0
+	case ptx.ClassConvert, ptx.ClassLoadShared, ptx.ClassStoreShared:
+		return 0.5
+	case ptx.ClassSFU, ptx.ClassLoad, ptx.ClassStore, ptx.ClassSync:
+		return 0.25
+	default:
+		return 0.25
+	}
+}
+
+// Simulate executes the DCA report of one CNN on the given GPU.
+func Simulate(rep *dca.Report, spec gpu.Spec, cfg Config) (*Result, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("gpusim: nil report")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("gpusim: %w", err)
+	}
+	clock := cfg.ClockMHz
+	if clock <= 0 {
+		clock = spec.BoostClockMHz
+	}
+	clockHz := clock * 1e6
+	bytesPerCycle := spec.MemBandwidthGBs * 1e9 / clockHz
+	l2Bytes := float64(spec.L2CacheKB) * 1024
+	launchOverheadCycles := cfg.launchOverheadUs() * 1e-6 * clockHz
+
+	res := &Result{Model: rep.Model, GPU: spec.Name, Instructions: rep.Executed}
+	var memBoundCycles float64
+	for _, kr := range rep.Kernels {
+		kt := simulateKernel(kr, spec, bytesPerCycle, l2Bytes)
+		kt.Cycles += launchOverheadCycles
+		res.Cycles += kt.Cycles
+		if kt.MemoryBound {
+			memBoundCycles += kt.Cycles
+		}
+		res.Kernels = append(res.Kernels, kt)
+	}
+	if res.Cycles <= 0 {
+		return nil, fmt.Errorf("gpusim: model %s produced no cycles", rep.Model)
+	}
+	// Deterministic measurement noise, keyed on (model, gpu, seed).
+	noise := noiseFactor(rep.Model, spec.Name, cfg.Seed, cfg.noisePct())
+	res.Cycles *= noise
+
+	res.IPC = float64(res.Instructions) / res.Cycles
+	res.RuntimeSec = res.Cycles / clockHz
+	res.MemoryBoundFraction = memBoundCycles / (res.Cycles / noise)
+
+	// Energy: per-instruction switching energy + DRAM traffic + static
+	// leakage over the runtime. Average power is capped at the TDP
+	// (boards throttle), scaling the runtime is out of model scope.
+	var dynPJ float64
+	for c, n := range rep.PerClass {
+		dynPJ += float64(n) * energyPerInstrPJ(c)
+	}
+	for _, kt := range res.Kernels {
+		dynPJ += kt.DRAMBytes * dramEnergyPerBytePJ
+	}
+	staticW := 0.15 * float64(spec.TDPWatts)
+	res.EnergyJ = dynPJ*1e-12 + staticW*res.RuntimeSec
+	res.AvgPowerW = res.EnergyJ / res.RuntimeSec
+	if max := float64(spec.TDPWatts); res.AvgPowerW > max && max > 0 {
+		res.AvgPowerW = max
+		res.EnergyJ = max * res.RuntimeSec
+	}
+	return res, nil
+}
+
+// simulateKernel applies the per-kernel timing model.
+func simulateKernel(kr dca.KernelReport, spec gpu.Spec, bytesPerCycle, l2Bytes float64) KernelTiming {
+	kt := KernelTiming{Kernel: kr.Kernel}
+
+	// Occupancy: small launches cannot fill the SM array. The usable
+	// fraction grows with the resident-thread supply and saturates at 1.
+	warps := float64(kr.Threads) / 32
+	warpSlots := float64(spec.SMs) * 64 // resident warps per SM on all targets
+	occ := warps / warpSlots
+	if occ > 1 {
+		occ = 1
+	}
+	eff := 0.25 + 0.75*occ
+
+	// Functional-unit cycles: each class issues on its unit at a width
+	// proportional to the SM's core count.
+	cores := float64(spec.CUDACores)
+	for c, n := range kr.PerClass {
+		kt.ComputeCycles += float64(n) / (issueWidth(c) * cores * eff)
+	}
+
+	// DRAM cycles: loads and stores move 4 bytes each; the L2 filters
+	// re-references once the working set fits.
+	bytesMoved := 4 * float64(kr.PerClass[ptx.ClassLoad]+kr.PerClass[ptx.ClassStore])
+	kt.DRAMBytes = dramTraffic(bytesMoved, float64(kr.WorkingSetBytes), l2Bytes)
+	dram := kt.DRAMBytes
+	kt.MemCycles = dram / bytesPerCycle
+
+	// Partial overlap of compute and memory pipelines.
+	maxC, minC := kt.ComputeCycles, kt.MemCycles
+	if minC > maxC {
+		maxC, minC = minC, maxC
+	}
+	kt.Cycles = maxC + 0.15*minC
+	kt.MemoryBound = kt.MemCycles > kt.ComputeCycles
+	return kt
+}
+
+// dramTraffic models the off-chip bytes of a kernel: compulsory traffic
+// (the working set) always goes to DRAM; re-references hit in L2 when
+// the working set fits and spill proportionally when it does not.
+func dramTraffic(bytesMoved, workingSet, l2Bytes float64) float64 {
+	switch {
+	case workingSet <= 0 || bytesMoved <= workingSet:
+		return bytesMoved
+	case workingSet <= l2Bytes:
+		return workingSet
+	default:
+		spill := 1 - l2Bytes/workingSet
+		return workingSet + (bytesMoved-workingSet)*spill
+	}
+}
+
+// noiseFactor derives a deterministic multiplicative noise in
+// [1-p/100, 1+p/100] from the run identity.
+func noiseFactor(model, gpuName string, seed int64, pct float64) float64 {
+	if pct == 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d", model, gpuName, seed)
+	u := float64(h.Sum64()%1_000_003) / 1_000_003.0 // [0,1)
+	return 1 + (2*u-1)*pct/100
+}
+
+// SimulateOnMany runs the same report across several GPUs (the DSE
+// scenario of the paper's Table IV).
+func SimulateOnMany(rep *dca.Report, specs []gpu.Spec, cfg Config) ([]*Result, error) {
+	out := make([]*Result, 0, len(specs))
+	for _, s := range specs {
+		r, err := Simulate(rep, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SweepPoint is one operating point of a frequency sweep.
+type SweepPoint struct {
+	// ClockMHz is the simulated core clock.
+	ClockMHz float64
+	// Result is the simulation outcome at that clock.
+	Result *Result
+}
+
+// FrequencySweep simulates the workload at several core clocks — the
+// dynamic-frequency-scaling study the paper lists as future work (and
+// the scenario of its reference [9]). Memory-bound workloads barely gain
+// runtime from higher clocks (DRAM bandwidth is fixed) while their IPC
+// per cycle drops; compute-bound workloads scale nearly linearly.
+func FrequencySweep(rep *dca.Report, spec gpu.Spec, clocksMHz []float64, cfg Config) ([]SweepPoint, error) {
+	if len(clocksMHz) == 0 {
+		return nil, fmt.Errorf("gpusim: empty clock list")
+	}
+	out := make([]SweepPoint, 0, len(clocksMHz))
+	for _, clk := range clocksMHz {
+		if clk <= 0 {
+			return nil, fmt.Errorf("gpusim: invalid clock %f MHz", clk)
+		}
+		c := cfg
+		c.ClockMHz = clk
+		r, err := Simulate(rep, spec, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{ClockMHz: clk, Result: r})
+	}
+	return out, nil
+}
+
+// Speedup returns how much faster (in simulated wall-clock) device b runs
+// the workload than device a.
+func Speedup(a, b *Result) float64 {
+	if b.RuntimeSec == 0 {
+		return math.Inf(1)
+	}
+	return a.RuntimeSec / b.RuntimeSec
+}

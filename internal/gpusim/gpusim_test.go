@@ -1,0 +1,325 @@
+package gpusim
+
+import (
+	"testing"
+
+	"cnnperf/internal/cnn"
+	"cnnperf/internal/dca"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxgen"
+)
+
+// analyzeModel compiles and analyses a small CNN.
+func analyzeModel(t *testing.T) *dca.Report {
+	t.Helper()
+	b, x := cnn.NewBuilder("simnet", cnn.Shape{H: 16, W: 16, C: 3})
+	x = b.Add(cnn.ConvNoBias(8, 3, 1, cnn.Same), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.MaxPool2D(2, 2, cnn.Valid), x)
+	x = b.Add(cnn.Flatten{}, x)
+	x = b.Add(cnn.FC(10), x)
+	m, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ptxgen.Compile(m, ptxgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSimulateBasics(t *testing.T) {
+	rep := analyzeModel(t)
+	spec := gpu.MustLookup("gtx1080ti")
+	res, err := Simulate(rep, spec, Config{})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if res.Model != "simnet" || res.GPU != spec.Name {
+		t.Errorf("identity wrong: %+v", res)
+	}
+	if res.Cycles <= 0 || res.RuntimeSec <= 0 {
+		t.Fatalf("non-positive timing: %+v", res)
+	}
+	if res.Instructions != rep.Executed {
+		t.Errorf("instructions %d != DCA %d", res.Instructions, rep.Executed)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %f", res.IPC)
+	}
+	if len(res.Kernels) != len(rep.Kernels) {
+		t.Errorf("kernel timings = %d, want %d", len(res.Kernels), len(rep.Kernels))
+	}
+	for _, kt := range res.Kernels {
+		if kt.Cycles <= 0 {
+			t.Errorf("%s: cycles %f", kt.Kernel, kt.Cycles)
+		}
+		if kt.MemoryBound != (kt.MemCycles > kt.ComputeCycles) {
+			t.Errorf("%s: MemoryBound flag inconsistent", kt.Kernel)
+		}
+	}
+	if res.MemoryBoundFraction < 0 || res.MemoryBoundFraction > 1 {
+		t.Errorf("memory-bound fraction = %f", res.MemoryBoundFraction)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	rep := analyzeModel(t)
+	spec := gpu.MustLookup("v100s")
+	a, err := Simulate(rep, spec, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(rep, spec, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.IPC != b.IPC {
+		t.Error("simulation is not deterministic")
+	}
+	c, err := Simulate(rep, spec, Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == c.Cycles {
+		t.Error("different seeds should perturb the measurement")
+	}
+}
+
+func TestNoiseBoundsAndDisable(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		f := noiseFactor("m", "g", seed, 3)
+		if f < 0.97 || f > 1.03 {
+			t.Fatalf("noise %f outside +-3%%", f)
+		}
+	}
+	if noiseFactor("m", "g", 1, 0) != 1 {
+		t.Error("pct 0 should disable noise")
+	}
+	rep := analyzeModel(t)
+	spec := gpu.MustLookup("t4")
+	a, err := Simulate(rep, spec, Config{NoisePct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(rep, spec, Config{NoisePct: -1, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Error("noise disabled: seeds must not matter")
+	}
+}
+
+// TestFasterGPUIsFaster: the same workload must run faster on a V100S
+// than on a Quadro P1000 (more cores, more bandwidth).
+func TestFasterGPUIsFaster(t *testing.T) {
+	rep := analyzeModel(t)
+	big, err := Simulate(rep, gpu.MustLookup("v100s"), Config{NoisePct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Simulate(rep, gpu.MustLookup("quadrop1000"), Config{NoisePct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.RuntimeSec >= small.RuntimeSec {
+		t.Errorf("V100S (%g s) should beat P1000 (%g s)", big.RuntimeSec, small.RuntimeSec)
+	}
+	if s := Speedup(small, big); s <= 1 {
+		t.Errorf("speedup = %f", s)
+	}
+}
+
+// TestBandwidthSensitivity: with everything else fixed, doubling memory
+// bandwidth must not slow the workload and should speed up memory-bound
+// mixes.
+func TestBandwidthSensitivity(t *testing.T) {
+	rep := analyzeModel(t)
+	base := gpu.MustLookup("gtx1080ti")
+	fat := base
+	fat.MemBandwidthGBs *= 2
+	a, err := Simulate(rep, base, Config{NoisePct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(rep, fat, Config{NoisePct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycles > a.Cycles {
+		t.Error("more bandwidth must not cost cycles")
+	}
+	if !(b.Cycles < a.Cycles) {
+		t.Error("this elementwise-heavy mix should be bandwidth-sensitive")
+	}
+}
+
+// TestL2CacheFiltersTraffic: a bigger L2 must not increase DRAM traffic.
+func TestL2CacheFiltersTraffic(t *testing.T) {
+	kr := dca.KernelReport{
+		Kernel:          "k",
+		PerClass:        map[ptx.Class]int64{ptx.ClassLoad: 1_000_000, ptx.ClassStore: 100_000},
+		WorkingSetBytes: 3 << 20, // 3 MiB: between the two L2 sizes below
+		Threads:         1 << 16,
+	}
+	smallL2 := simulateKernel(kr, gpu.MustLookup("gtx1080ti"), 300, 2<<20)
+	bigL2 := simulateKernel(kr, gpu.MustLookup("gtx1080ti"), 300, 8<<20)
+	if bigL2.DRAMBytes > smallL2.DRAMBytes {
+		t.Errorf("bigger L2 increased DRAM traffic: %f > %f", bigL2.DRAMBytes, smallL2.DRAMBytes)
+	}
+	// Working set fits in the big L2: traffic collapses to compulsory.
+	if bigL2.DRAMBytes != float64(kr.WorkingSetBytes) {
+		t.Errorf("fit-in-L2 traffic = %f, want %d", bigL2.DRAMBytes, kr.WorkingSetBytes)
+	}
+}
+
+func TestIssueWidths(t *testing.T) {
+	if issueWidth(ptx.ClassFMA) != 1.0 {
+		t.Error("FMA issues full width")
+	}
+	if issueWidth(ptx.ClassSFU) != 0.25 || issueWidth(ptx.ClassLoad) != 0.25 {
+		t.Error("SFU/LSU are quarter width")
+	}
+	if issueWidth(ptx.ClassConvert) != 0.5 {
+		t.Error("convert is half width")
+	}
+	if issueWidth(ptx.ClassUnknown) <= 0 {
+		t.Error("unknown class must still issue")
+	}
+}
+
+func TestSimulateOnMany(t *testing.T) {
+	rep := analyzeModel(t)
+	specs := []gpu.Spec{gpu.MustLookup("gtx1080ti"), gpu.MustLookup("v100s")}
+	out, err := SimulateOnMany(rep, specs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].GPU == out[1].GPU {
+		t.Errorf("results wrong: %+v", out)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(nil, gpu.MustLookup("t4"), Config{}); err == nil {
+		t.Error("nil report should error")
+	}
+	rep := analyzeModel(t)
+	if _, err := Simulate(rep, gpu.Spec{}, Config{}); err == nil {
+		t.Error("invalid spec should error")
+	}
+}
+
+// TestOccupancyPenalty: tiny launches (few threads) must run at lower
+// efficiency than saturating launches with identical totals per thread.
+func TestOccupancyPenalty(t *testing.T) {
+	mk := func(threads int64) dca.KernelReport {
+		return dca.KernelReport{
+			Kernel:          "k",
+			PerClass:        map[ptx.Class]int64{ptx.ClassFMA: 10_000_000},
+			WorkingSetBytes: 1 << 10,
+			Threads:         threads,
+		}
+	}
+	spec := gpu.MustLookup("gtx1080ti")
+	tiny := simulateKernel(mk(256), spec, 300, 2<<20)
+	big := simulateKernel(mk(1<<20), spec, 300, 2<<20)
+	if tiny.ComputeCycles <= big.ComputeCycles {
+		t.Error("under-occupied launch should take more cycles for the same work")
+	}
+}
+
+// TestFrequencySweep checks the DVFS behaviour: runtime never increases
+// with clock, and per-cycle IPC never improves (memory-bound kernels
+// stall more cycles at higher clocks).
+func TestFrequencySweep(t *testing.T) {
+	rep := analyzeModel(t)
+	spec := gpu.MustLookup("gtx1080ti")
+	clocks := []float64{800, 1200, 1582, 2000}
+	points, err := FrequencySweep(rep, spec, clocks, Config{NoisePct: -1})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(points) != len(clocks) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Result.RuntimeSec > points[i-1].Result.RuntimeSec*1.0001 {
+			t.Errorf("runtime grew with clock: %f MHz %g s vs %f MHz %g s",
+				points[i].ClockMHz, points[i].Result.RuntimeSec,
+				points[i-1].ClockMHz, points[i-1].Result.RuntimeSec)
+		}
+		if points[i].Result.IPC > points[i-1].Result.IPC*1.0001 {
+			t.Errorf("IPC improved with clock: memory stalls should bite")
+		}
+	}
+	// Error paths.
+	if _, err := FrequencySweep(rep, spec, nil, Config{}); err == nil {
+		t.Error("empty clock list should error")
+	}
+	if _, err := FrequencySweep(rep, spec, []float64{-5}, Config{}); err == nil {
+		t.Error("negative clock should error")
+	}
+}
+
+// TestPowerModel checks the energy extension: power sits between static
+// floor and TDP, energy equals power*runtime, and more work costs more
+// energy.
+func TestPowerModel(t *testing.T) {
+	rep := analyzeModel(t)
+	spec := gpu.MustLookup("gtx1080ti")
+	res, err := Simulate(rep, spec, Config{NoisePct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := 0.15 * float64(spec.TDPWatts)
+	if res.AvgPowerW < static {
+		t.Errorf("power %f below static floor %f", res.AvgPowerW, static)
+	}
+	if res.AvgPowerW > float64(spec.TDPWatts) {
+		t.Errorf("power %f exceeds TDP %d", res.AvgPowerW, spec.TDPWatts)
+	}
+	if diff := res.EnergyJ - res.AvgPowerW*res.RuntimeSec; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("energy %f != power*runtime %f", res.EnergyJ, res.AvgPowerW*res.RuntimeSec)
+	}
+	// Doubling the workload (same mix) must not decrease energy.
+	double := *rep
+	double.PerClass = map[ptx.Class]int64{}
+	for c, n := range rep.PerClass {
+		double.PerClass[c] = 2 * n
+	}
+	double.Kernels = append(append([]dca.KernelReport{}, rep.Kernels...), rep.Kernels...)
+	double.Executed = 2 * rep.Executed
+	res2, err := Simulate(&double, spec, Config{NoisePct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.EnergyJ <= res.EnergyJ {
+		t.Errorf("double workload energy %f not above single %f", res2.EnergyJ, res.EnergyJ)
+	}
+}
+
+// TestEnergyPerInstrTable sanity-checks the energy table ordering: SFU >
+// FMA > int > control.
+func TestEnergyPerInstrTable(t *testing.T) {
+	if !(energyPerInstrPJ(ptx.ClassSFU) > energyPerInstrPJ(ptx.ClassFMA)) {
+		t.Error("SFU ops must cost more than FMA")
+	}
+	if !(energyPerInstrPJ(ptx.ClassFMA) > energyPerInstrPJ(ptx.ClassIntALU)) {
+		t.Error("FMA must cost more than int ALU")
+	}
+	if !(energyPerInstrPJ(ptx.ClassLoad) > energyPerInstrPJ(ptx.ClassFMA)) {
+		t.Error("memory access must cost more than arithmetic")
+	}
+	if energyPerInstrPJ(ptx.ClassControl) <= 0 {
+		t.Error("every class must have positive energy")
+	}
+}

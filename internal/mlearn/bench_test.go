@@ -1,0 +1,78 @@
+package mlearn
+
+import "testing"
+
+func benchData(n int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	rng := newXorshift(99)
+	for i := range X {
+		X[i] = []float64{
+			rng.float64v() * 1e11, rng.float64v() * 1e8, rng.float64v() * 1000,
+			rng.float64v() * 5000, rng.float64v() * 80, rng.float64v() * 2000,
+		}
+		y[i] = 500 + X[i][2]*0.8 + X[i][0]/1e9
+	}
+	return X, y
+}
+
+func benchFit(b *testing.B, mk func() Regressor) {
+	X, y := benchData(64) // the paper's dataset scale
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mk().Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPredict(b *testing.B, mk func() Regressor) {
+	X, y := benchData(64)
+	m := mk()
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	q := X[13]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Predict(q) < 0 {
+			b.Fatal("negative prediction")
+		}
+	}
+}
+
+func BenchmarkFitLinearRegression(b *testing.B) {
+	benchFit(b, func() Regressor { return NewLinearRegression() })
+}
+func BenchmarkFitKNN(b *testing.B) { benchFit(b, func() Regressor { return NewKNN(3) }) }
+func BenchmarkFitDecisionTree(b *testing.B) {
+	benchFit(b, func() Regressor { return NewDecisionTree() })
+}
+func BenchmarkFitRandomForest(b *testing.B) {
+	benchFit(b, func() Regressor { return NewRandomForest(100, 1) })
+}
+func BenchmarkFitXGBoost(b *testing.B) { benchFit(b, func() Regressor { return NewXGBoost(1) }) }
+
+func BenchmarkPredictLinearRegression(b *testing.B) {
+	benchPredict(b, func() Regressor { return NewLinearRegression() })
+}
+func BenchmarkPredictKNN(b *testing.B) { benchPredict(b, func() Regressor { return NewKNN(3) }) }
+func BenchmarkPredictDecisionTree(b *testing.B) {
+	benchPredict(b, func() Regressor { return NewDecisionTree() })
+}
+func BenchmarkPredictRandomForest(b *testing.B) {
+	benchPredict(b, func() Regressor { return NewRandomForest(100, 1) })
+}
+func BenchmarkPredictXGBoost(b *testing.B) {
+	benchPredict(b, func() Regressor { return NewXGBoost(1) })
+}
+
+func BenchmarkCrossValidate(b *testing.B) {
+	X, y := benchData(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidate(func() Regressor { return NewDecisionTree() }, X, y, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+
+	"cnnperf/internal/mlearn/metrics"
+)
+
+// CVResult summarises a k-fold cross-validation of one regressor.
+type CVResult struct {
+	// Folds is the number of folds evaluated.
+	Folds int
+	// MAPEs holds the per-fold MAPE values.
+	MAPEs []float64
+	// MeanMAPE is the average of MAPEs.
+	MeanMAPE float64
+	// StdMAPE is the population standard deviation of MAPEs.
+	StdMAPE float64
+	// MeanR2 is the average per-fold R².
+	MeanR2 float64
+}
+
+// CrossValidate performs deterministic k-fold cross-validation: the rows
+// are shuffled once with the seed, partitioned into k folds, and for each
+// fold a fresh model from factory is trained on the remainder and scored
+// on the fold. It complements the paper's single 70/30 split with a
+// variance estimate over splits.
+func CrossValidate(factory func() Regressor, X [][]float64, y []float64, k int, seed int64) (CVResult, error) {
+	n, _, err := checkXY(X, y)
+	if err != nil {
+		return CVResult{}, err
+	}
+	if k < 2 || k > n {
+		return CVResult{}, fmt.Errorf("mlearn: k=%d folds invalid for %d rows", k, n)
+	}
+	// Deterministic shuffle.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng := newXorshift(seed)
+	for i := n - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+
+	res := CVResult{Folds: k}
+	var r2Sum float64
+	for fold := 0; fold < k; fold++ {
+		lo := fold * n / k
+		hi := (fold + 1) * n / k
+		var trX, evX [][]float64
+		var trY, evY []float64
+		for pos, idx := range perm {
+			if pos >= lo && pos < hi {
+				evX = append(evX, X[idx])
+				evY = append(evY, y[idx])
+			} else {
+				trX = append(trX, X[idx])
+				trY = append(trY, y[idx])
+			}
+		}
+		if len(evX) == 0 || len(trX) == 0 {
+			return CVResult{}, fmt.Errorf("mlearn: fold %d is empty", fold)
+		}
+		model := factory()
+		if err := model.Fit(trX, trY); err != nil {
+			return CVResult{}, fmt.Errorf("mlearn: fold %d: %w", fold, err)
+		}
+		pred := PredictAll(model, evX)
+		mape, err := metrics.MAPE(evY, pred)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("mlearn: fold %d: %w", fold, err)
+		}
+		res.MAPEs = append(res.MAPEs, mape)
+		if r2, err := metrics.R2(evY, pred); err == nil {
+			r2Sum += r2
+		}
+	}
+	res.MeanMAPE = mean(res.MAPEs)
+	var varSum float64
+	for _, m := range res.MAPEs {
+		d := m - res.MeanMAPE
+		varSum += d * d
+	}
+	res.StdMAPE = math.Sqrt(varSum / float64(k))
+	res.MeanR2 = r2Sum / float64(k)
+	return res, nil
+}

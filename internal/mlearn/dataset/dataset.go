@@ -1,0 +1,184 @@
+// Package dataset holds the training data of the paper's pipeline: one
+// row per (CNN, GPU) observation d = (y, p, c_1..c_m, t) — measured IPC,
+// total executed instructions, GPU architectural features and trainable
+// parameters (Eq. 1) — with the 70/30 train/evaluation split and CSV
+// persistence.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Row is one observation.
+type Row struct {
+	// Tag identifies the observation, e.g. "vgg16@gtx1080ti".
+	Tag string
+	// X is the predictor vector.
+	X []float64
+	// Y is the response (measured IPC).
+	Y float64
+}
+
+// Dataset is an ordered collection of rows sharing a feature schema.
+type Dataset struct {
+	// FeatureNames names the columns of X.
+	FeatureNames []string
+	// Rows are the observations.
+	Rows []Row
+}
+
+// New creates an empty dataset with the given schema.
+func New(featureNames []string) *Dataset {
+	return &Dataset{FeatureNames: append([]string(nil), featureNames...)}
+}
+
+// Append adds one observation, validating its width.
+func (d *Dataset) Append(tag string, x []float64, y float64) error {
+	if len(x) != len(d.FeatureNames) {
+		return fmt.Errorf("dataset: row %q has %d features, schema has %d", tag, len(x), len(d.FeatureNames))
+	}
+	d.Rows = append(d.Rows, Row{Tag: tag, X: append([]float64(nil), x...), Y: y})
+	return nil
+}
+
+// Len returns the number of observations.
+func (d *Dataset) Len() int { return len(d.Rows) }
+
+// XY materialises the feature matrix and response vector.
+func (d *Dataset) XY() ([][]float64, []float64) {
+	X := make([][]float64, len(d.Rows))
+	y := make([]float64, len(d.Rows))
+	for i, r := range d.Rows {
+		X[i] = r.X
+		y[i] = r.Y
+	}
+	return X, y
+}
+
+// Tags returns the row tags in order.
+func (d *Dataset) Tags() []string {
+	out := make([]string, len(d.Rows))
+	for i, r := range d.Rows {
+		out[i] = r.Tag
+	}
+	return out
+}
+
+// Split partitions the dataset into train and evaluation subsets with
+// trainFrac of the rows (rounded down, at least 1 each) going to
+// training. The shuffle is a deterministic function of seed, and no row
+// appears in both subsets — the disjointness the paper stresses.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, eval *Dataset, err error) {
+	n := len(d.Rows)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("dataset: need at least 2 rows to split, have %d", n)
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: train fraction %f outside (0,1)", trainFrac)
+	}
+	perm := permutation(n, seed)
+	nTrain := int(trainFrac * float64(n))
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= n {
+		nTrain = n - 1
+	}
+	train = New(d.FeatureNames)
+	eval = New(d.FeatureNames)
+	for i, idx := range perm {
+		r := d.Rows[idx]
+		if i < nTrain {
+			train.Rows = append(train.Rows, r)
+		} else {
+			eval.Rows = append(eval.Rows, r)
+		}
+	}
+	return train, eval, nil
+}
+
+// permutation returns a deterministic pseudo-random permutation of [0,n)
+// via a seeded xorshift Fisher-Yates.
+func permutation(n int, seed int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// WriteCSV serialises the dataset: header "tag,<features...>,ipc".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"tag"}, d.FeatureNames...)
+	header = append(header, "ipc")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	for _, r := range d.Rows {
+		rec := make([]string, 0, len(r.X)+2)
+		rec = append(rec, r.Tag)
+		for _, v := range r.X {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		rec = append(rec, strconv.FormatFloat(r.Y, 'g', -1, 64))
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV deserialises a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < 3 || header[0] != "tag" || header[len(header)-1] != "ipc" {
+		return nil, fmt.Errorf("dataset: malformed header %v", header)
+	}
+	d := New(header[1 : len(header)-1])
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		x := make([]float64, len(rec)-2)
+		for i := range x {
+			v, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", line, i+1, err)
+			}
+			x[i] = v
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d response: %w", line, err)
+		}
+		d.Rows = append(d.Rows, Row{Tag: rec[0], X: x, Y: y})
+	}
+	return d, nil
+}

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample(t *testing.T, n int) *Dataset {
+	t.Helper()
+	d := New([]string{"f1", "f2"})
+	for i := 0; i < n; i++ {
+		if err := d.Append("row", []float64{float64(i), float64(i * i)}, float64(10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestAppendValidation(t *testing.T) {
+	d := New([]string{"a", "b"})
+	if err := d.Append("x", []float64{1}, 2); err == nil {
+		t.Error("wrong-width row should error")
+	}
+	if err := d.Append("x", []float64{1, 2}, 3); err != nil {
+		t.Errorf("append: %v", err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+func TestAppendCopiesInput(t *testing.T) {
+	d := New([]string{"a"})
+	x := []float64{1}
+	if err := d.Append("r", x, 2); err != nil {
+		t.Fatal(err)
+	}
+	x[0] = 99
+	if d.Rows[0].X[0] != 1 {
+		t.Error("Append must copy the feature slice")
+	}
+}
+
+func TestXYAndTags(t *testing.T) {
+	d := sample(t, 3)
+	X, y := d.XY()
+	if len(X) != 3 || len(y) != 3 || X[2][1] != 4 || y[1] != 10 {
+		t.Errorf("XY wrong: %v %v", X, y)
+	}
+	if tags := d.Tags(); len(tags) != 3 || tags[0] != "row" {
+		t.Errorf("tags wrong: %v", tags)
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	d := New([]string{"f"})
+	for i := 0; i < 64; i++ {
+		_ = d.Append(string(rune('a'+i%26))+string(rune('0'+i/26)), []float64{float64(i)}, float64(i))
+	}
+	train, eval, err := d.Split(0.7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 44 || eval.Len() != 20 {
+		t.Errorf("split sizes %d/%d, want 44/20", train.Len(), eval.Len())
+	}
+	seen := make(map[float64]int)
+	for _, r := range train.Rows {
+		seen[r.X[0]]++
+	}
+	for _, r := range eval.Rows {
+		seen[r.X[0]]++
+	}
+	if len(seen) != 64 {
+		t.Errorf("split lost rows: %d distinct", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Errorf("row %f appears %d times across splits", v, c)
+		}
+	}
+}
+
+func TestSplitDeterministicPerSeed(t *testing.T) {
+	d := sample(t, 20)
+	a1, _, err := d.Split(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := d.Split(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.Rows {
+		if a1.Rows[i].X[0] != a2.Rows[i].X[0] {
+			t.Fatal("same seed must give the same split")
+		}
+	}
+	b1, _, err := d.Split(0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a1.Rows {
+		if a1.Rows[i].X[0] != b1.Rows[i].X[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should shuffle differently")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	d := sample(t, 1)
+	if _, _, err := d.Split(0.7, 1); err == nil {
+		t.Error("single-row split should error")
+	}
+	d = sample(t, 10)
+	if _, _, err := d.Split(0, 1); err == nil {
+		t.Error("zero fraction should error")
+	}
+	if _, _, err := d.Split(1, 1); err == nil {
+		t.Error("unit fraction should error")
+	}
+}
+
+// Property: the split always partitions, for any size and seed.
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		size := int(n%60) + 2
+		d := New([]string{"f"})
+		for i := 0; i < size; i++ {
+			_ = d.Append("r", []float64{float64(i)}, 0)
+		}
+		train, eval, err := d.Split(0.7, seed)
+		if err != nil {
+			return false
+		}
+		return train.Len()+eval.Len() == size && train.Len() >= 1 && eval.Len() >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := New([]string{"instr", "params"})
+	_ = d.Append("vgg16@gtx1080ti", []float64{2.018e11, 138357544}, 651.1)
+	_ = d.Append("alexnet@v100s", []float64{9.46e9, 60965224}, 2060.3)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.Len() != 2 || back.FeatureNames[1] != "params" {
+		t.Fatalf("round trip wrong: %+v", back)
+	}
+	if back.Rows[0].Tag != "vgg16@gtx1080ti" || back.Rows[0].Y != 651.1 {
+		t.Errorf("row 0 = %+v", back.Rows[0])
+	}
+	if back.Rows[1].X[0] != 9.46e9 {
+		t.Errorf("row 1 X = %v", back.Rows[1].X)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"nottag,a,ipc\nx,1,2\n",
+		"tag,a,notipc\nx,1,2\n",
+		"tag,a,ipc\nx,banana,2\n",
+		"tag,a,ipc\nx,1,banana\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New([]string{"a", "b"})
+	_ = d.Append("r1", []float64{1, 10}, 100)
+	_ = d.Append("r2", []float64{3, 10}, 200)
+	_ = d.Append("r3", []float64{5, 10}, 300)
+	stats, err := d.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 { // two features + response
+		t.Fatalf("stats = %d", len(stats))
+	}
+	a := stats[0]
+	if a.Min != 1 || a.Max != 5 || a.Mean != 3 || a.Distinct != 3 {
+		t.Errorf("feature a stats = %+v", a)
+	}
+	b := stats[1]
+	if b.Std != 0 || b.Distinct != 1 {
+		t.Errorf("constant feature stats = %+v", b)
+	}
+	y := stats[2]
+	if y.Name != "ipc" || y.Mean != 200 {
+		t.Errorf("response stats = %+v", y)
+	}
+	text := FormatStats(stats)
+	if !strings.Contains(text, "distinct") || !strings.Contains(text, "ipc") {
+		t.Errorf("format malformed:\n%s", text)
+	}
+	empty := New([]string{"a"})
+	if _, err := empty.Stats(); err == nil {
+		t.Error("empty dataset stats should error")
+	}
+}

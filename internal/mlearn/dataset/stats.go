@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FeatureStats summarises one feature column.
+type FeatureStats struct {
+	// Name is the feature name.
+	Name string
+	// Min and Max bound the observed values.
+	Min, Max float64
+	// Mean is the arithmetic mean.
+	Mean float64
+	// Std is the population standard deviation.
+	Std float64
+	// Distinct counts the distinct values (tree split opportunities).
+	Distinct int
+}
+
+// Stats computes per-feature summary statistics plus the response
+// column's, letting users sanity-check a dataset before training (the
+// predictors span twelve orders of magnitude, so scaling bugs are easy
+// to spot here).
+func (d *Dataset) Stats() ([]FeatureStats, error) {
+	if len(d.Rows) == 0 {
+		return nil, fmt.Errorf("dataset: no rows to summarise")
+	}
+	p := len(d.FeatureNames)
+	out := make([]FeatureStats, p+1)
+	col := make([]float64, len(d.Rows))
+	for f := 0; f <= p; f++ {
+		name := "ipc"
+		if f < p {
+			name = d.FeatureNames[f]
+		}
+		for i, r := range d.Rows {
+			if f < p {
+				col[i] = r.X[f]
+			} else {
+				col[i] = r.Y
+			}
+		}
+		out[f] = summarise(name, col)
+	}
+	return out, nil
+}
+
+func summarise(name string, col []float64) FeatureStats {
+	s := FeatureStats{Name: name, Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	distinct := make(map[float64]bool, len(col))
+	for _, v := range col {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		distinct[v] = true
+	}
+	s.Mean = sum / float64(len(col))
+	var varSum float64
+	for _, v := range col {
+		d := v - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(len(col)))
+	s.Distinct = len(distinct)
+	return s
+}
+
+// FormatStats renders the summary as an aligned table.
+func FormatStats(stats []FeatureStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %12s %12s %12s %9s\n", "feature", "min", "max", "mean", "std", "distinct")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-24s %12.4g %12.4g %12.4g %12.4g %9d\n",
+			s.Name, s.Min, s.Max, s.Mean, s.Std, s.Distinct)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package mlearn
+
+// RandomForest bags deterministic CART trees over bootstrap resamples
+// with per-depth random feature subsets, averaging their predictions —
+// the ensemble the paper compares against the single Decision Tree
+// (and finds slightly worse on its small dataset, Table II).
+type RandomForest struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MaxDepth bounds each tree (0 = unlimited).
+	MaxDepth int
+	// MinLeaf is the per-tree minimum leaf size (default 1).
+	MinLeaf int
+	// MTry is the number of features considered per split
+	// (default ceil(p/3), the regression convention).
+	MTry int
+	// Seed drives the bootstrap and feature sampling.
+	Seed int64
+
+	forest  []*DecisionTree
+	numFeat int
+}
+
+// NewRandomForest returns a forest with the given size and seed.
+func NewRandomForest(trees int, seed int64) *RandomForest {
+	return &RandomForest{Trees: trees, Seed: seed}
+}
+
+// Name implements Regressor.
+func (m *RandomForest) Name() string { return "random_forest" }
+
+// Fit implements Regressor.
+func (m *RandomForest) Fit(X [][]float64, y []float64) error {
+	n, p, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if m.Trees <= 0 {
+		m.Trees = 100
+	}
+	mtry := m.MTry
+	if mtry <= 0 {
+		mtry = (p + 2) / 3
+	}
+	if mtry > p {
+		mtry = p
+	}
+	m.numFeat = p
+	m.forest = make([]*DecisionTree, 0, m.Trees)
+	rng := newXorshift(m.Seed)
+	for t := 0; t < m.Trees; t++ {
+		// Bootstrap resample.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := int(rng.next() % uint64(n))
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree := &DecisionTree{MaxDepth: m.MaxDepth, MinLeaf: maxInt(1, m.MinLeaf), MinSplit: 2}
+		// Random feature subset per split depth, seeded per tree.
+		treeRng := newXorshift(m.Seed*1_000_003 + int64(t))
+		tree.featureSubset = func(int) []int {
+			return sampleK(treeRng, p, mtry)
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		m.forest = append(m.forest, tree)
+	}
+	return nil
+}
+
+// Predict implements Regressor (ensemble mean).
+func (m *RandomForest) Predict(x []float64) float64 {
+	if len(m.forest) == 0 || len(x) != m.numFeat {
+		return 0
+	}
+	s := 0.0
+	for _, t := range m.forest {
+		s += t.Predict(x)
+	}
+	return s / float64(len(m.forest))
+}
+
+// FeatureImportances implements FeatureImporter (mean of tree
+// importances).
+func (m *RandomForest) FeatureImportances() []float64 {
+	if len(m.forest) == 0 {
+		return nil
+	}
+	out := make([]float64, m.numFeat)
+	for _, t := range m.forest {
+		for i, v := range t.FeatureImportances() {
+			out[i] += v
+		}
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// xorshift is a tiny deterministic PRNG (stdlib math/rand would also do,
+// but an explicit generator makes the determinism contract obvious).
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed int64) *xorshift {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &xorshift{s: s}
+}
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+// float64v returns a uniform value in [0,1).
+func (x *xorshift) float64v() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}
+
+// sampleK draws k distinct values from [0,p) (Floyd's algorithm keeps it
+// O(k) even for k close to p).
+func sampleK(rng *xorshift, p, k int) []int {
+	if k >= p {
+		out := make([]int, p)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for j := p - k; j < p; j++ {
+		t := int(rng.next() % uint64(j+1))
+		if chosen[t] {
+			t = j
+		}
+		chosen[t] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package mlearn
+
+import (
+	"math"
+	"sort"
+)
+
+// KNNRegressor predicts the (optionally distance-weighted) mean response
+// of the K nearest training rows under Euclidean distance over z-scored
+// features. Standardisation matters here: the raw predictors span twelve
+// orders of magnitude.
+type KNNRegressor struct {
+	// K is the neighbourhood size (default 3).
+	K int
+	// DistanceWeighted weights neighbours by 1/(d+eps).
+	DistanceWeighted bool
+
+	scaler *scaler
+	X      [][]float64
+	y      []float64
+}
+
+// NewKNN returns a K-nearest-neighbour regressor with the given K.
+func NewKNN(k int) *KNNRegressor { return &KNNRegressor{K: k} }
+
+// Name implements Regressor.
+func (m *KNNRegressor) Name() string { return "knn" }
+
+// Fit implements Regressor (KNN just memorises the standardised data).
+func (m *KNNRegressor) Fit(X [][]float64, y []float64) error {
+	if _, _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	if m.K <= 0 {
+		m.K = 3
+	}
+	m.scaler = fitScaler(X)
+	m.X = m.scaler.transformAll(X)
+	m.y = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *KNNRegressor) Predict(x []float64) float64 {
+	if len(m.X) == 0 || len(x) != len(m.scaler.mean) {
+		return 0
+	}
+	q := m.scaler.transform(x)
+	type hit struct {
+		d float64
+		y float64
+	}
+	hits := make([]hit, len(m.X))
+	for i, row := range m.X {
+		hits[i] = hit{d: euclidean(q, row), y: m.y[i]}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].d < hits[j].d })
+	k := m.K
+	if k > len(hits) {
+		k = len(hits)
+	}
+	if !m.DistanceWeighted {
+		s := 0.0
+		for _, h := range hits[:k] {
+			s += h.y
+		}
+		return s / float64(k)
+	}
+	var num, den float64
+	for _, h := range hits[:k] {
+		w := 1 / (h.d + 1e-9)
+		num += w * h.y
+		den += w
+	}
+	return num / den
+}
+
+func euclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

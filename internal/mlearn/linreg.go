@@ -1,0 +1,189 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearRegression is ordinary least squares over an intercept-augmented
+// design matrix, solved via the normal equations with partial-pivot
+// Gaussian elimination and a tiny ridge fallback for singular systems.
+// The paper includes it to test for linear dependence between the
+// predictors and IPC (Table II finds none).
+type LinearRegression struct {
+	// Ridge is the L2 regularisation strength (0 = pure OLS with
+	// automatic fallback on singularity).
+	Ridge float64
+
+	coef      []float64 // [intercept, w_1..w_p]
+	numFeat   int
+	fitted    bool
+	scaler    *scaler
+	Normalize bool // z-score features before fitting (numerical hygiene)
+}
+
+// NewLinearRegression returns an OLS model with feature normalisation
+// enabled (the predictor magnitudes span 12 orders of magnitude).
+func NewLinearRegression() *LinearRegression {
+	return &LinearRegression{Normalize: true}
+}
+
+// Name implements Regressor.
+func (m *LinearRegression) Name() string { return "linear_regression" }
+
+// Fit implements Regressor.
+func (m *LinearRegression) Fit(X [][]float64, y []float64) error {
+	n, p, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	m.numFeat = p
+	Xs := X
+	if m.Normalize {
+		m.scaler = fitScaler(X)
+		Xs = m.scaler.transformAll(X)
+	} else {
+		m.scaler = nil
+	}
+	// Normal equations over [1 | X].
+	d := p + 1
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d+1) // augmented with A^T y
+	}
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row[0] = 1
+		copy(row[1:], Xs[i])
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				ata[a][b] += row[a] * row[b]
+			}
+			ata[a][d] += row[a] * y[i]
+		}
+	}
+	ridge := m.Ridge
+	for attempt := 0; attempt < 2; attempt++ {
+		sys := copyMatrix(ata)
+		for i := 1; i < d; i++ { // do not regularise the intercept
+			sys[i][i] += ridge
+		}
+		coef, ok := solve(sys)
+		if ok {
+			m.coef = coef
+			m.fitted = true
+			return nil
+		}
+		ridge = math.Max(1e-8, ridge*10+1e-8)
+	}
+	return fmt.Errorf("mlearn: linear system is singular even with ridge fallback")
+}
+
+// Predict implements Regressor.
+func (m *LinearRegression) Predict(x []float64) float64 {
+	if !m.fitted || len(x) != m.numFeat {
+		return 0
+	}
+	if m.scaler != nil {
+		x = m.scaler.transform(x)
+	}
+	out := m.coef[0]
+	for i, v := range x {
+		out += m.coef[i+1] * v
+	}
+	return out
+}
+
+// Coefficients returns the fitted [intercept, weights...] vector.
+func (m *LinearRegression) Coefficients() []float64 {
+	return append([]float64(nil), m.coef...)
+}
+
+func copyMatrix(a [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = append([]float64(nil), a[i]...)
+	}
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting on an
+// augmented matrix [A | b], returning the solution or ok=false when the
+// system is numerically singular.
+func solve(aug [][]float64) ([]float64, bool) {
+	n := len(aug)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col] / aug[col][col]
+			for c := col; c <= n; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = aug[i][n] / aug[i][i]
+	}
+	return out, true
+}
+
+// scaler z-scores features using training statistics.
+type scaler struct {
+	mean, std []float64
+}
+
+func fitScaler(X [][]float64) *scaler {
+	p := len(X[0])
+	s := &scaler{mean: make([]float64, p), std: make([]float64, p)}
+	n := float64(len(X))
+	for _, row := range X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *scaler) transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+func (s *scaler) transformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.transform(row)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package metrics implements the evaluation measures the paper reports:
+// Mean Absolute Percentage Error, the R² coefficient of determination and
+// its adjusted form, plus MAE and RMSE for diagnostics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+func checkPair(yTrue, yPred []float64) error {
+	if len(yTrue) == 0 {
+		return fmt.Errorf("metrics: empty input")
+	}
+	if len(yTrue) != len(yPred) {
+		return fmt.Errorf("metrics: %d truths but %d predictions", len(yTrue), len(yPred))
+	}
+	return nil
+}
+
+// MAPE returns the mean absolute percentage error in percent
+// (100/n * Σ |y-ŷ|/|y|). Zero-valued truths are rejected.
+func MAPE(yTrue, yPred []float64) (float64, error) {
+	if err := checkPair(yTrue, yPred); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range yTrue {
+		if yTrue[i] == 0 {
+			return 0, fmt.Errorf("metrics: MAPE undefined for zero truth at index %d", i)
+		}
+		s += math.Abs(yTrue[i]-yPred[i]) / math.Abs(yTrue[i])
+	}
+	return 100 * s / float64(len(yTrue)), nil
+}
+
+// R2 returns the coefficient of determination 1 - SS_res/SS_tot. A model
+// worse than predicting the mean yields negative values (as the paper's
+// Linear Regression row shows).
+func R2(yTrue, yPred []float64) (float64, error) {
+	if err := checkPair(yTrue, yPred); err != nil {
+		return 0, err
+	}
+	m := 0.0
+	for _, v := range yTrue {
+		m += v
+	}
+	m /= float64(len(yTrue))
+	var ssRes, ssTot float64
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		ssRes += d * d
+		t := yTrue[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0, fmt.Errorf("metrics: R2 undefined for constant truth")
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// AdjustedR2 corrects R² for the number of predictors p over n samples:
+// 1 - (1-R²)(n-1)/(n-p-1).
+func AdjustedR2(r2 float64, n, p int) (float64, error) {
+	if n-p-1 <= 0 {
+		return 0, fmt.Errorf("metrics: adjusted R2 needs n > p+1 (n=%d, p=%d)", n, p)
+	}
+	return 1 - (1-r2)*float64(n-1)/float64(n-p-1), nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(yTrue, yPred []float64) (float64, error) {
+	if err := checkPair(yTrue, yPred); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range yTrue {
+		s += math.Abs(yTrue[i] - yPred[i])
+	}
+	return s / float64(len(yTrue)), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(yTrue, yPred []float64) (float64, error) {
+	if err := checkPair(yTrue, yPred); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(yTrue))), nil
+}

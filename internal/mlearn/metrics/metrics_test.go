@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{100, 200}, []float64{90, 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 { // (10% + 10%)/2
+		t.Errorf("MAPE = %f, want 10", got)
+	}
+	if _, err := MAPE([]float64{0, 1}, []float64{1, 1}); err == nil {
+		t.Error("zero truth should error")
+	}
+	if _, err := MAPE(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestR2PerfectAndMean(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	r2, err := R2(y, y)
+	if err != nil || r2 != 1 {
+		t.Errorf("perfect R2 = %f, %v", r2, err)
+	}
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	r2, err = R2(y, meanPred)
+	if err != nil || math.Abs(r2) > 1e-12 {
+		t.Errorf("mean-prediction R2 = %f, %v", r2, err)
+	}
+	// Worse than the mean: negative (the paper's Linear Regression row).
+	bad := []float64{4, 3, 2, 1}
+	r2, err = R2(y, bad)
+	if err != nil || r2 >= 0 {
+		t.Errorf("inverted prediction R2 = %f, should be negative", r2)
+	}
+	if _, err := R2([]float64{5, 5}, []float64{5, 5}); err == nil {
+		t.Error("constant truth should error")
+	}
+}
+
+func TestAdjustedR2(t *testing.T) {
+	// Paper Table II: Decision Tree R2 0.45 with n about 19 eval points
+	// and 3 predictors gives adj R2 about 0.19 — check the formula's
+	// direction: adjusted is always <= R2 for R2 < 1.
+	adj, err := AdjustedR2(0.45, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj >= 0.45 {
+		t.Errorf("adjusted R2 %f should shrink below R2", adj)
+	}
+	if _, err := AdjustedR2(0.5, 4, 3); err == nil {
+		t.Error("n <= p+1 should error")
+	}
+}
+
+func TestMAEAndRMSE(t *testing.T) {
+	y := []float64{1, 2, 3}
+	p := []float64{2, 2, 5}
+	mae, err := MAE(y, p)
+	if err != nil || math.Abs(mae-1) > 1e-12 {
+		t.Errorf("MAE = %f", mae)
+	}
+	rmse, err := RMSE(y, p)
+	if err != nil || math.Abs(rmse-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("RMSE = %f", rmse)
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Error("MAE empty should error")
+	}
+	if _, err := RMSE([]float64{1}, nil); err == nil {
+		t.Error("RMSE mismatch should error")
+	}
+}
+
+// Property: RMSE >= MAE always (Cauchy-Schwarz).
+func TestRMSEDominatesMAE(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		y := []float64{sane(a), sane(b), sane(c)}
+		p := []float64{sane(d), sane(e), sane(g)}
+		mae, err1 := MAE(y, p)
+		rmse, err2 := RMSE(y, p)
+		return err1 == nil && err2 == nil && rmse >= mae-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MAPE is invariant under positive scaling of both vectors.
+func TestMAPEScaleInvariant(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		y := []float64{float64(a) + 1, float64(b) + 1}
+		p := []float64{float64(c) + 1, float64(d) + 1}
+		m1, err1 := MAPE(y, p)
+		y2 := []float64{y[0] * 7, y[1] * 7}
+		p2 := []float64{p[0] * 7, p[1] * 7}
+		m2, err2 := MAPE(y2, p2)
+		return err1 == nil && err2 == nil && math.Abs(m1-m2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sane maps arbitrary floats into a well-behaved range.
+func sane(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Mod(v, 1e6)
+}

@@ -1,0 +1,560 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// toyData is a small non-linear regression problem: y = x0^2 + 3*x1.
+func toyData(n int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	rng := newXorshift(12345)
+	for i := range X {
+		x0 := rng.float64v()*10 - 5
+		x1 := rng.float64v() * 4
+		X[i] = []float64{x0, x1}
+		y[i] = x0*x0 + 3*x1
+	}
+	return X, y
+}
+
+func TestCheckXY(t *testing.T) {
+	if _, _, err := checkXY(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, _, err := checkXY([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := checkXY([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("zero-width should error")
+	}
+	if _, _, err := checkXY([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	n, p, err := checkXY([][]float64{{1, 2}, {3, 4}}, []float64{1, 2})
+	if err != nil || n != 2 || p != 2 {
+		t.Errorf("checkXY = %d,%d,%v", n, p, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Linear regression
+// ---------------------------------------------------------------------------
+
+func TestLinearRegressionRecoversLinearFunction(t *testing.T) {
+	X := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}, {4, 1}, {5, 5}}
+	y := make([]float64, len(X))
+	for i, x := range X {
+		y[i] = 7 + 2*x[0] - 3*x[1]
+	}
+	m := NewLinearRegression()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got := m.Predict(x); math.Abs(got-y[i]) > 1e-6 {
+			t.Errorf("row %d: predict %f, want %f", i, got, y[i])
+		}
+	}
+	if got := m.Predict([]float64{10, 10}); math.Abs(got-(7+20-30)) > 1e-6 {
+		t.Errorf("extrapolation = %f", got)
+	}
+}
+
+func TestLinearRegressionSingularFallback(t *testing.T) {
+	// Duplicate column: X^T X is singular, ridge fallback must engage.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	m := NewLinearRegression()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("singular fit should fall back to ridge: %v", err)
+	}
+	if got := m.Predict([]float64{5, 5}); math.Abs(got-10) > 0.5 {
+		t.Errorf("ridge prediction = %f, want about 10", got)
+	}
+}
+
+func TestLinearRegressionCoefficientsAndUnfit(t *testing.T) {
+	m := NewLinearRegression()
+	if m.Predict([]float64{1, 2}) != 0 {
+		t.Error("unfitted predict should be 0")
+	}
+	if m.Coefficients() != nil && len(m.Coefficients()) != 0 {
+		t.Error("unfitted coefficients should be empty")
+	}
+	X := [][]float64{{1}, {2}, {3}}
+	if err := m.Fit(X, []float64{2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Coefficients()) != 2 {
+		t.Errorf("coefficients = %v", m.Coefficients())
+	}
+	if m.Predict([]float64{1, 2, 3}) != 0 {
+		t.Error("wrong-width predict should be 0")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	// 2x + y = 5; x - y = 1 -> x=2, y=1.
+	aug := [][]float64{{2, 1, 5}, {1, -1, 1}}
+	sol, ok := solve(aug)
+	if !ok || math.Abs(sol[0]-2) > 1e-12 || math.Abs(sol[1]-1) > 1e-12 {
+		t.Errorf("solve = %v, %v", sol, ok)
+	}
+	if _, ok := solve([][]float64{{1, 1, 2}, {1, 1, 2}}); ok {
+		t.Error("singular system should report !ok")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// KNN
+// ---------------------------------------------------------------------------
+
+func TestKNNOneNeighborMemorises(t *testing.T) {
+	X, y := toyData(40)
+	m := NewKNN(1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got := m.Predict(x); math.Abs(got-y[i]) > 1e-9 {
+			t.Errorf("k=1 on training row %d: %f != %f", i, got, y[i])
+		}
+	}
+}
+
+func TestKNNAverages(t *testing.T) {
+	X := [][]float64{{0}, {1}, {10}}
+	y := []float64{0, 2, 100}
+	m := NewKNN(2)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Query near 0.5: neighbours {0,1} -> mean 1.
+	if got := m.Predict([]float64{0.5}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("predict = %f, want 1", got)
+	}
+	// K larger than n clips.
+	m2 := NewKNN(10)
+	if err := m2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Predict([]float64{0}); math.Abs(got-34) > 1e-9 {
+		t.Errorf("clipped-K predict = %f, want mean 34", got)
+	}
+}
+
+func TestKNNDistanceWeighted(t *testing.T) {
+	X := [][]float64{{0}, {10}}
+	y := []float64{0, 100}
+	m := &KNNRegressor{K: 2, DistanceWeighted: true}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Query at 1: much closer to 0 -> prediction well below 50.
+	if got := m.Predict([]float64{1}); got >= 50 {
+		t.Errorf("weighted predict = %f, want < 50", got)
+	}
+}
+
+func TestKNNDefaults(t *testing.T) {
+	m := NewKNN(0)
+	if err := m.Fit([][]float64{{1}, {2}, {3}, {4}}, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 3 {
+		t.Errorf("default K = %d", m.K)
+	}
+	if m.Predict([]float64{1, 2}) != 0 {
+		t.Error("wrong-width predict should be 0")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Decision tree
+// ---------------------------------------------------------------------------
+
+func TestDecisionTreeMemorisesDistinctRows(t *testing.T) {
+	X, y := toyData(60)
+	m := NewDecisionTree()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got := m.Predict(x); math.Abs(got-y[i]) > 1e-9 {
+			t.Errorf("row %d: %f != %f", i, got, y[i])
+		}
+	}
+	if m.Leaves() < 2 || m.Depth() < 1 {
+		t.Errorf("tree trivial: %s", m)
+	}
+}
+
+func TestDecisionTreeDepthLimit(t *testing.T) {
+	X, y := toyData(60)
+	m := &DecisionTree{MaxDepth: 2, MinLeaf: 1, MinSplit: 2}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Depth(); d > 2 {
+		t.Errorf("depth %d exceeds limit 2", d)
+	}
+	if l := m.Leaves(); l > 4 {
+		t.Errorf("leaves %d exceed 2^depth", l)
+	}
+}
+
+func TestDecisionTreeMinLeaf(t *testing.T) {
+	X, y := toyData(30)
+	m := &DecisionTree{MinLeaf: 5, MinSplit: 10}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		if n.leaf() {
+			if n.samples < 5 {
+				t.Errorf("leaf with %d < 5 samples", n.samples)
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(m.root)
+}
+
+func TestDecisionTreeImportances(t *testing.T) {
+	// y depends only on feature 1: importance must concentrate there.
+	X := make([][]float64, 50)
+	y := make([]float64, 50)
+	rng := newXorshift(7)
+	for i := range X {
+		X[i] = []float64{rng.float64v(), rng.float64v() * 10}
+		y[i] = 5 * X[i][1]
+	}
+	m := NewDecisionTree()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportances()
+	if len(imp) != 2 {
+		t.Fatalf("importances = %v", imp)
+	}
+	if imp[1] < 0.95 {
+		t.Errorf("feature 1 importance %f should dominate", imp[1])
+	}
+	if s := imp[0] + imp[1]; math.Abs(s-1) > 1e-9 {
+		t.Errorf("importances sum %f", s)
+	}
+}
+
+func TestDecisionTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{5, 5, 5}
+	m := NewDecisionTree()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Leaves() != 1 {
+		t.Error("constant target should give a stump")
+	}
+	if m.Predict([]float64{99}) != 5 {
+		t.Error("stump should predict the constant")
+	}
+}
+
+// Property: tree predictions on arbitrary queries lie within the training
+// response range (trees cannot extrapolate).
+func TestTreePredictionsWithinRange(t *testing.T) {
+	X, y := toyData(50)
+	m := NewDecisionTree()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	f := func(a, b float64) bool {
+		x := []float64{sanitize(a, 100), sanitize(b, 100)}
+		p := m.Predict(x)
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Random forest
+// ---------------------------------------------------------------------------
+
+func TestRandomForestFitsAndGeneralises(t *testing.T) {
+	X, y := toyData(100)
+	m := NewRandomForest(50, 42)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// In-sample error should be small relative to the response scale.
+	var sse, tot float64
+	my := mean(y)
+	for i, x := range X {
+		d := m.Predict(x) - y[i]
+		sse += d * d
+		tt := y[i] - my
+		tot += tt * tt
+	}
+	if sse/tot > 0.2 {
+		t.Errorf("forest in-sample relative SSE %f too high", sse/tot)
+	}
+}
+
+func TestRandomForestDeterministicBySeed(t *testing.T) {
+	X, y := toyData(40)
+	a := NewRandomForest(20, 1)
+	b := NewRandomForest(20, 1)
+	c := NewRandomForest(20, 2)
+	for _, m := range []*RandomForest{a, b, c} {
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := []float64{1, 1}
+	if a.Predict(q) != b.Predict(q) {
+		t.Error("same seed must reproduce")
+	}
+	if a.Predict(q) == c.Predict(q) {
+		t.Error("different seeds should differ")
+	}
+}
+
+// Property: forest predictions stay within the training response range.
+func TestForestPredictionsWithinRange(t *testing.T) {
+	X, y := toyData(60)
+	m := NewRandomForest(25, 3)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	f := func(a, b float64) bool {
+		p := m.Predict([]float64{sanitize(a, 50), sanitize(b, 50)})
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForestImportancesNormalised(t *testing.T) {
+	X, y := toyData(50)
+	m := NewRandomForest(10, 9)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportances()
+	s := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Error("negative importance")
+		}
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("importances sum %f", s)
+	}
+}
+
+func TestSampleK(t *testing.T) {
+	rng := newXorshift(5)
+	for trial := 0; trial < 20; trial++ {
+		k := trial%4 + 1
+		out := sampleK(rng, 8, k)
+		if len(out) != k {
+			t.Fatalf("sampleK returned %d, want %d", len(out), k)
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= 8 || seen[v] {
+				t.Fatalf("bad sample %v", out)
+			}
+			seen[v] = true
+		}
+	}
+	if got := sampleK(rng, 3, 7); len(got) != 3 {
+		t.Error("k >= p should return all features")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// XGBoost
+// ---------------------------------------------------------------------------
+
+func TestXGBoostFitsNonLinear(t *testing.T) {
+	X, y := toyData(100)
+	m := NewXGBoost(42)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != 100 {
+		t.Errorf("trees = %d", m.NumTrees())
+	}
+	var sse, tot float64
+	my := mean(y)
+	for i, x := range X {
+		d := m.Predict(x) - y[i]
+		sse += d * d
+		tt := y[i] - my
+		tot += tt * tt
+	}
+	if sse/tot > 0.05 {
+		t.Errorf("boosting in-sample relative SSE %f too high", sse/tot)
+	}
+}
+
+func TestXGBoostGammaPrunes(t *testing.T) {
+	X, y := toyData(50)
+	loose := NewXGBoost(1)
+	strict := NewXGBoost(1)
+	strict.Gamma = 1e12 // no split can pay this penalty
+	if err := loose.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With an impossible gamma every tree is a stump predicting ~0
+	// residual, so predictions collapse to the base value.
+	base := mean(y)
+	if got := strict.Predict(X[0]); math.Abs(got-base) > 1e-6 {
+		t.Errorf("gamma-pruned prediction %f, want base %f", got, base)
+	}
+	if got := loose.Predict(X[0]); math.Abs(got-y[0]) > math.Abs(strict.Predict(X[0])-y[0]) {
+		t.Error("loose model should fit better than pruned")
+	}
+}
+
+func TestXGBoostShrinkageConvergence(t *testing.T) {
+	X, y := toyData(60)
+	fast := &XGBoost{Rounds: 10, Eta: 0.9, MaxDepth: 3, Lambda: 1, Subsample: 1}
+	slow := &XGBoost{Rounds: 10, Eta: 0.01, MaxDepth: 3, Lambda: 1, Subsample: 1}
+	if err := fast.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var fastErr, slowErr float64
+	for i, x := range X {
+		fastErr += math.Abs(fast.Predict(x) - y[i])
+		slowErr += math.Abs(slow.Predict(x) - y[i])
+	}
+	if fastErr >= slowErr {
+		t.Error("higher eta should fit training data faster in 10 rounds")
+	}
+}
+
+func TestXGBoostImportances(t *testing.T) {
+	X := make([][]float64, 60)
+	y := make([]float64, 60)
+	rng := newXorshift(11)
+	for i := range X {
+		X[i] = []float64{rng.float64v(), rng.float64v() * 10}
+		y[i] = X[i][1] * X[i][1]
+	}
+	m := NewXGBoost(3)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportances()
+	if imp[1] < 0.9 {
+		t.Errorf("feature 1 should dominate: %v", imp)
+	}
+}
+
+func TestXGBoostSubsample(t *testing.T) {
+	X, y := toyData(60)
+	m := &XGBoost{Rounds: 30, Eta: 0.3, MaxDepth: 3, Lambda: 1, Subsample: 0.6, Seed: 4}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(X[0]) == 0 {
+		t.Error("subsampled model should still predict")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared behaviour
+// ---------------------------------------------------------------------------
+
+func TestAllRegressorsImplementInterface(t *testing.T) {
+	X, y := toyData(30)
+	models := []Regressor{
+		NewLinearRegression(),
+		NewKNN(3),
+		NewDecisionTree(),
+		NewRandomForest(10, 1),
+		NewXGBoost(1),
+	}
+	names := map[string]bool{}
+	for _, m := range models {
+		if err := m.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if names[m.Name()] {
+			t.Errorf("duplicate name %s", m.Name())
+		}
+		names[m.Name()] = true
+		preds := PredictAll(m, X)
+		if len(preds) != len(X) {
+			t.Errorf("%s: PredictAll length", m.Name())
+		}
+		for _, p := range preds {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Errorf("%s: non-finite prediction", m.Name())
+			}
+		}
+	}
+	// Importance providers.
+	for _, m := range models {
+		if fi, ok := m.(FeatureImporter); ok {
+			imp := fi.FeatureImportances()
+			if len(imp) != 2 {
+				t.Errorf("%s: importances %v", m.(Regressor).Name(), imp)
+			}
+		}
+	}
+}
+
+func TestAllRegressorsRejectBadInput(t *testing.T) {
+	models := []Regressor{
+		NewLinearRegression(),
+		NewKNN(3),
+		NewDecisionTree(),
+		NewRandomForest(5, 1),
+		NewXGBoost(1),
+	}
+	for _, m := range models {
+		if err := m.Fit(nil, nil); err == nil {
+			t.Errorf("%s: empty fit should error", m.Name())
+		}
+		if err := m.Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s: ragged fit should error", m.Name())
+		}
+	}
+}
+
+func sanitize(v, scale float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, scale)
+}

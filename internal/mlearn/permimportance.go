@@ -1,0 +1,75 @@
+package mlearn
+
+import (
+	"fmt"
+
+	"cnnperf/internal/mlearn/metrics"
+)
+
+// PermutationImportance measures model-agnostic feature importance: for
+// each feature it shuffles that column of X (deterministically, seeded)
+// and reports how much the model's MAPE degrades. Unlike impurity
+// importance (the paper's Table III method) it needs no access to the
+// model's internals and works for every Regressor, so it serves as a
+// robustness check of the Table III ranking. Importances are normalised
+// to sum to 1 when any degradation occurs; negative degradations (noise)
+// clamp to 0.
+func PermutationImportance(model Regressor, X [][]float64, y []float64, repeats int, seed int64) ([]float64, error) {
+	n, p, err := checkXY(X, y)
+	if err != nil {
+		return nil, err
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	base, err := metrics.MAPE(y, PredictAll(model, X))
+	if err != nil {
+		return nil, fmt.Errorf("mlearn: permutation baseline: %w", err)
+	}
+	out := make([]float64, p)
+	rng := newXorshift(seed)
+	col := make([]float64, n)
+	shuffled := make([][]float64, n)
+	rowBuf := make([][]float64, n)
+	for i := range rowBuf {
+		rowBuf[i] = make([]float64, p)
+	}
+	for f := 0; f < p; f++ {
+		var degradation float64
+		for r := 0; r < repeats; r++ {
+			for i, row := range X {
+				col[i] = row[f]
+			}
+			// Fisher-Yates on the column.
+			for i := n - 1; i > 0; i-- {
+				j := int(rng.next() % uint64(i+1))
+				col[i], col[j] = col[j], col[i]
+			}
+			for i, row := range X {
+				copy(rowBuf[i], row)
+				rowBuf[i][f] = col[i]
+				shuffled[i] = rowBuf[i]
+			}
+			m, err := metrics.MAPE(y, PredictAll(model, shuffled))
+			if err != nil {
+				return nil, fmt.Errorf("mlearn: permutation feature %d: %w", f, err)
+			}
+			degradation += m - base
+		}
+		d := degradation / float64(repeats)
+		if d < 0 {
+			d = 0
+		}
+		out[f] = d
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out, nil
+}

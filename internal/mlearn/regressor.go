@@ -1,0 +1,70 @@
+// Package mlearn is a from-scratch, stdlib-only machine-learning library
+// covering exactly the five regression algorithms the paper compares
+// (Section IV-B): Linear Regression, K-Nearest Neighbors, Decision Tree,
+// Random Forest and XGBoost-style gradient boosting, plus the evaluation
+// metrics (MAPE, R², adjusted R²) and dataset handling (70/30 split,
+// CSV I/O) of the paper's pipeline.
+package mlearn
+
+import "fmt"
+
+// Regressor is a trainable scalar regression model.
+type Regressor interface {
+	// Name identifies the algorithm (e.g. "decision_tree").
+	Name() string
+	// Fit trains on rows X with responses y.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the estimate for one feature vector. Predict on
+	// an unfitted model returns 0.
+	Predict(x []float64) float64
+}
+
+// FeatureImporter is implemented by models that can attribute importance
+// to input features (the paper's Table III uses the Decision Tree's
+// impurity-based importances).
+type FeatureImporter interface {
+	// FeatureImportances returns one non-negative weight per feature,
+	// summing to 1 (all zeros if the model is unfitted or constant).
+	FeatureImportances() []float64
+}
+
+// checkXY validates training inputs.
+func checkXY(X [][]float64, y []float64) (rows, cols int, err error) {
+	if len(X) == 0 || len(y) == 0 {
+		return 0, 0, fmt.Errorf("mlearn: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, 0, fmt.Errorf("mlearn: %d rows but %d responses", len(X), len(y))
+	}
+	cols = len(X[0])
+	if cols == 0 {
+		return 0, 0, fmt.Errorf("mlearn: zero-width feature vectors")
+	}
+	for i, row := range X {
+		if len(row) != cols {
+			return 0, 0, fmt.Errorf("mlearn: row %d has %d features, want %d", i, len(row), cols)
+		}
+	}
+	return len(X), cols, nil
+}
+
+// PredictAll runs Predict over every row.
+func PredictAll(r Regressor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+// mean returns the arithmetic mean of vs (0 for empty input).
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,251 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DecisionTree is a CART regression tree grown by greedy variance
+// (impurity) reduction — the algorithm the paper selects for its final
+// predictive model. Feature importances are the impurity decreases
+// accumulated per split feature, as in the paper's Table III.
+type DecisionTree struct {
+	// MaxDepth limits tree depth (0 = unlimited).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MinSplit is the minimum samples to attempt a split (default 2).
+	MinSplit int
+
+	root        *treeNode
+	numFeat     int
+	importances []float64
+
+	// featureSubset, when non-nil, restricts candidate split features
+	// (used by the random forest); indices into the feature vector.
+	featureSubset func(depth int) []int
+}
+
+// treeNode is one node of the fitted tree.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64
+	samples   int
+}
+
+func (n *treeNode) leaf() bool { return n.left == nil }
+
+// NewDecisionTree returns an unlimited-depth CART regressor.
+func NewDecisionTree() *DecisionTree { return &DecisionTree{MinLeaf: 1, MinSplit: 2} }
+
+// Name implements Regressor.
+func (t *DecisionTree) Name() string { return "decision_tree" }
+
+// Fit implements Regressor.
+func (t *DecisionTree) Fit(X [][]float64, y []float64) error {
+	n, p, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if t.MinLeaf <= 0 {
+		t.MinLeaf = 1
+	}
+	if t.MinSplit < 2 {
+		t.MinSplit = 2
+	}
+	t.numFeat = p
+	t.importances = make([]float64, p)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(X, y, idx, 0)
+	// Normalise importances.
+	total := 0.0
+	for _, v := range t.importances {
+		total += v
+	}
+	if total > 0 {
+		for i := range t.importances {
+			t.importances[i] /= total
+		}
+	}
+	return nil
+}
+
+// grow recursively builds the tree over the sample indices idx.
+func (t *DecisionTree) grow(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+	node := &treeNode{samples: len(idx), value: meanAt(y, idx)}
+	if len(idx) < t.MinSplit || (t.MaxDepth > 0 && depth >= t.MaxDepth) {
+		return node
+	}
+	imp := sseAt(y, idx, node.value)
+	if imp == 0 {
+		return node
+	}
+	feats := t.candidateFeatures(depth)
+	bestGain := 0.0
+	bestFeat := -1
+	bestThr := 0.0
+	var bestLeft, bestRight []int
+	// Relative epsilon: splits whose gains differ only by floating-point
+	// summation order count as ties, resolved to the earliest feature in
+	// the schema.
+	eps := 1e-9 * imp
+	for _, f := range feats {
+		thr, gain, left, right := bestSplitOnFeature(X, y, idx, f, imp, t.MinLeaf)
+		if gain > bestGain+eps {
+			bestGain, bestFeat, bestThr = gain, f, thr
+			bestLeft, bestRight = left, right
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	t.importances[bestFeat] += bestGain
+	node.feature = bestFeat
+	node.threshold = bestThr
+	node.left = t.grow(X, y, bestLeft, depth+1)
+	node.right = t.grow(X, y, bestRight, depth+1)
+	return node
+}
+
+// candidateFeatures returns the feature indices to consider at a depth.
+func (t *DecisionTree) candidateFeatures(depth int) []int {
+	if t.featureSubset != nil {
+		return t.featureSubset(depth)
+	}
+	out := make([]int, t.numFeat)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// bestSplitOnFeature scans the sorted unique values of feature f for the
+// threshold maximising impurity (SSE) reduction.
+func bestSplitOnFeature(X [][]float64, y []float64, idx []int, f int, parentImp float64, minLeaf int) (thr, gain float64, left, right []int) {
+	order := append([]int(nil), idx...)
+	sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+
+	n := len(order)
+	// Prefix sums of y and y² in sorted order enable O(1) impurity.
+	sumL, sqL := 0.0, 0.0
+	sumT, sqT := 0.0, 0.0
+	for _, i := range order {
+		sumT += y[i]
+		sqT += y[i] * y[i]
+	}
+	bestGain := 0.0
+	bestPos := -1
+	for pos := 0; pos < n-1; pos++ {
+		yi := y[order[pos]]
+		sumL += yi
+		sqL += yi * yi
+		if X[order[pos]][f] == X[order[pos+1]][f] {
+			continue // cannot split between equal values
+		}
+		nl, nr := pos+1, n-pos-1
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		impL := sqL - sumL*sumL/float64(nl)
+		sumR, sqR := sumT-sumL, sqT-sqL
+		impR := sqR - sumR*sumR/float64(nr)
+		g := parentImp - impL - impR
+		if g > bestGain {
+			bestGain = g
+			bestPos = pos
+		}
+	}
+	if bestPos < 0 {
+		return 0, 0, nil, nil
+	}
+	thr = (X[order[bestPos]][f] + X[order[bestPos+1]][f]) / 2
+	left = append([]int(nil), order[:bestPos+1]...)
+	right = append([]int(nil), order[bestPos+1:]...)
+	return thr, bestGain, left, right
+}
+
+// Predict implements Regressor.
+func (t *DecisionTree) Predict(x []float64) float64 {
+	if t.root == nil || len(x) != t.numFeat {
+		return 0
+	}
+	node := t.root
+	for !node.leaf() {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value
+}
+
+// FeatureImportances implements FeatureImporter.
+func (t *DecisionTree) FeatureImportances() []float64 {
+	if t.importances == nil {
+		return nil
+	}
+	return append([]float64(nil), t.importances...)
+}
+
+// Depth returns the depth of the fitted tree (0 for a stump/unfitted).
+func (t *DecisionTree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.leaf() {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *DecisionTree) Leaves() int { return countLeaves(t.root) }
+
+func countLeaves(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf() {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
+}
+
+// String renders the tree structure for debugging.
+func (t *DecisionTree) String() string {
+	if t.root == nil {
+		return "decision_tree(unfitted)"
+	}
+	return fmt.Sprintf("decision_tree(depth=%d, leaves=%d)", t.Depth(), t.Leaves())
+}
+
+func meanAt(y []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sseAt(y []float64, idx []int, m float64) float64 {
+	s := 0.0
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	if s < 0 || math.IsNaN(s) {
+		return 0
+	}
+	return s
+}

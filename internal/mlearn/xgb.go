@@ -1,0 +1,201 @@
+package mlearn
+
+import "sort"
+
+// XGBoost is a gradient-boosted tree ensemble in the style of Chen &
+// Guestrin's system (the paper's fifth candidate): squared-error
+// objective with second-order leaf weights w = -G/(H+λ), split gain
+// ½[G_L²/(H_L+λ) + G_R²/(H_R+λ) - G²/(H+λ)] - γ, shrinkage η and
+// optional row subsampling.
+type XGBoost struct {
+	// Rounds is the number of boosting rounds (default 100).
+	Rounds int
+	// Eta is the shrinkage / learning rate (default 0.3).
+	Eta float64
+	// MaxDepth bounds each tree (default 4).
+	MaxDepth int
+	// Lambda is the L2 leaf regularisation (default 1).
+	Lambda float64
+	// Gamma is the minimum split gain (default 0).
+	Gamma float64
+	// Subsample is the row sampling fraction per round (default 1).
+	Subsample float64
+	// Seed drives subsampling.
+	Seed int64
+
+	base    float64
+	trees   []*xgbNode
+	numFeat int
+	gains   []float64 // accumulated split gains per feature
+}
+
+// xgbNode is one node of a boosted tree.
+type xgbNode struct {
+	feature   int
+	threshold float64
+	left      *xgbNode
+	right     *xgbNode
+	weight    float64
+}
+
+func (n *xgbNode) leaf() bool { return n.left == nil }
+
+// NewXGBoost returns a booster with the library defaults.
+func NewXGBoost(seed int64) *XGBoost {
+	return &XGBoost{Rounds: 100, Eta: 0.3, MaxDepth: 4, Lambda: 1, Subsample: 1, Seed: seed}
+}
+
+// Name implements Regressor.
+func (m *XGBoost) Name() string { return "xgboost" }
+
+// Fit implements Regressor.
+func (m *XGBoost) Fit(X [][]float64, y []float64) error {
+	n, p, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if m.Rounds <= 0 {
+		m.Rounds = 100
+	}
+	if m.Eta <= 0 {
+		m.Eta = 0.3
+	}
+	if m.MaxDepth <= 0 {
+		m.MaxDepth = 4
+	}
+	if m.Lambda < 0 {
+		m.Lambda = 1
+	}
+	if m.Subsample <= 0 || m.Subsample > 1 {
+		m.Subsample = 1
+	}
+	m.numFeat = p
+	m.gains = make([]float64, p)
+	m.base = mean(y)
+	m.trees = nil
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.base
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	rng := newXorshift(m.Seed)
+	for round := 0; round < m.Rounds; round++ {
+		for i := range grad {
+			grad[i] = pred[i] - y[i] // d/dŷ ½(ŷ-y)²
+			hess[i] = 1
+		}
+		idx := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if m.Subsample >= 1 || rng.float64v() < m.Subsample {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) < 2 {
+			idx = idx[:0]
+			for i := 0; i < n; i++ {
+				idx = append(idx, i)
+			}
+		}
+		tree := m.growTree(X, grad, hess, idx, 0)
+		m.trees = append(m.trees, tree)
+		for i := 0; i < n; i++ {
+			pred[i] += m.Eta * evalXGB(tree, X[i])
+		}
+	}
+	return nil
+}
+
+// growTree builds one boosted tree on gradients/hessians.
+func (m *XGBoost) growTree(X [][]float64, grad, hess []float64, idx []int, depth int) *xgbNode {
+	var G, H float64
+	for _, i := range idx {
+		G += grad[i]
+		H += hess[i]
+	}
+	node := &xgbNode{weight: -G / (H + m.Lambda)}
+	if depth >= m.MaxDepth || len(idx) < 2 {
+		return node
+	}
+	parentScore := G * G / (H + m.Lambda)
+	bestGain := 0.0
+	bestFeat := -1
+	bestThr := 0.0
+	var bestLeft, bestRight []int
+	for f := 0; f < m.numFeat; f++ {
+		order := append([]int(nil), idx...)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		var gl, hl float64
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := order[pos]
+			gl += grad[i]
+			hl += hess[i]
+			if X[order[pos]][f] == X[order[pos+1]][f] {
+				continue
+			}
+			gr, hr := G-gl, H-hl
+			gain := 0.5*(gl*gl/(hl+m.Lambda)+gr*gr/(hr+m.Lambda)-parentScore) - m.Gamma
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (X[order[pos]][f] + X[order[pos+1]][f]) / 2
+				bestLeft = append([]int(nil), order[:pos+1]...)
+				bestRight = append([]int(nil), order[pos+1:]...)
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	m.gains[bestFeat] += bestGain
+	node.feature = bestFeat
+	node.threshold = bestThr
+	node.left = m.growTree(X, grad, hess, bestLeft, depth+1)
+	node.right = m.growTree(X, grad, hess, bestRight, depth+1)
+	return node
+}
+
+func evalXGB(n *xgbNode, x []float64) float64 {
+	for !n.leaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.weight
+}
+
+// Predict implements Regressor.
+func (m *XGBoost) Predict(x []float64) float64 {
+	if len(m.trees) == 0 || len(x) != m.numFeat {
+		return 0
+	}
+	out := m.base
+	for _, t := range m.trees {
+		out += m.Eta * evalXGB(t, x)
+	}
+	return out
+}
+
+// FeatureImportances implements FeatureImporter (normalised split gains).
+func (m *XGBoost) FeatureImportances() []float64 {
+	if m.gains == nil {
+		return nil
+	}
+	out := append([]float64(nil), m.gains...)
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// NumTrees returns the number of fitted boosting rounds.
+func (m *XGBoost) NumTrees() int { return len(m.trees) }

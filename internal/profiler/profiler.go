@@ -1,0 +1,181 @@
+// Package profiler is an nvprof-style profiling harness over the GPU
+// simulator. It produces the per-kernel tables nvprof prints, the
+// measured IPC the paper uses as its training response, and — crucially
+// for the paper's Table IV — the *cost* of profiling: nvprof replays every
+// kernel once per metric pass, so profiling a CNN takes minutes even
+// though inference takes milliseconds. That asymmetry is what the paper's
+// approach exploits.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnnperf/internal/dca"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/gpusim"
+	"cnnperf/internal/ptxgen"
+)
+
+// Config tunes the profiling cost model.
+type Config struct {
+	// StartupSec is the fixed cost of launching the framework, loading
+	// the model and attaching the profiler (default 45 s).
+	StartupSec float64
+	// ReplayPasses is the number of metric-collection passes nvprof
+	// needs to gather all counters (default 30).
+	ReplayPasses int
+	// IterationsPerPass is the number of timed inference iterations per
+	// pass (default 25).
+	IterationsPerPass int
+	// Sim configures the underlying GPU simulator.
+	Sim gpusim.Config
+}
+
+func (c Config) startup() float64 {
+	if c.StartupSec <= 0 {
+		return 45
+	}
+	return c.StartupSec
+}
+
+func (c Config) passes() int {
+	if c.ReplayPasses <= 0 {
+		return 30
+	}
+	return c.ReplayPasses
+}
+
+func (c Config) iters() int {
+	if c.IterationsPerPass <= 0 {
+		return 25
+	}
+	return c.IterationsPerPass
+}
+
+// KernelRow is one line of the nvprof-style kernel table.
+type KernelRow struct {
+	// Kernel is the kernel name.
+	Kernel string
+	// TimeSec is the simulated kernel duration.
+	TimeSec float64
+	// TimePct is the share of total GPU time.
+	TimePct float64
+	// Instructions is the dynamic instruction count.
+	Instructions int64
+	// IPC is the kernel's simulated instructions per cycle.
+	IPC float64
+	// AchievedOccupancy is the resident-warp fraction the launch reaches
+	// (nvprof's achieved_occupancy metric).
+	AchievedOccupancy float64
+	// DRAMThroughputGBs is the kernel's off-chip traffic rate
+	// (nvprof's dram_read+write_throughput).
+	DRAMThroughputGBs float64
+	// MemoryBound reports whether DRAM dominated the kernel.
+	MemoryBound bool
+}
+
+// Profile is the result of profiling one CNN on one GPU.
+type Profile struct {
+	// Model is the profiled CNN.
+	Model string
+	// GPU is the device name.
+	GPU string
+	// InferenceSec is the simulated single-inference latency.
+	InferenceSec float64
+	// IPC is the measured overall instructions-per-cycle — the response
+	// variable y of the paper's training dataset.
+	IPC float64
+	// Instructions is the total dynamic instruction count.
+	Instructions int64
+	// ProfilingCostSec is the simulated wall-clock cost of obtaining
+	// this profile with nvprof (the paper's t_p).
+	ProfilingCostSec float64
+	// Rows is the per-kernel breakdown sorted by time, descending.
+	Rows []KernelRow
+}
+
+// Run profiles a compiled CNN on one GPU: it performs the dynamic code
+// analysis, simulates the execution, and prices the nvprof session.
+func Run(prog *ptxgen.Program, spec gpu.Spec, cfg Config) (*Profile, error) {
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	return RunWithReport(rep, spec, cfg)
+}
+
+// RunWithReport profiles using an existing DCA report (avoids re-analysis
+// when sweeping GPUs).
+func RunWithReport(rep *dca.Report, spec gpu.Spec, cfg Config) (*Profile, error) {
+	sim, err := gpusim.Simulate(rep, spec, cfg.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	clockHz := spec.BoostClockMHz * 1e6
+	if cfg.Sim.ClockMHz > 0 {
+		clockHz = cfg.Sim.ClockMHz * 1e6
+	}
+	p := &Profile{
+		Model:        sim.Model,
+		GPU:          sim.GPU,
+		InferenceSec: sim.RuntimeSec,
+		IPC:          sim.IPC,
+		Instructions: sim.Instructions,
+	}
+	p.ProfilingCostSec = cfg.startup() +
+		float64(cfg.passes())*float64(cfg.iters())*sim.RuntimeSec
+
+	// Percentages are computed against the pre-noise kernel total so
+	// they sum to 100 like nvprof's table.
+	var kernelCycles float64
+	for _, kt := range sim.Kernels {
+		kernelCycles += kt.Cycles
+	}
+	for i, kt := range sim.Kernels {
+		kr := rep.Kernels[i]
+		row := KernelRow{
+			Kernel:       kt.Kernel,
+			TimeSec:      kt.Cycles / clockHz,
+			TimePct:      100 * kt.Cycles / kernelCycles,
+			Instructions: kr.Executed,
+			MemoryBound:  kt.MemoryBound,
+		}
+		if kt.Cycles > 0 {
+			row.IPC = float64(kr.Executed) / kt.Cycles
+			row.DRAMThroughputGBs = kt.DRAMBytes / (kt.Cycles / clockHz) / 1e9
+		}
+		// Achieved occupancy: resident warps over the SM array's warp
+		// slots, capped at 1 (mirrors the simulator's occupancy model).
+		warps := float64(kr.Threads) / 32
+		slots := float64(spec.SMs) * 64
+		row.AchievedOccupancy = warps / slots
+		if row.AchievedOccupancy > 1 {
+			row.AchievedOccupancy = 1
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	sort.Slice(p.Rows, func(i, j int) bool { return p.Rows[i].TimeSec > p.Rows[j].TimeSec })
+	return p, nil
+}
+
+// Format renders the profile as an nvprof-like text report, listing up to
+// topN kernels (0 = all).
+func (p *Profile) Format(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==PROF== Profiling %s on %s\n", p.Model, p.GPU)
+	fmt.Fprintf(&b, "==PROF== Inference: %.6f s   IPC: %.2f   Instructions: %d\n",
+		p.InferenceSec, p.IPC, p.Instructions)
+	fmt.Fprintf(&b, "==PROF== Profiling session cost: %.1f s\n", p.ProfilingCostSec)
+	fmt.Fprintf(&b, "%8s %12s %14s %10s %6s %10s  %s\n", "Time(%)", "Time(s)", "Instructions", "IPC", "Occ", "DRAM GB/s", "Name")
+	rows := p.Rows
+	if topN > 0 && topN < len(rows) {
+		rows = rows[:topN]
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7.2f%% %12.6f %14d %10.2f %6.2f %10.1f  %s\n",
+			r.TimePct, r.TimeSec, r.Instructions, r.IPC, r.AchievedOccupancy, r.DRAMThroughputGBs, r.Kernel)
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package profiler
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cnnperf/internal/cnn"
+	"cnnperf/internal/dca"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/ptxgen"
+)
+
+func compile(t *testing.T) *ptxgen.Program {
+	t.Helper()
+	b, x := cnn.NewBuilder("profnet", cnn.Shape{H: 16, W: 16, C: 3})
+	x = b.Add(cnn.ConvNoBias(8, 3, 1, cnn.Same), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(10), x)
+	m, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ptxgen.Compile(m, ptxgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestRunProducesProfile(t *testing.T) {
+	prog := compile(t)
+	spec := gpu.MustLookup("gtx1080ti")
+	p, err := Run(prog, spec, Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if p.Model != "profnet" || p.GPU != spec.Name {
+		t.Errorf("identity: %+v", p)
+	}
+	if p.IPC <= 0 || p.InferenceSec <= 0 || p.Instructions <= 0 {
+		t.Errorf("bad measurements: %+v", p)
+	}
+	if len(p.Rows) != len(prog.Launches) {
+		t.Errorf("rows = %d, want %d", len(p.Rows), len(prog.Launches))
+	}
+	// Rows sorted by time descending; percentages sum to ~100.
+	var pct float64
+	for i, r := range p.Rows {
+		pct += r.TimePct
+		if i > 0 && r.TimeSec > p.Rows[i-1].TimeSec {
+			t.Error("rows not sorted by time")
+		}
+	}
+	if math.Abs(pct-100) > 0.5 {
+		t.Errorf("time percentages sum to %f", pct)
+	}
+}
+
+func TestProfilingCostModel(t *testing.T) {
+	prog := compile(t)
+	spec := gpu.MustLookup("v100s")
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{StartupSec: 10, ReplayPasses: 5, IterationsPerPass: 4}
+	p, err := RunWithReport(rep, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 + 5*4*p.InferenceSec
+	if math.Abs(p.ProfilingCostSec-want) > 1e-9 {
+		t.Errorf("profiling cost = %f, want %f", p.ProfilingCostSec, want)
+	}
+	// Profiling must dwarf a single inference — the Table IV asymmetry.
+	if p.ProfilingCostSec < 100*p.InferenceSec {
+		t.Errorf("profiling (%f s) should dwarf inference (%f s)", p.ProfilingCostSec, p.InferenceSec)
+	}
+}
+
+func TestProfilingCostDefaultsAndGrowth(t *testing.T) {
+	prog := compile(t)
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunWithReport(rep, gpu.MustLookup("v100s"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunWithReport(rep, gpu.MustLookup("quadrop1000"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same model: profiling the slower GPU costs at least as much.
+	if slow.ProfilingCostSec < fast.ProfilingCostSec {
+		t.Errorf("P1000 profiling (%f) cheaper than V100S (%f)", slow.ProfilingCostSec, fast.ProfilingCostSec)
+	}
+	// Defaults: startup 45 s floor.
+	if fast.ProfilingCostSec < 45 {
+		t.Errorf("default startup missing: %f", fast.ProfilingCostSec)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	prog := compile(t)
+	p, err := Run(prog, gpu.MustLookup("gtx1080ti"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Format(2)
+	if !strings.Contains(text, "==PROF== Profiling profnet") {
+		t.Errorf("missing header:\n%s", text)
+	}
+	if strings.Count(text, "fusion_") != 2 {
+		t.Errorf("topN=2 should print 2 kernels:\n%s", text)
+	}
+	all := p.Format(0)
+	if strings.Count(all, "fusion_") != len(p.Rows) {
+		t.Error("topN=0 should print all kernels")
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	prog := compile(t)
+	if _, err := Run(prog, gpu.Spec{}, Config{}); err == nil {
+		t.Error("invalid spec should error")
+	}
+	if _, err := RunWithReport(nil, gpu.MustLookup("t4"), Config{}); err == nil {
+		t.Error("nil report should error")
+	}
+}
+
+func TestExtendedKernelMetrics(t *testing.T) {
+	prog := compile(t)
+	p, err := Run(prog, gpu.MustLookup("gtx1080ti"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Rows {
+		if r.AchievedOccupancy <= 0 || r.AchievedOccupancy > 1 {
+			t.Errorf("%s: occupancy %f outside (0,1]", r.Kernel, r.AchievedOccupancy)
+		}
+		if r.DRAMThroughputGBs < 0 {
+			t.Errorf("%s: negative DRAM throughput", r.Kernel)
+		}
+		// Throughput cannot exceed the device's peak bandwidth by more
+		// than rounding.
+		if r.DRAMThroughputGBs > 484*1.01 {
+			t.Errorf("%s: DRAM throughput %f exceeds peak", r.Kernel, r.DRAMThroughputGBs)
+		}
+	}
+	text := p.Format(3)
+	if !strings.Contains(text, "DRAM GB/s") || !strings.Contains(text, "Occ") {
+		t.Error("format missing extended metric columns")
+	}
+}

@@ -1,0 +1,75 @@
+package ptx
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchModule builds a module with many loop kernels for parser/printer
+// throughput measurement.
+func benchModule(b *testing.B) *Module {
+	b.Helper()
+	m := &Module{Version: "6.0", Target: "sm_61", AddressSize: 64}
+	for i := 0; i < 50; i++ {
+		k := &Kernel{Name: "kernel_" + string(rune('a'+i%26)) + string(rune('0'+i/26))}
+		k.Params = []Param{{Name: k.Name + "_p0", Type: ".u64"}}
+		k.Append(Instruction{Opcode: "ld.param.u64", Operands: []string{"%rd1", "[" + k.Name + "_p0]"}})
+		k.Append(Instruction{Opcode: "mov.u32", Operands: []string{"%r1", "0"}})
+		if err := k.AddLabel("L"); err != nil {
+			b.Fatal(err)
+		}
+		k.Append(Instruction{Opcode: "mul.wide.s32", Operands: []string{"%rd2", "%r1", "4"}})
+		k.Append(Instruction{Opcode: "add.s64", Operands: []string{"%rd3", "%rd1", "%rd2"}})
+		k.Append(Instruction{Opcode: "ld.global.f32", Operands: []string{"%f1", "[%rd3]"}})
+		k.Append(Instruction{Opcode: "fma.rn.f32", Operands: []string{"%f2", "%f1", "%f1", "%f2"}})
+		k.Append(Instruction{Opcode: "add.s32", Operands: []string{"%r1", "%r1", "1"}})
+		k.Append(Instruction{Opcode: "setp.lt.s32", Operands: []string{"%p1", "%r1", "1024"}})
+		k.Append(Instruction{Pred: "%p1", Opcode: "bra", Operands: []string{"L"}})
+		k.Append(Instruction{Opcode: "ret"})
+		m.Kernels = append(m.Kernels, k)
+	}
+	return m
+}
+
+func BenchmarkPrint(b *testing.B) {
+	m := benchModule(b)
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total += len(Print(m))
+	}
+	if total == 0 {
+		b.Fatal("empty output")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	text := Print(benchModule(b))
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassOf(b *testing.B) {
+	ops := []string{"add.s32", "fma.rn.f32", "ld.global.f32", "setp.lt.u32", "bra", "cvta.to.global.u64"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ClassOf(ops[i%len(ops)]) == ClassUnknown {
+			b.Fatal("unknown class")
+		}
+	}
+}
+
+func BenchmarkInstructionString(b *testing.B) {
+	in := Instruction{Pred: "%p1", Opcode: "fma.rn.f32", Operands: []string{"%f1", "%f2", "%f3", "%f1"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !strings.HasPrefix(in.String(), "@") {
+			b.Fatal("bad render")
+		}
+	}
+}

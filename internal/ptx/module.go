@@ -1,0 +1,214 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction is one PTX instruction: an optional guard predicate, a full
+// opcode and its operand list. For opcodes with a destination (HasDest),
+// Operands[0] is the destination.
+type Instruction struct {
+	// Pred is the guard predicate register ("%p1") or empty.
+	Pred string
+	// PredNeg negates the guard ("@!%p1").
+	PredNeg bool
+	// Opcode is the full dotted opcode, e.g. "setp.lt.u32".
+	Opcode string
+	// Operands are the operand strings: registers ("%r1"), immediates
+	// ("42", "0f3F800000"), special registers ("%tid.x"), memory
+	// references ("[%rd1+4]"), parameter names or labels.
+	Operands []string
+}
+
+// Dest returns the destination register, or "" when the opcode has none.
+func (in Instruction) Dest() string {
+	if HasDest(in.Opcode) && len(in.Operands) > 0 {
+		return in.Operands[0]
+	}
+	return ""
+}
+
+// Sources returns the source operands (everything that is not the
+// destination). Stores and branches source all operands.
+func (in Instruction) Sources() []string {
+	if HasDest(in.Opcode) {
+		if len(in.Operands) <= 1 {
+			return nil
+		}
+		return in.Operands[1:]
+	}
+	return in.Operands
+}
+
+// Class returns the execution class of the instruction.
+func (in Instruction) Class() Class { return ClassOf(in.Opcode) }
+
+// String renders the instruction in PTX syntax.
+func (in Instruction) String() string {
+	var b strings.Builder
+	if in.Pred != "" {
+		b.WriteByte('@')
+		if in.PredNeg {
+			b.WriteByte('!')
+		}
+		b.WriteString(in.Pred)
+		b.WriteByte(' ')
+	}
+	b.WriteString(in.Opcode)
+	if len(in.Operands) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(in.Operands, ", "))
+	}
+	b.WriteByte(';')
+	return b.String()
+}
+
+// Param is a kernel parameter declaration.
+type Param struct {
+	// Name is the parameter identifier.
+	Name string
+	// Type is the PTX type, e.g. ".u64".
+	Type string
+}
+
+// RegDecl declares a bank of virtual registers, e.g. ".reg .f32 %f<40>;".
+type RegDecl struct {
+	// Type is the register type (".f32", ".pred", ...).
+	Type string
+	// Prefix is the register name prefix ("%f").
+	Prefix string
+	// Count is the declared bank size.
+	Count int
+}
+
+// Kernel is one .entry function: parameters, register declarations and a
+// flat instruction body with labels resolved to indices.
+type Kernel struct {
+	// Name is the kernel entry name.
+	Name string
+	// Params are the kernel parameters in declaration order.
+	Params []Param
+	// Regs are the register bank declarations.
+	Regs []RegDecl
+	// Body is the instruction sequence.
+	Body []Instruction
+	// Labels maps label names to the Body index they precede.
+	Labels map[string]int
+	// labelAt maps a body index to its label names (for printing).
+	labelAt map[int][]string
+}
+
+// AddLabel attaches a label to the next appended instruction index.
+func (k *Kernel) AddLabel(name string) error {
+	if k.Labels == nil {
+		k.Labels = make(map[string]int)
+		k.labelAt = make(map[int][]string)
+	}
+	if _, dup := k.Labels[name]; dup {
+		return fmt.Errorf("ptx: duplicate label %q in kernel %q", name, k.Name)
+	}
+	idx := len(k.Body)
+	k.Labels[name] = idx
+	k.labelAt[idx] = append(k.labelAt[idx], name)
+	return nil
+}
+
+// Append adds an instruction to the body.
+func (k *Kernel) Append(in Instruction) { k.Body = append(k.Body, in) }
+
+// LabelsAt returns the labels attached to a body index.
+func (k *Kernel) LabelsAt(idx int) []string {
+	return k.labelAt[idx]
+}
+
+// Target resolves a branch target label to a body index.
+func (k *Kernel) Target(label string) (int, error) {
+	idx, ok := k.Labels[label]
+	if !ok {
+		return 0, fmt.Errorf("ptx: undefined label %q in kernel %q", label, k.Name)
+	}
+	return idx, nil
+}
+
+// StaticHistogram counts the static instructions per class.
+func (k *Kernel) StaticHistogram() map[Class]int64 {
+	h := make(map[Class]int64)
+	for _, in := range k.Body {
+		h[in.Class()]++
+	}
+	return h
+}
+
+// Validate checks label targets and operand arity of the body.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("ptx: kernel without name")
+	}
+	for i, in := range k.Body {
+		if in.Opcode == "" {
+			return fmt.Errorf("ptx: kernel %q: empty opcode at %d", k.Name, i)
+		}
+		if ClassOf(in.Opcode) == ClassUnknown {
+			return fmt.Errorf("ptx: kernel %q: unknown opcode %q at %d", k.Name, in.Opcode, i)
+		}
+		if in.Opcode == "bra" || in.Opcode == "bra.uni" {
+			if len(in.Operands) != 1 {
+				return fmt.Errorf("ptx: kernel %q: bra needs 1 operand at %d", k.Name, i)
+			}
+			if _, err := k.Target(in.Operands[0]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Module is a translation unit: header directives plus kernels.
+type Module struct {
+	// Version is the PTX ISA version, e.g. "6.0".
+	Version string
+	// Target is the SM target, e.g. "sm_61".
+	Target string
+	// AddressSize is 32 or 64.
+	AddressSize int
+	// Kernels are the entry functions in declaration order.
+	Kernels []*Kernel
+}
+
+// Kernel returns the kernel with the given name, or nil.
+func (m *Module) Kernel(name string) *Kernel {
+	for _, k := range m.Kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// Validate checks the module header and all kernels.
+func (m *Module) Validate() error {
+	if m.AddressSize != 32 && m.AddressSize != 64 {
+		return fmt.Errorf("ptx: address size %d", m.AddressSize)
+	}
+	seen := make(map[string]bool)
+	for _, k := range m.Kernels {
+		if seen[k.Name] {
+			return fmt.Errorf("ptx: duplicate kernel %q", k.Name)
+		}
+		seen[k.Name] = true
+		if err := k.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StaticInstructions returns the total static instruction count.
+func (m *Module) StaticInstructions() int64 {
+	var n int64
+	for _, k := range m.Kernels {
+		n += int64(len(k.Body))
+	}
+	return n
+}

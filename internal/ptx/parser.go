@@ -1,0 +1,290 @@
+package ptx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads PTX assembly text (the subset this package prints plus the
+// nvcc conventions of the paper's Fig. 2: comments, directives, labels,
+// predicated instructions) into a Module.
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: splitLines(src)}
+	return p.parseModule()
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+// splitLines normalises the input: strips // comments and blank lines,
+// keeps everything else trimmed.
+func splitLines(src string) []string {
+	raw := strings.Split(src, "\n")
+	out := make([]string, 0, len(raw))
+	for _, l := range raw {
+		if i := strings.Index(l, "//"); i >= 0 {
+			l = l[:i]
+		}
+		l = strings.TrimSpace(l)
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (p *parser) peek() (string, bool) {
+	if p.pos >= len(p.lines) {
+		return "", false
+	}
+	return p.lines[p.pos], true
+}
+
+func (p *parser) next() (string, bool) {
+	l, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return l, ok
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ptx: line %d: %s", p.pos+1, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	m := &Module{}
+	for {
+		line, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, ".version"):
+			m.Version = strings.TrimSpace(strings.TrimPrefix(line, ".version"))
+			p.pos++
+		case strings.HasPrefix(line, ".target"):
+			m.Target = strings.TrimSpace(strings.TrimPrefix(line, ".target"))
+			p.pos++
+		case strings.HasPrefix(line, ".address_size"):
+			v := strings.TrimSpace(strings.TrimPrefix(line, ".address_size"))
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, p.errf("bad address size %q", v)
+			}
+			m.AddressSize = n
+			p.pos++
+		case strings.Contains(line, ".entry"):
+			k, err := p.parseKernel()
+			if err != nil {
+				return nil, err
+			}
+			m.Kernels = append(m.Kernels, k)
+		default:
+			return nil, p.errf("unexpected line %q", line)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseKernel consumes ".visible .entry name(" through the closing "}".
+func (p *parser) parseKernel() (*Kernel, error) {
+	line, _ := p.next()
+	idx := strings.Index(line, ".entry")
+	rest := strings.TrimSpace(line[idx+len(".entry"):])
+	name := rest
+	inlineParams := ""
+	if i := strings.IndexByte(rest, '('); i >= 0 {
+		name = strings.TrimSpace(rest[:i])
+		inlineParams = strings.TrimSpace(rest[i+1:])
+	}
+	if name == "" {
+		return nil, p.errf("kernel entry without a name")
+	}
+	k := &Kernel{Name: name}
+
+	// Parameters: either inline up to ')' or on following lines.
+	paramText := inlineParams
+	for !strings.Contains(paramText, ")") {
+		l, ok := p.next()
+		if !ok {
+			return nil, p.errf("unterminated parameter list for %q", name)
+		}
+		paramText += " " + l
+	}
+	closing := strings.Index(paramText, ")")
+	body := strings.TrimSpace(paramText[closing+1:])
+	paramText = paramText[:closing]
+	for _, decl := range strings.Split(paramText, ",") {
+		decl = strings.TrimSpace(decl)
+		if decl == "" {
+			continue
+		}
+		fields := strings.Fields(decl)
+		// ".param .u64 name"
+		if len(fields) != 3 || fields[0] != ".param" {
+			return nil, p.errf("bad parameter %q", decl)
+		}
+		k.Params = append(k.Params, Param{Type: fields[1], Name: fields[2]})
+	}
+
+	// Opening brace may trail the parameter list or sit on its own line.
+	if body == "" {
+		l, ok := p.next()
+		if !ok || !strings.HasPrefix(l, "{") {
+			return nil, p.errf("expected '{' for kernel %q", name)
+		}
+		body = strings.TrimSpace(strings.TrimPrefix(l, "{"))
+	} else {
+		if !strings.HasPrefix(body, "{") {
+			return nil, p.errf("expected '{' after parameters of %q", name)
+		}
+		body = strings.TrimSpace(strings.TrimPrefix(body, "{"))
+	}
+	if body != "" {
+		// Rare: instruction on the brace line.
+		if err := p.parseBodyLine(k, body); err != nil {
+			return nil, err
+		}
+	}
+
+	for {
+		l, ok := p.next()
+		if !ok {
+			return nil, p.errf("unterminated kernel %q", name)
+		}
+		if l == "}" {
+			break
+		}
+		if strings.HasSuffix(l, "}") {
+			l = strings.TrimSpace(strings.TrimSuffix(l, "}"))
+			if l != "" {
+				if err := p.parseBodyLine(k, l); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+		if err := p.parseBodyLine(k, l); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// parseBodyLine handles one body line: a .reg declaration, a label, or
+// one or more ';'-separated instructions.
+func (p *parser) parseBodyLine(k *Kernel, line string) error {
+	if strings.HasPrefix(line, ".reg") {
+		return p.parseRegDecl(k, line)
+	}
+	if strings.HasPrefix(line, ".reqntid") || strings.HasPrefix(line, ".maxntid") {
+		return nil // performance directives: ignored
+	}
+	for {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			return nil
+		}
+		// Labels: "NAME:" possibly followed by an instruction.
+		if i := strings.IndexByte(line, ':'); i >= 0 && isLabelName(line[:i]) {
+			if err := k.AddLabel(line[:i]); err != nil {
+				return err
+			}
+			line = line[i+1:]
+			continue
+		}
+		semi := strings.IndexByte(line, ';')
+		if semi < 0 {
+			return p.errf("instruction without ';': %q", line)
+		}
+		stmt := strings.TrimSpace(line[:semi])
+		line = line[semi+1:]
+		if stmt == "" {
+			continue
+		}
+		in, err := parseInstruction(stmt)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		k.Append(in)
+	}
+}
+
+func isLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '$':
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) parseRegDecl(k *Kernel, line string) error {
+	// ".reg .f32 %f<40>;"
+	line = strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, ".reg")), ";")
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return p.errf("bad .reg declaration %q", line)
+	}
+	spec := fields[1]
+	lt := strings.IndexByte(spec, '<')
+	gt := strings.IndexByte(spec, '>')
+	if lt < 0 || gt < lt {
+		return p.errf("bad register bank %q", spec)
+	}
+	count, err := strconv.Atoi(spec[lt+1 : gt])
+	if err != nil {
+		return p.errf("bad register count in %q", spec)
+	}
+	k.Regs = append(k.Regs, RegDecl{Type: fields[0], Prefix: spec[:lt], Count: count})
+	return nil
+}
+
+// parseInstruction parses "@!%p1 opcode a, b, c" (no trailing ';').
+func parseInstruction(stmt string) (Instruction, error) {
+	var in Instruction
+	if strings.HasPrefix(stmt, "@") {
+		sp := strings.IndexAny(stmt, " \t")
+		if sp < 0 {
+			return in, fmt.Errorf("predicated instruction without opcode: %q", stmt)
+		}
+		pred := stmt[1:sp]
+		if strings.HasPrefix(pred, "!") {
+			in.PredNeg = true
+			pred = pred[1:]
+		}
+		in.Pred = pred
+		stmt = strings.TrimSpace(stmt[sp:])
+	}
+	sp := strings.IndexAny(stmt, " \t")
+	if sp < 0 {
+		in.Opcode = stmt
+		return in, nil
+	}
+	in.Opcode = stmt[:sp]
+	ops := strings.Split(stmt[sp+1:], ",")
+	for _, o := range ops {
+		o = strings.TrimSpace(o)
+		if o != "" {
+			in.Operands = append(in.Operands, o)
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,111 @@
+package ptxgen
+
+import "cnnperf/internal/cnn"
+
+// fusableOnto reports whether node c can fold into its producer's kernel:
+// the producer feeds only c, c reads only the producer, and c is an
+// elementwise op with a register-level implementation (BatchNorm or a
+// simple activation).
+func (g *generator) fusableOnto(c, producer *cnn.Node) bool {
+	if !g.opts.FuseElementwise {
+		return false
+	}
+	if g.consumers[producer.Name] != 1 {
+		return false
+	}
+	if len(c.Inputs) != 1 || c.Inputs[0] != producer {
+		return false
+	}
+	switch op := c.Op.(type) {
+	case cnn.BatchNorm, cnn.GroupNorm:
+		_ = op
+		return true
+	case cnn.Activation:
+		switch op.Fn {
+		case "relu", "swish", "sigmoid":
+			return true
+		}
+	}
+	return false
+}
+
+// soleConsumer returns the single consumer of n, or nil.
+func (g *generator) soleConsumer(n *cnn.Node) *cnn.Node {
+	cs := g.consumerNodes[n.Name]
+	if len(cs) != 1 {
+		return nil
+	}
+	return cs[0]
+}
+
+// fuseTail folds the chain of fusable elementwise nodes following n into
+// the open kernel: it emits their per-element arithmetic on val and
+// marks them as fused. It returns the final node of the chain (the
+// kernel's logical output), the final value register and the extra
+// working-set bytes (BN parameter vectors).
+func (g *generator) fuseTail(e *emitter, n *cnn.Node, gid, val string) (*cnn.Node, string, int64) {
+	last := n
+	var extraWS int64
+	for {
+		c := g.soleConsumer(last)
+		if c == nil || !g.fusableOnto(c, last) {
+			return last, val, extraWS
+		}
+		switch op := c.Op.(type) {
+		case cnn.BatchNorm:
+			// Scale-and-shift with per-channel parameters loaded from a
+			// dedicated pointer parameter.
+			base, ch := e.channelParams(gid, int64(c.OutShape().C))
+			scale := e.loadF(base, ch)
+			shift := e.loadF(base, ch)
+			out := e.f()
+			e.emit("fma.rn.f32", out, val, scale, shift)
+			val = out
+			extraWS += 8 * int64(c.OutShape().C)
+		case cnn.GroupNorm:
+			// Normalise with the group's inverse deviation, then scale
+			// and shift (inference form, as in lowerGroupNorm).
+			base, ch := e.channelParams(gid, int64(c.OutShape().C))
+			varv := e.loadF(base, ch)
+			inv := e.f()
+			e.emit("rsqrt.approx.f32", inv, varv)
+			norm := e.f()
+			e.emit("mul.f32", norm, val, inv)
+			gamma := e.loadF(base, ch)
+			beta := e.loadF(base, ch)
+			out := e.f()
+			e.emit("fma.rn.f32", out, norm, gamma, beta)
+			val = out
+			extraWS += 8 * int64(c.OutShape().C)
+		case cnn.Activation:
+			switch op.Fn {
+			case "relu":
+				zero := e.f()
+				e.emit("mov.f32", zero, "0f00000000")
+				out := e.f()
+				e.emit("max.f32", out, val, zero)
+				val = out
+			case "swish", "sigmoid":
+				neg := e.f()
+				e.emit("neg.f32", neg, val)
+				ev := e.f()
+				e.emit("ex2.approx.f32", ev, neg)
+				one := e.f()
+				e.emit("mov.f32", one, "0f3F800000")
+				den := e.f()
+				e.emit("add.f32", den, ev, one)
+				sig := e.f()
+				e.emit("rcp.approx.f32", sig, den)
+				if op.Fn == "swish" {
+					out := e.f()
+					e.emit("mul.f32", out, val, sig)
+					val = out
+				} else {
+					val = sig
+				}
+			}
+		}
+		g.fused[c.Name] = true
+		last = c
+	}
+}

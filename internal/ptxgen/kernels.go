@@ -1,0 +1,428 @@
+package ptxgen
+
+import (
+	"cnnperf/internal/cnn"
+)
+
+// lowerConv generates the convolution kernels. With ImplicitGEMM a single
+// kernel reduces over K = KH*KW*Cin/groups per output element; with
+// Im2colGEMM an explicit expansion kernel precedes a plain GEMM.
+func (g *generator) lowerConv(n *cnn.Node, op cnn.Conv2D) error {
+	in := inShape(n, 0)
+	out := n.OutShape()
+	groups := op.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	k := int64(op.KH) * int64(op.KW) * int64(in.C) / int64(groups)
+	weightBytes := bytesOf(op.Params([]cnn.Shape{in}))
+	switch g.opts.Lowering {
+	case Im2colGEMM:
+		// im2col: one thread per expanded matrix element.
+		cols := out.Elements() / int64(out.C) * k // (H*W) x K matrix
+		e := g.newEmitter(n, "im2col")
+		gid, ptrs, exit := e.prologue(2, cols)
+		// Gather: compute source coordinate, load, store.
+		row := e.r()
+		e.emit("div.s32", row, gid, imm(k))
+		col := e.r()
+		e.emit("rem.s32", col, gid, imm(k))
+		src := e.r()
+		e.emit("mad.lo.s32", src, row, imm(int64(op.SH)), col)
+		v := e.loadF(ptrs[0], src)
+		e.storeF(ptrs[1], gid, v)
+		e.epilogue(exit)
+		g.addLaunch(e.finish(), n, cols, bytesOf(in.Elements())+bytesOf(cols), nil)
+
+		// GEMM over the expanded matrix.
+		e = g.newEmitter(n, "gemm")
+		gid, ptrs, exit = e.prologue(3, out.Elements())
+		acc := e.macLoop(gid, ptrs[0], ptrs[1], k, 1, int64(out.C), int64(out.C))
+		if op.UseBias {
+			bias := e.loadF(ptrs[2], gid)
+			e.emit("add.f32", acc, acc, bias)
+		}
+		e.storeF(ptrs[2], gid, acc)
+		e.epilogue(exit)
+		g.addLaunch(e.finish(), n, out.Elements(),
+			bytesOf(cols)+weightBytes+bytesOf(out.Elements()), nil)
+		return nil
+	case TiledGEMM:
+		return g.lowerConvTiled(n, op, k, weightBytes)
+	default: // ImplicitGEMM
+		e := g.newEmitter(n, "")
+		gid, ptrs, exit := e.prologue(3, out.Elements()) // in, weights, out
+		acc := e.macLoop(gid, ptrs[0], ptrs[1], k, int64(op.SW), int64(in.C), int64(out.C))
+		if op.UseBias {
+			bias := e.loadF(ptrs[1], gid)
+			e.emit("add.f32", acc, acc, bias)
+		}
+		last, val, extraWS := g.fuseTail(e, n, gid, acc)
+		e.storeF(ptrs[2], gid, val)
+		e.epilogue(exit)
+		g.addLaunch(e.finish(), last, out.Elements(),
+			bytesOf(in.Elements())+weightBytes+bytesOf(out.Elements())+extraWS, nil)
+		return nil
+	}
+}
+
+// lowerConvTiled generates a shared-memory tiled convolution: the K-deep
+// reduction is processed in TileSize chunks staged through shared memory
+// with barrier synchronisation. Each thread issues two global loads per
+// tile instead of two per reduction element, so DRAM traffic drops by
+// about the tile size.
+func (g *generator) lowerConvTiled(n *cnn.Node, op cnn.Conv2D, k, weightBytes int64) error {
+	in := inShape(n, 0)
+	out := n.OutShape()
+	nTiles := (k + TileSize - 1) / TileSize
+	e := g.newEmitter(n, "tiled")
+	gid, ptrs, exit := e.prologue(3, out.Elements())
+
+	// Shared-memory tile bases (fixed offsets inside the block's SMEM).
+	shA := e.rd()
+	e.emit("mov.u64", shA, "0")
+	shB := e.rd()
+	e.emit("mov.u64", shB, imm(4*TileSize))
+
+	acc := e.f()
+	e.emit("mov.f32", acc, "0f00000000")
+	tile := e.r()
+	e.emit("mov.u32", tile, "0")
+	tileLoop := e.label("TILE")
+	e.place(tileLoop)
+
+	// Stage one element of each operand into shared memory.
+	ia := e.r()
+	e.emit("mad.lo.s32", ia, tile, imm(TileSize), gid)
+	av := e.loadF(ptrs[0], ia)
+	lane := e.r()
+	e.emit("rem.s32", lane, gid, imm(TileSize))
+	e.storeSharedF(shA, lane, av)
+	ib := e.r()
+	e.emit("mad.lo.s32", ib, tile, imm(int64(out.C)), gid)
+	bv := e.loadF(ptrs[1], ib)
+	e.storeSharedF(shB, lane, bv)
+	e.emit("bar.sync", "0")
+
+	// Inner product over the staged tile.
+	j := e.r()
+	e.emit("mov.u32", j, "0")
+	inner := e.label("INNER")
+	e.place(inner)
+	fa := e.loadSharedF(shA, j)
+	fb := e.loadSharedF(shB, j)
+	e.emit("fma.rn.f32", acc, fa, fb, acc)
+	e.emit("add.s32", j, j, "1")
+	more := e.p()
+	e.emit("setp.lt.s32", more, j, imm(TileSize))
+	e.emitPred(more, false, "bra", inner)
+	e.emit("bar.sync", "0")
+
+	e.emit("add.s32", tile, tile, "1")
+	again := e.p()
+	e.emit("setp.lt.s32", again, tile, imm(nTiles))
+	e.emitPred(again, false, "bra", tileLoop)
+
+	if op.UseBias {
+		bias := e.loadF(ptrs[1], gid)
+		e.emit("add.f32", acc, acc, bias)
+	}
+	e.storeF(ptrs[2], gid, acc)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, out.Elements(),
+		bytesOf(in.Elements())+weightBytes+bytesOf(out.Elements()), nil)
+	return nil
+}
+
+// lowerDepthwise reduces over the KH*KW window per output element.
+func (g *generator) lowerDepthwise(n *cnn.Node, op cnn.DepthwiseConv2D) error {
+	in := inShape(n, 0)
+	out := n.OutShape()
+	k := int64(op.KH) * int64(op.KW)
+	e := g.newEmitter(n, "")
+	gid, ptrs, exit := e.prologue(3, out.Elements())
+	acc := e.macLoop(gid, ptrs[0], ptrs[1], k, int64(op.SW), int64(in.C), 1)
+	last, val, extraWS := g.fuseTail(e, n, gid, acc)
+	e.storeF(ptrs[2], gid, val)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), last, out.Elements(),
+		bytesOf(in.Elements())+bytesOf(op.Params([]cnn.Shape{in}))+bytesOf(out.Elements())+extraWS, nil)
+	return nil
+}
+
+// lowerDense is a GEMV: one thread per output unit reducing over the
+// input width.
+func (g *generator) lowerDense(n *cnn.Node, op cnn.Dense) error {
+	in := inShape(n, 0)
+	out := n.OutShape()
+	e := g.newEmitter(n, "")
+	gid, ptrs, exit := e.prologue(3, out.Elements())
+	acc := e.macLoop(gid, ptrs[0], ptrs[1], int64(in.C), 1, 1, int64(out.C))
+	if op.UseBias {
+		bias := e.loadF(ptrs[1], gid)
+		e.emit("add.f32", acc, acc, bias)
+	}
+	last, val, extraWS := g.fuseTail(e, n, gid, acc)
+	e.storeF(ptrs[2], gid, val)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), last, out.Elements(),
+		bytesOf(in.Elements())+bytesOf(op.Params([]cnn.Shape{in}))+bytesOf(out.Elements())+extraWS, nil)
+	return nil
+}
+
+// lowerPool reduces over the pooling window with max or add.
+func (g *generator) lowerPool(n *cnn.Node, op cnn.Pool2D) error {
+	in := inShape(n, 0)
+	out := n.OutShape()
+	k := int64(op.KH) * int64(op.KW)
+	e := g.newEmitter(n, "")
+	gid, ptrs, exit := e.prologue(2, out.Elements())
+
+	i := e.r()
+	e.emit("mov.u32", i, "0")
+	acc := e.f()
+	if op.Kind2 == cnn.MaxPool {
+		e.emit("mov.f32", acc, "0fFF7FFFFF") // -FLT_MAX
+	} else {
+		e.emit("mov.f32", acc, "0f00000000")
+	}
+	loop := e.label("LOOP")
+	e.place(loop)
+	idx := e.r()
+	e.emit("mad.lo.s32", idx, i, imm(int64(op.SW)), gid)
+	v := e.loadF(ptrs[0], idx)
+	if op.Kind2 == cnn.MaxPool {
+		e.emit("max.f32", acc, acc, v)
+	} else {
+		e.emit("add.f32", acc, acc, v)
+	}
+	e.emit("add.s32", i, i, "1")
+	again := e.p()
+	e.emit("setp.lt.s32", again, i, imm(k))
+	e.emitPred(again, false, "bra", loop)
+	if op.Kind2 == cnn.AvgPool {
+		scale := e.f()
+		e.emit("mov.f32", scale, "0f3F000000") // placeholder 1/k constant
+		e.emit("mul.f32", acc, acc, scale)
+	}
+	e.storeF(ptrs[1], gid, acc)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, out.Elements(),
+		bytesOf(in.Elements())+bytesOf(out.Elements()), nil)
+	return nil
+}
+
+// lowerGlobalPool reduces the whole spatial extent per channel.
+func (g *generator) lowerGlobalPool(n *cnn.Node, op cnn.GlobalPool2D) error {
+	in := inShape(n, 0)
+	out := n.OutShape()
+	k := int64(in.H) * int64(in.W)
+	e := g.newEmitter(n, "")
+	gid, ptrs, exit := e.prologue(2, out.Elements())
+	i := e.r()
+	e.emit("mov.u32", i, "0")
+	acc := e.f()
+	e.emit("mov.f32", acc, "0f00000000")
+	loop := e.label("LOOP")
+	e.place(loop)
+	idx := e.r()
+	e.emit("mad.lo.s32", idx, i, imm(int64(in.C)), gid)
+	v := e.loadF(ptrs[0], idx)
+	if op.Kind2 == cnn.MaxPool {
+		e.emit("max.f32", acc, acc, v)
+	} else {
+		e.emit("add.f32", acc, acc, v)
+	}
+	e.emit("add.s32", i, i, "1")
+	again := e.p()
+	e.emit("setp.lt.s32", again, i, imm(k))
+	e.emitPred(again, false, "bra", loop)
+	if op.Kind2 == cnn.AvgPool {
+		inv := e.f()
+		e.emit("mov.f32", inv, "0f3F000000")
+		e.emit("mul.f32", acc, acc, inv)
+	}
+	e.storeF(ptrs[1], gid, acc)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, out.Elements(),
+		bytesOf(in.Elements())+bytesOf(out.Elements()), nil)
+	return nil
+}
+
+// lowerBatchNorm is an elementwise scale-and-shift (inference form).
+func (g *generator) lowerBatchNorm(n *cnn.Node) error {
+	out := n.OutShape()
+	e := g.newEmitter(n, "")
+	gid, ptrs, exit := e.prologue(3, out.Elements()) // x, scale/shift, out
+	ch := e.r()
+	e.emit("rem.s32", ch, gid, imm(int64(out.C)))
+	x := e.loadF(ptrs[0], gid)
+	scale := e.loadF(ptrs[1], ch)
+	shift := e.loadF(ptrs[1], ch)
+	y := e.f()
+	e.emit("fma.rn.f32", y, x, scale, shift)
+	e.storeF(ptrs[2], gid, y)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, out.Elements(),
+		2*bytesOf(out.Elements())+bytesOf(2*int64(out.C)), nil)
+	return nil
+}
+
+// lowerGroupNorm is batch-norm-like with an extra rsqrt per element
+// (inference approximation of the per-group statistics path).
+func (g *generator) lowerGroupNorm(n *cnn.Node) error {
+	out := n.OutShape()
+	e := g.newEmitter(n, "")
+	gid, ptrs, exit := e.prologue(3, out.Elements())
+	ch := e.r()
+	e.emit("rem.s32", ch, gid, imm(int64(out.C)))
+	x := e.loadF(ptrs[0], gid)
+	varv := e.loadF(ptrs[1], ch)
+	inv := e.f()
+	e.emit("rsqrt.approx.f32", inv, varv)
+	norm := e.f()
+	e.emit("mul.f32", norm, x, inv)
+	gamma := e.loadF(ptrs[1], ch)
+	beta := e.loadF(ptrs[1], ch)
+	y := e.f()
+	e.emit("fma.rn.f32", y, norm, gamma, beta)
+	e.storeF(ptrs[2], gid, y)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, out.Elements(),
+		2*bytesOf(out.Elements())+bytesOf(2*int64(out.C)), nil)
+	return nil
+}
+
+// lowerActivation generates the elementwise non-linearity. Softmax
+// additionally reduces over the channel dimension for its normaliser.
+func (g *generator) lowerActivation(n *cnn.Node, op cnn.Activation) error {
+	out := n.OutShape()
+	e := g.newEmitter(n, op.Fn)
+	gid, ptrs, exit := e.prologue(2, out.Elements())
+	x := e.loadF(ptrs[0], gid)
+	var y string
+	switch op.Fn {
+	case "softmax":
+		// Normaliser loop: sum of exp over the vector.
+		i := e.r()
+		e.emit("mov.u32", i, "0")
+		sum := e.f()
+		e.emit("mov.f32", sum, "0f00000000")
+		loop := e.label("LOOP")
+		e.place(loop)
+		v := e.loadF(ptrs[0], i)
+		ev := e.f()
+		e.emit("ex2.approx.f32", ev, v)
+		e.emit("add.f32", sum, sum, ev)
+		e.emit("add.s32", i, i, "1")
+		again := e.p()
+		e.emit("setp.lt.s32", again, i, imm(int64(out.C)))
+		e.emitPred(again, false, "bra", loop)
+		ex := e.f()
+		e.emit("ex2.approx.f32", ex, x)
+		rs := e.f()
+		e.emit("rcp.approx.f32", rs, sum)
+		y = e.f()
+		e.emit("mul.f32", y, ex, rs)
+	case "sigmoid", "swish":
+		neg := e.f()
+		e.emit("neg.f32", neg, x)
+		ev := e.f()
+		e.emit("ex2.approx.f32", ev, neg)
+		one := e.f()
+		e.emit("mov.f32", one, "0f3F800000")
+		den := e.f()
+		e.emit("add.f32", den, ev, one)
+		sig := e.f()
+		e.emit("rcp.approx.f32", sig, den)
+		if op.Fn == "swish" {
+			y = e.f()
+			e.emit("mul.f32", y, x, sig)
+		} else {
+			y = sig
+		}
+	default: // relu and friends
+		zero := e.f()
+		e.emit("mov.f32", zero, "0f00000000")
+		y = e.f()
+		e.emit("max.f32", y, x, zero)
+	}
+	e.storeF(ptrs[1], gid, y)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, out.Elements(), 2*bytesOf(out.Elements()), nil)
+	return nil
+}
+
+// lowerAdd sums all inputs elementwise.
+func (g *generator) lowerAdd(n *cnn.Node) error {
+	out := n.OutShape()
+	e := g.newEmitter(n, "")
+	gid, ptrs, exit := e.prologue(len(n.Inputs)+1, out.Elements())
+	acc := e.loadF(ptrs[0], gid)
+	for i := 1; i < len(n.Inputs); i++ {
+		v := e.loadF(ptrs[i], gid)
+		e.emit("add.f32", acc, acc, v)
+	}
+	e.storeF(ptrs[len(n.Inputs)], gid, acc)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, out.Elements(),
+		int64(len(n.Inputs)+1)*bytesOf(out.Elements()), nil)
+	return nil
+}
+
+// lowerMultiply multiplies two inputs elementwise, broadcasting a 1x1xC
+// gate across the spatial extent when required.
+func (g *generator) lowerMultiply(n *cnn.Node) error {
+	out := n.OutShape()
+	e := g.newEmitter(n, "")
+	gid, ptrs, exit := e.prologue(3, out.Elements())
+	a := e.loadF(ptrs[0], gid)
+	idx := gid
+	if inShape(n, 1) != out { // broadcast gate: index by channel
+		ch := e.r()
+		e.emit("rem.s32", ch, gid, imm(int64(out.C)))
+		idx = ch
+	}
+	bv := e.loadF(ptrs[1], idx)
+	y := e.f()
+	e.emit("mul.f32", y, a, bv)
+	e.storeF(ptrs[2], gid, y)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, out.Elements(),
+		bytesOf(out.Elements())*2+bytesOf(inShape(n, 1).Elements()), nil)
+	return nil
+}
+
+// lowerConcat emits one strided copy kernel per input (channel packing).
+func (g *generator) lowerConcat(n *cnn.Node) error {
+	out := n.OutShape()
+	offset := int64(0)
+	for i := range n.Inputs {
+		in := inShape(n, i)
+		e := g.newEmitter(n, "copy")
+		gid, ptrs, exit := e.prologue(2, in.Elements())
+		dst := e.r()
+		// dst = gid + spatialIndex*(outC-inC) + offset: one mad + add.
+		e.emit("mad.lo.s32", dst, gid, imm(int64(out.C-in.C)+1), imm(offset))
+		v := e.loadF(ptrs[0], gid)
+		e.storeF(ptrs[1], dst, v)
+		e.epilogue(exit)
+		g.addLaunch(e.finish(), n, in.Elements(), 2*bytesOf(in.Elements()), nil)
+		offset += int64(in.C)
+	}
+	return nil
+}
+
+// lowerCopy emits a plain gather/scatter copy (zero padding and similar
+// data movement nodes).
+func (g *generator) lowerCopy(n *cnn.Node, suffix string) error {
+	in := inShape(n, 0)
+	e := g.newEmitter(n, suffix)
+	gid, ptrs, exit := e.prologue(2, in.Elements())
+	v := e.loadF(ptrs[0], gid)
+	e.storeF(ptrs[1], gid, v)
+	e.epilogue(exit)
+	g.addLaunch(e.finish(), n, in.Elements(),
+		bytesOf(in.Elements())+bytesOf(n.OutShape().Elements()), nil)
+	return nil
+}

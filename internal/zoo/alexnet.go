@@ -1,0 +1,42 @@
+package zoo
+
+import "cnnperf/internal/cnn"
+
+func init() {
+	register(Reference{
+		Name: "alexnet", Input: sq(227), Layers: 8,
+		Neurons: 650_000, TrainableParams: 58_325_066,
+	}, buildAlexNet)
+}
+
+// buildAlexNet constructs the original two-tower AlexNet (Krizhevsky et
+// al., 2012) with grouped convolutions in layers 2, 4 and 5. The paper's
+// Table I reports 58.3M trainable parameters for its AlexNet variant; the
+// canonical grouped architecture built here has 61.0M (a 4.5 % deviation
+// recorded in EXPERIMENTS.md).
+func buildAlexNet() *cnn.Model {
+	b, x := cnn.NewBuilder("alexnet", sq(227))
+	x = b.Add(cnn.Conv(96, 11, 4, cnn.Valid), x) // 55x55x96
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x) // 27x27x96
+	x = b.Add(cnn.Conv2D{Filters: 256, KH: 5, KW: 5, SH: 1, SW: 1, Pad: cnn.Same, UseBias: true, Groups: 2}, x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x) // 13x13x256
+	x = b.Add(cnn.Conv(384, 3, 1, cnn.Same), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.Conv2D{Filters: 384, KH: 3, KW: 3, SH: 1, SW: 1, Pad: cnn.Same, UseBias: true, Groups: 2}, x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.Conv2D{Filters: 256, KH: 3, KW: 3, SH: 1, SW: 1, Pad: cnn.Same, UseBias: true, Groups: 2}, x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x) // 6x6x256
+	x = b.Add(cnn.Flatten{}, x)
+	x = b.Add(cnn.Dropout{Rate: 0.5}, x)
+	x = b.Add(cnn.FC(4096), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.Dropout{Rate: 0.5}, x)
+	x = b.Add(cnn.FC(4096), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}

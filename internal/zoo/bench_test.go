@@ -1,0 +1,33 @@
+package zoo
+
+import "testing"
+
+// BenchmarkBuild measures graph construction + shape inference per
+// representative family member.
+func BenchmarkBuild(b *testing.B) {
+	for _, name := range []string{"alexnet", "vgg16", "resnet152v2", "densenet201", "efficientnetb7", "nasnetlarge"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := MustBuild(name)
+				if m.TrainableParams() <= 0 {
+					b.Fatal("no params")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStaticAnalysisAll measures the Static Analyzer over the whole
+// Table I inventory (what Phase 1 repeats per dataset build).
+func BenchmarkStaticAnalysisAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var total int64
+		for _, m := range All() {
+			total += m.TrainableParams() + m.NeuronCount()
+		}
+		if total <= 0 {
+			b.Fatal("no analysis output")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+func init() {
+	register(Reference{
+		Name: "m-r50x1", Input: sq(224), Layers: 50,
+		Neurons: 15_903_016, TrainableParams: 25_549_352,
+	}, func() *cnn.Model { return buildBiT("m-r50x1", []int{3, 4, 6, 3}, 1) })
+	register(Reference{
+		Name: "m-r50x3", Input: sq(224), Layers: 50,
+		Neurons: 143_111_080, TrainableParams: 217_319_080,
+	}, func() *cnn.Model { return buildBiT("m-r50x3", []int{3, 4, 6, 3}, 3) })
+	register(Reference{
+		Name: "m-r101x1", Input: sq(224), Layers: 101,
+		Neurons: 28_158_248, TrainableParams: 44_541_480,
+	}, func() *cnn.Model { return buildBiT("m-r101x1", []int{3, 4, 23, 3}, 1) })
+	register(Reference{
+		Name: "m-r101x3", Input: sq(224), Layers: 101,
+		Neurons: 253_408_168, TrainableParams: 387_934_888,
+	}, func() *cnn.Model { return buildBiT("m-r101x3", []int{3, 4, 23, 3}, 3) })
+	register(Reference{
+		// Table I prints "m-r154x4"; the published BiT model is R152x4.
+		Name: "m-r152x4", Input: sq(224), Layers: 154,
+		Neurons: 611_981_544, TrainableParams: 936_533_224,
+	}, func() *cnn.Model { return buildBiT("m-r152x4", []int{3, 8, 36, 3}, 4) })
+}
+
+// buildBiT constructs a Big Transfer (BiT, Kolesnikov et al. 2020) ResNet:
+// a pre-activation ResNet-v2 with GroupNorm (32 groups) in place of
+// BatchNorm, weight-standardised bias-free convolutions, a width factor
+// applied to every stage, and a 1000-way dense head.
+func buildBiT(name string, blocks []int, widthFactor int) *cnn.Model {
+	b, x := cnn.NewBuilder(name, sq(224))
+	stem := 64 * widthFactor
+	x = b.Add(cnn.Pad2D(3), x)
+	x = b.Add(cnn.ConvNoBias(stem, 7, 2, cnn.Valid), x)
+	x = b.Add(cnn.Pad2D(1), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+
+	width := []int{64, 128, 256, 512}
+	for stage, n := range blocks {
+		for blk := 0; blk < n; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			x = bitBottleneck(b, x, width[stage]*widthFactor, stride, blk == 0,
+				fmt.Sprintf("s%db%d", stage+1, blk+1))
+		}
+	}
+	x = b.Add(cnn.GroupNorm{Groups: 32}, x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// bitBottleneck adds one pre-activation GN bottleneck (BiT flavour:
+// stride on the 3x3, projection shortcut from the pre-activation).
+func bitBottleneck(b *cnn.Builder, x *cnn.Node, width, stride int, project bool, tag string) *cnn.Node {
+	pre := b.AddNamed(tag+"_gn", cnn.GroupNorm{Groups: 32}, x)
+	pre = b.AddNamed(tag+"_r", cnn.ReLU(), pre)
+
+	shortcut := x
+	if project {
+		shortcut = b.AddNamed(tag+"_sc", cnn.ConvNoBias(4*width, 1, stride, cnn.Valid), pre)
+	}
+
+	y := b.AddNamed(tag+"_c1", cnn.ConvNoBias(width, 1, 1, cnn.Valid), pre)
+	y = b.AddNamed(tag+"_gn1", cnn.GroupNorm{Groups: 32}, y)
+	y = b.AddNamed(tag+"_r1", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c2", cnn.ConvNoBias(width, 3, stride, cnn.Same), y)
+	y = b.AddNamed(tag+"_gn2", cnn.GroupNorm{Groups: 32}, y)
+	y = b.AddNamed(tag+"_r2", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c3", cnn.ConvNoBias(4*width, 1, 1, cnn.Valid), y)
+	return b.AddNamed(tag+"_add", cnn.Add{}, shortcut, y)
+}

@@ -1,0 +1,77 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+func init() {
+	register(Reference{
+		Name: "densenet121", Input: sq(224), Layers: 121,
+		Neurons: 49_926_612, TrainableParams: 7_978_856,
+	}, func() *cnn.Model { return buildDenseNet("densenet121", []int{6, 12, 24, 16}) })
+	register(Reference{
+		Name: "densenet169", Input: sq(224), Layers: 169,
+		Neurons: 60_094_164, TrainableParams: 14_149_480,
+	}, func() *cnn.Model { return buildDenseNet("densenet169", []int{6, 12, 32, 32}) })
+	register(Reference{
+		Name: "densenet201", Input: sq(224), Layers: 201,
+		Neurons: 77_292_244, TrainableParams: 20_013_928,
+	}, func() *cnn.Model { return buildDenseNet("densenet201", []int{6, 12, 48, 32}) })
+}
+
+// buildDenseNet constructs a DenseNet (Huang et al., CVPR 2017) with
+// growth rate 32 and compression 0.5: a 7x7/2 stem, four dense blocks
+// whose layers are BN-ReLU-Conv1x1(128)-BN-ReLU-Conv3x3(32) bottlenecks
+// concatenated onto the running feature map, and half-compressing
+// transitions with 2x2 average pooling in between.
+func buildDenseNet(name string, blocks []int) *cnn.Model {
+	const growth = 32
+	b, x := cnn.NewBuilder(name, sq(224))
+	x = b.Add(cnn.Pad2D(3), x)
+	x = b.Add(cnn.ConvNoBias(64, 7, 2, cnn.Valid), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.Pad2D(1), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+
+	channels := 64
+	for bi, n := range blocks {
+		for li := 0; li < n; li++ {
+			x = denseLayer(b, x, growth, fmt.Sprintf("b%dl%d", bi+1, li+1))
+			channels += growth
+		}
+		if bi < len(blocks)-1 {
+			channels /= 2
+			x = denseTransition(b, x, channels, fmt.Sprintf("t%d", bi+1))
+		}
+	}
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// denseLayer adds one bottlenecked dense layer and concatenates its output
+// onto the incoming feature map.
+func denseLayer(b *cnn.Builder, x *cnn.Node, growth int, tag string) *cnn.Node {
+	y := b.AddNamed(tag+"_bn1", cnn.BN(), x)
+	y = b.AddNamed(tag+"_r1", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c1", cnn.ConvNoBias(4*growth, 1, 1, cnn.Valid), y)
+	y = b.AddNamed(tag+"_bn2", cnn.BN(), y)
+	y = b.AddNamed(tag+"_r2", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c2", cnn.ConvNoBias(growth, 3, 1, cnn.Same), y)
+	return b.AddNamed(tag+"_cat", cnn.Concat{}, x, y)
+}
+
+// denseTransition compresses the channel count and halves the spatial
+// resolution between dense blocks.
+func denseTransition(b *cnn.Builder, x *cnn.Node, channels int, tag string) *cnn.Node {
+	y := b.AddNamed(tag+"_bn", cnn.BN(), x)
+	y = b.AddNamed(tag+"_r", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c", cnn.ConvNoBias(channels, 1, 1, cnn.Valid), y)
+	return b.AddNamed(tag+"_pool", cnn.AvgPool2D(2, 2, cnn.Valid), y)
+}

@@ -1,0 +1,152 @@
+package zoo
+
+import (
+	"fmt"
+	"math"
+
+	"cnnperf/internal/cnn"
+)
+
+// effVariant describes one EfficientNet compound-scaling point.
+type effVariant struct {
+	width, depth float64
+	resolution   int
+}
+
+var effVariants = map[string]effVariant{
+	"efficientnetb0": {1.0, 1.0, 224},
+	"efficientnetb1": {1.0, 1.1, 240},
+	"efficientnetb2": {1.1, 1.2, 260},
+	"efficientnetb3": {1.2, 1.4, 300},
+	"efficientnetb4": {1.4, 1.8, 380},
+	"efficientnetb5": {1.6, 2.2, 456},
+	"efficientnetb6": {1.8, 2.6, 528},
+	"efficientnetb7": {2.0, 3.1, 600},
+}
+
+func init() {
+	refs := []Reference{
+		{Name: "efficientnetb0", Input: sq(224), Layers: 240, Neurons: 25_117_095, TrainableParams: 5_288_548},
+		{Name: "efficientnetb1", Input: sq(240), Layers: 342, Neurons: 40_150_331, TrainableParams: 7_794_184},
+		{Name: "efficientnetb2", Input: sq(260), Layers: 342, Neurons: 50_908_981, TrainableParams: 9_109_994},
+		{Name: "efficientnetb3", Input: sq(300), Layers: 387, Neurons: 87_507_971, TrainableParams: 12_233_232},
+		{Name: "efficientnetb4", Input: sq(380), Layers: 477, Neurons: 180_088_531, TrainableParams: 19_341_616},
+		// Table I prints 156x156 for B5; the published resolution is 456.
+		{Name: "efficientnetb5", Input: sq(456), Layers: 579, Neurons: 358_290_427, TrainableParams: 30_389_784},
+		{Name: "efficientnetb6", Input: sq(528), Layers: 669, Neurons: 605_671_091, TrainableParams: 43_040_704},
+		{Name: "efficientnetb7", Input: sq(600), Layers: 816, Neurons: 1_046_113_195, TrainableParams: 66_347_960},
+	}
+	for _, ref := range refs {
+		name := ref.Name
+		register(ref, func() *cnn.Model { return buildEfficientNet(name) })
+	}
+}
+
+// effBlock is one row of the EfficientNet-B0 block table.
+type effBlock struct {
+	kernel, repeats, in, out, expand, stride int
+}
+
+// b0Blocks is the baseline EfficientNet-B0 stage configuration
+// (Tan & Le, ICML 2019), each with squeeze-excite ratio 0.25.
+var b0Blocks = []effBlock{
+	{3, 1, 32, 16, 1, 1},
+	{3, 2, 16, 24, 6, 2},
+	{5, 2, 24, 40, 6, 2},
+	{3, 3, 40, 80, 6, 2},
+	{5, 3, 80, 112, 6, 1},
+	{5, 4, 112, 192, 6, 2},
+	{3, 1, 192, 320, 6, 1},
+}
+
+// roundFilters applies the EfficientNet width-scaling rule with divisor 8.
+func roundFilters(filters int, width float64) int {
+	f := float64(filters) * width
+	newF := math.Max(8, float64((int(f)+4)/8*8))
+	if newF < 0.9*f {
+		newF += 8
+	}
+	return int(newF)
+}
+
+// roundRepeats applies the depth-scaling rule (ceiling).
+func roundRepeats(repeats int, depth float64) int {
+	return int(math.Ceil(depth * float64(repeats)))
+}
+
+// buildEfficientNet constructs the named EfficientNet variant: a strided
+// stem, seven stages of mobile inverted bottlenecks (MBConv) with
+// squeeze-and-excitation, and a 1280-channel (width-scaled) head.
+func buildEfficientNet(name string) *cnn.Model {
+	v, ok := effVariants[name]
+	if !ok {
+		panic(fmt.Sprintf("zoo: unknown efficientnet %q", name))
+	}
+	b, x := cnn.NewBuilder(name, sq(v.resolution))
+	stem := roundFilters(32, v.width)
+	x = b.Add(cnn.ConvNoBias(stem, 3, 2, cnn.Same), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.Swish(), x)
+
+	inC := stem
+	blockID := 0
+	for si, blk := range b0Blocks {
+		outC := roundFilters(blk.out, v.width)
+		repeats := roundRepeats(blk.repeats, v.depth)
+		for r := 0; r < repeats; r++ {
+			stride := 1
+			if r == 0 {
+				stride = blk.stride
+			}
+			blockID++
+			x = mbConv(b, x, inC, outC, blk.expand, blk.kernel, stride,
+				fmt.Sprintf("s%d_%d", si+1, r+1))
+			inC = outC
+		}
+	}
+
+	head := roundFilters(1280, v.width)
+	x = b.Add(cnn.ConvNoBias(head, 1, 1, cnn.Valid), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.Swish(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.Dropout{Rate: 0.2}, x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// mbConv adds one mobile inverted bottleneck with squeeze-excitation.
+// The SE reduction uses the block *input* channels / 4, as in the
+// reference implementation; SE convolutions carry biases.
+func mbConv(b *cnn.Builder, x *cnn.Node, inC, outC, expand, kernel, stride int, tag string) *cnn.Node {
+	y := x
+	expC := inC * expand
+	if expand != 1 {
+		y = b.AddNamed(tag+"_exp", cnn.ConvNoBias(expC, 1, 1, cnn.Valid), y)
+		y = b.AddNamed(tag+"_expbn", cnn.BN(), y)
+		y = b.AddNamed(tag+"_expsw", cnn.Swish(), y)
+	}
+	y = b.AddNamed(tag+"_dw", cnn.DepthwiseConv(kernel, stride, cnn.Same), y)
+	y = b.AddNamed(tag+"_dwbn", cnn.BN(), y)
+	y = b.AddNamed(tag+"_dwsw", cnn.Swish(), y)
+
+	// Squeeze-and-excitation gate.
+	seC := inC / 4
+	if seC < 1 {
+		seC = 1
+	}
+	se := b.AddNamed(tag+"_se_gap", cnn.GlobalAvgPool(), y)
+	se = b.AddNamed(tag+"_se_red", cnn.Conv(seC, 1, 1, cnn.Valid), se)
+	se = b.AddNamed(tag+"_se_sw", cnn.Swish(), se)
+	se = b.AddNamed(tag+"_se_ex", cnn.Conv(expC, 1, 1, cnn.Valid), se)
+	se = b.AddNamed(tag+"_se_sig", cnn.Sigmoid(), se)
+	y = b.AddNamed(tag+"_se_mul", cnn.Multiply{}, y, se)
+
+	y = b.AddNamed(tag+"_proj", cnn.ConvNoBias(outC, 1, 1, cnn.Valid), y)
+	y = b.AddNamed(tag+"_projbn", cnn.BN(), y)
+	if stride == 1 && inC == outC {
+		y = b.AddNamed(tag+"_add", cnn.Add{}, x, y)
+	}
+	return y
+}

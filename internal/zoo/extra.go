@@ -1,0 +1,104 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+// The models in this file extend the zoo beyond the paper's Table I —
+// the paper's future work plans "more standard CNNs and variations of
+// well-known CNNs" to grow the training dataset. They are registered as
+// extras (no Table I reference row).
+
+func init() {
+	registerExtra("resnet18", sq(224), func() *cnn.Model {
+		return buildBasicResNet("resnet18", []int{2, 2, 2, 2})
+	})
+	registerExtra("resnet34", sq(224), func() *cnn.Model {
+		return buildBasicResNet("resnet34", []int{3, 4, 6, 3})
+	})
+	registerExtra("squeezenet", sq(224), buildSqueezeNet)
+}
+
+// buildBasicResNet constructs the basic-block ResNets (He et al., 2016;
+// torchvision layout): bias-free 3x3 convolution pairs with BN, 1x1
+// projection shortcuts at stage entries, channels 64-512.
+func buildBasicResNet(name string, blocks []int) *cnn.Model {
+	b, x := cnn.NewBuilder(name, sq(224))
+	x = b.Add(cnn.Pad2D(3), x)
+	x = b.Add(cnn.ConvNoBias(64, 7, 2, cnn.Valid), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.Pad2D(1), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+
+	width := []int{64, 128, 256, 512}
+	for stage, n := range blocks {
+		for blk := 0; blk < n; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			x = basicBlock(b, x, width[stage], stride, blk == 0 && stage > 0,
+				fmt.Sprintf("s%db%d", stage+1, blk+1))
+		}
+	}
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// basicBlock adds one two-convolution residual block.
+func basicBlock(b *cnn.Builder, x *cnn.Node, width, stride int, project bool, tag string) *cnn.Node {
+	shortcut := x
+	if project {
+		shortcut = b.AddNamed(tag+"_sc_conv", cnn.ConvNoBias(width, 1, stride, cnn.Valid), x)
+		shortcut = b.AddNamed(tag+"_sc_bn", cnn.BN(), shortcut)
+	}
+	y := b.AddNamed(tag+"_c1", cnn.ConvNoBias(width, 3, stride, cnn.Same), x)
+	y = b.AddNamed(tag+"_bn1", cnn.BN(), y)
+	y = b.AddNamed(tag+"_r1", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c2", cnn.ConvNoBias(width, 3, 1, cnn.Same), y)
+	y = b.AddNamed(tag+"_bn2", cnn.BN(), y)
+	y = b.AddNamed(tag+"_add", cnn.Add{}, shortcut, y)
+	return b.AddNamed(tag+"_out", cnn.ReLU(), y)
+}
+
+// buildSqueezeNet constructs SqueezeNet 1.0 (Iandola et al., 2016): a
+// 96-filter stem and eight fire modules (1x1 squeeze feeding parallel
+// 1x1 and 3x3 expands), ending in a 1x1 convolution classifier.
+func buildSqueezeNet() *cnn.Model {
+	b, x := cnn.NewBuilder("squeezenet", sq(224))
+	x = b.Add(cnn.Conv(96, 7, 2, cnn.Valid), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+
+	fire := func(x *cnn.Node, squeeze, expand int, tag string) *cnn.Node {
+		s := b.AddNamed(tag+"_s", cnn.Conv(squeeze, 1, 1, cnn.Valid), x)
+		s = b.AddNamed(tag+"_sr", cnn.ReLU(), s)
+		e1 := b.AddNamed(tag+"_e1", cnn.Conv(expand, 1, 1, cnn.Valid), s)
+		e1 = b.AddNamed(tag+"_e1r", cnn.ReLU(), e1)
+		e3 := b.AddNamed(tag+"_e3", cnn.Conv(expand, 3, 1, cnn.Same), s)
+		e3 = b.AddNamed(tag+"_e3r", cnn.ReLU(), e3)
+		return b.AddNamed(tag+"_cat", cnn.Concat{}, e1, e3)
+	}
+
+	x = fire(x, 16, 64, "fire2")
+	x = fire(x, 16, 64, "fire3")
+	x = fire(x, 32, 128, "fire4")
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+	x = fire(x, 32, 128, "fire5")
+	x = fire(x, 48, 192, "fire6")
+	x = fire(x, 48, 192, "fire7")
+	x = fire(x, 64, 256, "fire8")
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+	x = fire(x, 64, 256, "fire9")
+	x = b.Add(cnn.Dropout{Rate: 0.5}, x)
+	x = b.Add(cnn.Conv(1000, 1, 1, cnn.Valid), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}

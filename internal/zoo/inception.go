@@ -1,0 +1,144 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+func init() {
+	register(Reference{
+		Name: "inceptionv3", Input: sq(299), Layers: 48,
+		Neurons: 32_554_387, TrainableParams: 23_817_352,
+	}, buildInceptionV3)
+}
+
+// convBN adds the Inception-style conv unit: bias-free convolution,
+// batch norm (scale-free in Keras Inception, but we keep full BN; the
+// difference is the gamma vector), ReLU.
+func convBN(b *cnn.Builder, x *cnn.Node, tag string, filters, kh, kw, stride int, pad cnn.Padding) *cnn.Node {
+	y := b.AddNamed(tag+"_conv", cnn.Conv2D{
+		Filters: filters, KH: kh, KW: kw, SH: stride, SW: stride, Pad: pad,
+	}, x)
+	y = b.AddNamed(tag+"_bn", cnn.BatchNorm{Center: true}, y) // Keras Inception: scale=False
+	return b.AddNamed(tag+"_relu", cnn.ReLU(), y)
+}
+
+// buildInceptionV3 constructs Inception v3 (Szegedy et al., CVPR 2016) at
+// 299x299 with the Keras layer configuration: the 5-conv stem, three
+// 35x35 modules, the grid reduction, four 17x17 factorised-7x7 modules,
+// the second reduction and two 8x8 expanded-filter-bank modules.
+func buildInceptionV3() *cnn.Model {
+	b, x := cnn.NewBuilder("inceptionv3", sq(299))
+	x = convBN(b, x, "stem1", 32, 3, 3, 2, cnn.Valid) // 149
+	x = convBN(b, x, "stem2", 32, 3, 3, 1, cnn.Valid) // 147
+	x = convBN(b, x, "stem3", 64, 3, 3, 1, cnn.Same)  // 147
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)      // 73
+	x = convBN(b, x, "stem4", 80, 1, 1, 1, cnn.Valid)
+	x = convBN(b, x, "stem5", 192, 3, 3, 1, cnn.Valid) // 71
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)       // 35x35x192
+
+	// Three Inception-A modules (35x35); pool-branch filters 32,64,64.
+	for i, poolF := range []int{32, 64, 64} {
+		x = inceptionA(b, x, fmt.Sprintf("mixed%d", i), poolF)
+	}
+	x = inceptionReductionA(b, x, "mixed3") // 17x17x768
+	// Four Inception-B modules with factorised 7x7; inner widths 128,160,160,192.
+	for i, c := range []int{128, 160, 160, 192} {
+		x = inceptionB(b, x, fmt.Sprintf("mixed%d", i+4), c)
+	}
+	x = inceptionReductionB(b, x, "mixed8") // 8x8x1280
+	// Two Inception-C modules.
+	for i := 0; i < 2; i++ {
+		x = inceptionC(b, x, fmt.Sprintf("mixed%d", i+9))
+	}
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// inceptionA is the 35x35 module: 1x1, 5x5, double-3x3 and pooled branches.
+func inceptionA(b *cnn.Builder, x *cnn.Node, tag string, poolF int) *cnn.Node {
+	b1 := convBN(b, x, tag+"_b1", 64, 1, 1, 1, cnn.Same)
+
+	b5 := convBN(b, x, tag+"_b5a", 48, 1, 1, 1, cnn.Same)
+	b5 = convBN(b, b5, tag+"_b5b", 64, 5, 5, 1, cnn.Same)
+
+	b3 := convBN(b, x, tag+"_b3a", 64, 1, 1, 1, cnn.Same)
+	b3 = convBN(b, b3, tag+"_b3b", 96, 3, 3, 1, cnn.Same)
+	b3 = convBN(b, b3, tag+"_b3c", 96, 3, 3, 1, cnn.Same)
+
+	bp := b.AddNamed(tag+"_pool", cnn.AvgPool2D(3, 1, cnn.Same), x)
+	bp = convBN(b, bp, tag+"_bp", poolF, 1, 1, 1, cnn.Same)
+
+	return b.AddNamed(tag+"_cat", cnn.Concat{}, b1, b5, b3, bp)
+}
+
+// inceptionReductionA shrinks 35x35 to 17x17.
+func inceptionReductionA(b *cnn.Builder, x *cnn.Node, tag string) *cnn.Node {
+	b3 := convBN(b, x, tag+"_b3", 384, 3, 3, 2, cnn.Valid)
+
+	bd := convBN(b, x, tag+"_bda", 64, 1, 1, 1, cnn.Same)
+	bd = convBN(b, bd, tag+"_bdb", 96, 3, 3, 1, cnn.Same)
+	bd = convBN(b, bd, tag+"_bdc", 96, 3, 3, 2, cnn.Valid)
+
+	bp := b.AddNamed(tag+"_pool", cnn.MaxPool2D(3, 2, cnn.Valid), x)
+	return b.AddNamed(tag+"_cat", cnn.Concat{}, b3, bd, bp)
+}
+
+// inceptionB is the 17x17 module with factorised 7x7 convolutions of
+// inner width c.
+func inceptionB(b *cnn.Builder, x *cnn.Node, tag string, c int) *cnn.Node {
+	b1 := convBN(b, x, tag+"_b1", 192, 1, 1, 1, cnn.Same)
+
+	b7 := convBN(b, x, tag+"_b7a", c, 1, 1, 1, cnn.Same)
+	b7 = convBN(b, b7, tag+"_b7b", c, 1, 7, 1, cnn.Same)
+	b7 = convBN(b, b7, tag+"_b7c", 192, 7, 1, 1, cnn.Same)
+
+	bd := convBN(b, x, tag+"_bda", c, 1, 1, 1, cnn.Same)
+	bd = convBN(b, bd, tag+"_bdb", c, 7, 1, 1, cnn.Same)
+	bd = convBN(b, bd, tag+"_bdc", c, 1, 7, 1, cnn.Same)
+	bd = convBN(b, bd, tag+"_bdd", c, 7, 1, 1, cnn.Same)
+	bd = convBN(b, bd, tag+"_bde", 192, 1, 7, 1, cnn.Same)
+
+	bp := b.AddNamed(tag+"_pool", cnn.AvgPool2D(3, 1, cnn.Same), x)
+	bp = convBN(b, bp, tag+"_bp", 192, 1, 1, 1, cnn.Same)
+
+	return b.AddNamed(tag+"_cat", cnn.Concat{}, b1, b7, bd, bp)
+}
+
+// inceptionReductionB shrinks 17x17 to 8x8.
+func inceptionReductionB(b *cnn.Builder, x *cnn.Node, tag string) *cnn.Node {
+	b3 := convBN(b, x, tag+"_b3a", 192, 1, 1, 1, cnn.Same)
+	b3 = convBN(b, b3, tag+"_b3b", 320, 3, 3, 2, cnn.Valid)
+
+	b7 := convBN(b, x, tag+"_b7a", 192, 1, 1, 1, cnn.Same)
+	b7 = convBN(b, b7, tag+"_b7b", 192, 1, 7, 1, cnn.Same)
+	b7 = convBN(b, b7, tag+"_b7c", 192, 7, 1, 1, cnn.Same)
+	b7 = convBN(b, b7, tag+"_b7d", 192, 3, 3, 2, cnn.Valid)
+
+	bp := b.AddNamed(tag+"_pool", cnn.MaxPool2D(3, 2, cnn.Valid), x)
+	return b.AddNamed(tag+"_cat", cnn.Concat{}, b3, b7, bp)
+}
+
+// inceptionC is the 8x8 module with expanded 3x3 filter banks.
+func inceptionC(b *cnn.Builder, x *cnn.Node, tag string) *cnn.Node {
+	b1 := convBN(b, x, tag+"_b1", 320, 1, 1, 1, cnn.Same)
+
+	b3 := convBN(b, x, tag+"_b3a", 384, 1, 1, 1, cnn.Same)
+	b3l := convBN(b, b3, tag+"_b3l", 384, 1, 3, 1, cnn.Same)
+	b3r := convBN(b, b3, tag+"_b3r", 384, 3, 1, 1, cnn.Same)
+	b3c := b.AddNamed(tag+"_b3cat", cnn.Concat{}, b3l, b3r)
+
+	bd := convBN(b, x, tag+"_bda", 448, 1, 1, 1, cnn.Same)
+	bd = convBN(b, bd, tag+"_bdb", 384, 3, 3, 1, cnn.Same)
+	bdl := convBN(b, bd, tag+"_bdl", 384, 1, 3, 1, cnn.Same)
+	bdr := convBN(b, bd, tag+"_bdr", 384, 3, 1, 1, cnn.Same)
+	bdc := b.AddNamed(tag+"_bdcat", cnn.Concat{}, bdl, bdr)
+
+	bp := b.AddNamed(tag+"_pool", cnn.AvgPool2D(3, 1, cnn.Same), x)
+	bp = convBN(b, bp, tag+"_bp", 192, 1, 1, 1, cnn.Same)
+
+	return b.AddNamed(tag+"_cat", cnn.Concat{}, b1, b3c, bdc, bp)
+}

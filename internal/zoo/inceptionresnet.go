@@ -1,0 +1,119 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+func init() {
+	register(Reference{
+		Name: "inceptionresnetv2", Input: sq(200), Layers: 164,
+		Neurons: 81_201_907, TrainableParams: 55_813_192,
+	}, buildInceptionResNetV2)
+}
+
+// buildInceptionResNetV2 constructs Inception-ResNet v2 (Szegedy et al.,
+// AAAI 2017) in the Keras layout: the Inception stem, mixed_5b, ten
+// block35 modules, reduction-A, twenty block17 modules, reduction-B, ten
+// block8 modules and the final 1536-channel convolution. The paper runs
+// it at 200x200 input (Table I).
+func buildInceptionResNetV2() *cnn.Model {
+	b, x := cnn.NewBuilder("inceptionresnetv2", sq(200))
+	x = convBN(b, x, "stem1", 32, 3, 3, 2, cnn.Valid)
+	x = convBN(b, x, "stem2", 32, 3, 3, 1, cnn.Valid)
+	x = convBN(b, x, "stem3", 64, 3, 3, 1, cnn.Same)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+	x = convBN(b, x, "stem4", 80, 1, 1, 1, cnn.Valid)
+	x = convBN(b, x, "stem5", 192, 3, 3, 1, cnn.Valid)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+
+	// mixed_5b (Inception-A).
+	b1 := convBN(b, x, "m5b_b1", 96, 1, 1, 1, cnn.Same)
+	b5 := convBN(b, x, "m5b_b5a", 48, 1, 1, 1, cnn.Same)
+	b5 = convBN(b, b5, "m5b_b5b", 64, 5, 5, 1, cnn.Same)
+	b3 := convBN(b, x, "m5b_b3a", 64, 1, 1, 1, cnn.Same)
+	b3 = convBN(b, b3, "m5b_b3b", 96, 3, 3, 1, cnn.Same)
+	b3 = convBN(b, b3, "m5b_b3c", 96, 3, 3, 1, cnn.Same)
+	bp := b.AddNamed("m5b_pool", cnn.AvgPool2D(3, 1, cnn.Same), x)
+	bp = convBN(b, bp, "m5b_bp", 64, 1, 1, 1, cnn.Same)
+	x = b.AddNamed("m5b_cat", cnn.Concat{}, b1, b5, b3, bp) // 320 channels
+
+	// 10x block35.
+	for i := 1; i <= 10; i++ {
+		x = block35(b, x, fmt.Sprintf("b35_%d", i))
+	}
+
+	// reduction-A (mixed_6a).
+	ra1 := convBN(b, x, "m6a_b1", 384, 3, 3, 2, cnn.Valid)
+	ra2 := convBN(b, x, "m6a_b2a", 256, 1, 1, 1, cnn.Same)
+	ra2 = convBN(b, ra2, "m6a_b2b", 256, 3, 3, 1, cnn.Same)
+	ra2 = convBN(b, ra2, "m6a_b2c", 384, 3, 3, 2, cnn.Valid)
+	rap := b.AddNamed("m6a_pool", cnn.MaxPool2D(3, 2, cnn.Valid), x)
+	x = b.AddNamed("m6a_cat", cnn.Concat{}, ra1, ra2, rap) // 1088 channels
+
+	// 20x block17.
+	for i := 1; i <= 20; i++ {
+		x = block17(b, x, fmt.Sprintf("b17_%d", i))
+	}
+
+	// reduction-B (mixed_7a).
+	rb1 := convBN(b, x, "m7a_b1a", 256, 1, 1, 1, cnn.Same)
+	rb1 = convBN(b, rb1, "m7a_b1b", 384, 3, 3, 2, cnn.Valid)
+	rb2 := convBN(b, x, "m7a_b2a", 256, 1, 1, 1, cnn.Same)
+	rb2 = convBN(b, rb2, "m7a_b2b", 288, 3, 3, 2, cnn.Valid)
+	rb3 := convBN(b, x, "m7a_b3a", 256, 1, 1, 1, cnn.Same)
+	rb3 = convBN(b, rb3, "m7a_b3b", 288, 3, 3, 1, cnn.Same)
+	rb3 = convBN(b, rb3, "m7a_b3c", 320, 3, 3, 2, cnn.Valid)
+	rbp := b.AddNamed("m7a_pool", cnn.MaxPool2D(3, 2, cnn.Valid), x)
+	x = b.AddNamed("m7a_cat", cnn.Concat{}, rb1, rb2, rb3, rbp) // 2080 channels
+
+	// 10x block8.
+	for i := 1; i <= 10; i++ {
+		x = block8(b, x, fmt.Sprintf("b8_%d", i))
+	}
+
+	x = convBN(b, x, "conv7b", 1536, 1, 1, 1, cnn.Same)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// block35 is the 35x35 residual Inception module.
+func block35(b *cnn.Builder, x *cnn.Node, tag string) *cnn.Node {
+	b1 := convBN(b, x, tag+"_b1", 32, 1, 1, 1, cnn.Same)
+	b2 := convBN(b, x, tag+"_b2a", 32, 1, 1, 1, cnn.Same)
+	b2 = convBN(b, b2, tag+"_b2b", 32, 3, 3, 1, cnn.Same)
+	b3 := convBN(b, x, tag+"_b3a", 32, 1, 1, 1, cnn.Same)
+	b3 = convBN(b, b3, tag+"_b3b", 48, 3, 3, 1, cnn.Same)
+	b3 = convBN(b, b3, tag+"_b3c", 64, 3, 3, 1, cnn.Same)
+	cat := b.AddNamed(tag+"_cat", cnn.Concat{}, b1, b2, b3)
+	up := b.AddNamed(tag+"_up", cnn.Conv(320, 1, 1, cnn.Same), cat) // bias, linear
+	y := b.AddNamed(tag+"_add", cnn.Add{}, x, up)
+	return b.AddNamed(tag+"_relu", cnn.ReLU(), y)
+}
+
+// block17 is the 17x17 residual module with factorised 7x7 convolutions.
+func block17(b *cnn.Builder, x *cnn.Node, tag string) *cnn.Node {
+	b1 := convBN(b, x, tag+"_b1", 192, 1, 1, 1, cnn.Same)
+	b2 := convBN(b, x, tag+"_b2a", 128, 1, 1, 1, cnn.Same)
+	b2 = convBN(b, b2, tag+"_b2b", 160, 1, 7, 1, cnn.Same)
+	b2 = convBN(b, b2, tag+"_b2c", 192, 7, 1, 1, cnn.Same)
+	cat := b.AddNamed(tag+"_cat", cnn.Concat{}, b1, b2)
+	up := b.AddNamed(tag+"_up", cnn.Conv(1088, 1, 1, cnn.Same), cat)
+	y := b.AddNamed(tag+"_add", cnn.Add{}, x, up)
+	return b.AddNamed(tag+"_relu", cnn.ReLU(), y)
+}
+
+// block8 is the 8x8 residual module with factorised 3x3 convolutions.
+func block8(b *cnn.Builder, x *cnn.Node, tag string) *cnn.Node {
+	b1 := convBN(b, x, tag+"_b1", 192, 1, 1, 1, cnn.Same)
+	b2 := convBN(b, x, tag+"_b2a", 192, 1, 1, 1, cnn.Same)
+	b2 = convBN(b, b2, tag+"_b2b", 224, 1, 3, 1, cnn.Same)
+	b2 = convBN(b, b2, tag+"_b2c", 256, 3, 1, 1, cnn.Same)
+	cat := b.AddNamed(tag+"_cat", cnn.Concat{}, b1, b2)
+	up := b.AddNamed(tag+"_up", cnn.Conv(2080, 1, 1, cnn.Same), cat)
+	y := b.AddNamed(tag+"_add", cnn.Add{}, x, up)
+	return b.AddNamed(tag+"_relu", cnn.ReLU(), y)
+}

@@ -1,0 +1,105 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+func init() {
+	register(Reference{
+		Name: "mobilenet", Input: sq(224), Layers: 28,
+		Neurons: 16_848_248, TrainableParams: 4_231_976,
+	}, buildMobileNetV1)
+	register(Reference{
+		Name: "mobilenetv2", Input: sq(200), Layers: 53,
+		Neurons: 21_815_960, TrainableParams: 3_504_872,
+	}, buildMobileNetV2)
+}
+
+// buildMobileNetV1 constructs MobileNet (Howard et al., 2017) with width
+// multiplier 1.0: a strided stem convolution followed by thirteen
+// depthwise-separable blocks and a 1000-way classifier.
+func buildMobileNetV1() *cnn.Model {
+	b, x := cnn.NewBuilder("mobilenet", sq(224))
+	x = b.Add(cnn.ConvNoBias(32, 3, 2, cnn.Same), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+
+	// (filters, stride) for the thirteen separable blocks.
+	cfg := []struct{ f, s int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+	}
+	for i, c := range cfg {
+		tag := fmt.Sprintf("sep%d", i+1)
+		x = b.AddNamed(tag+"_dw", cnn.DepthwiseConv(3, c.s, cnn.Same), x)
+		x = b.AddNamed(tag+"_dwbn", cnn.BN(), x)
+		x = b.AddNamed(tag+"_dwr", cnn.ReLU(), x)
+		x = b.AddNamed(tag+"_pw", cnn.ConvNoBias(c.f, 1, 1, cnn.Valid), x)
+		x = b.AddNamed(tag+"_pwbn", cnn.BN(), x)
+		x = b.AddNamed(tag+"_pwr", cnn.ReLU(), x)
+	}
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.Dropout{Rate: 0.001}, x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// buildMobileNetV2 constructs MobileNetV2 (Sandler et al., CVPR 2018):
+// inverted residual bottlenecks with linear projections. The paper runs it
+// at 200x200 input (Table I).
+func buildMobileNetV2() *cnn.Model {
+	b, x := cnn.NewBuilder("mobilenetv2", sq(200))
+	x = b.Add(cnn.ConvNoBias(32, 3, 2, cnn.Same), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x) // ReLU6 in the original; identical structurally.
+
+	// (expansion, channels, repeats, first stride).
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	inC := 32
+	blockID := 0
+	for _, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = c.s
+			}
+			blockID++
+			x = invertedResidual(b, x, inC, c.c, c.t, stride, fmt.Sprintf("ir%d", blockID))
+			inC = c.c
+		}
+	}
+	x = b.Add(cnn.ConvNoBias(1280, 1, 1, cnn.Valid), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// invertedResidual adds one MobileNetV2 bottleneck: pointwise expansion
+// (skipped when t==1), depthwise 3x3, linear pointwise projection, with a
+// residual connection when shapes allow.
+func invertedResidual(b *cnn.Builder, x *cnn.Node, inC, outC, t, stride int, tag string) *cnn.Node {
+	y := x
+	if t != 1 {
+		y = b.AddNamed(tag+"_exp", cnn.ConvNoBias(inC*t, 1, 1, cnn.Valid), y)
+		y = b.AddNamed(tag+"_expbn", cnn.BN(), y)
+		y = b.AddNamed(tag+"_expr", cnn.ReLU(), y)
+	}
+	y = b.AddNamed(tag+"_dw", cnn.DepthwiseConv(3, stride, cnn.Same), y)
+	y = b.AddNamed(tag+"_dwbn", cnn.BN(), y)
+	y = b.AddNamed(tag+"_dwr", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_proj", cnn.ConvNoBias(outC, 1, 1, cnn.Valid), y)
+	y = b.AddNamed(tag+"_projbn", cnn.BN(), y)
+	if stride == 1 && inC == outC {
+		y = b.AddNamed(tag+"_add", cnn.Add{}, x, y)
+	}
+	return y
+}

@@ -1,0 +1,157 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+func init() {
+	register(Reference{
+		Name: "nasnetmobile", Input: sq(224), Layers: 771,
+		Neurons: 27_690_705, TrainableParams: 5_289_978,
+	}, func() *cnn.Model { return buildNASNet("nasnetmobile", 224, 32, 44, 4) })
+	register(Reference{
+		Name: "nasnetlarge", Input: sq(331), Layers: 1041,
+		Neurons: 290_560_171, TrainableParams: 88_753_150,
+	}, func() *cnn.Model { return buildNASNet("nasnetlarge", 331, 96, 168, 6) })
+}
+
+// buildNASNet constructs a NASNet-A network (Zoph et al., CVPR 2018) in
+// the Keras arrangement: a strided stem convolution, two stem reduction
+// cells at filters/4 and filters/2, then three groups of n normal cells
+// at filters, 2*filters and 4*filters separated by reduction cells.
+func buildNASNet(name string, resolution, stemFilters, filters, n int) *cnn.Model {
+	b, x := cnn.NewBuilder(name, sq(resolution))
+	x = b.Add(cnn.ConvNoBias(stemFilters, 3, 2, cnn.Valid), x)
+	x = b.Add(cnn.BN(), x)
+
+	nas := &nasBuilder{b: b}
+	var p *cnn.Node
+	x, p = nas.reductionCell(x, p, filters/4, "stem1")
+	x, p = nas.reductionCell(x, p, filters/2, "stem2")
+	for i := 0; i < n; i++ {
+		x, p = nas.normalCell(x, p, filters, fmt.Sprintf("n1_%d", i+1))
+	}
+	x, p = nas.reductionCell(x, p, filters*2, "red1")
+	for i := 0; i < n; i++ {
+		x, p = nas.normalCell(x, p, filters*2, fmt.Sprintf("n2_%d", i+1))
+	}
+	x, p = nas.reductionCell(x, p, filters*4, "red2")
+	for i := 0; i < n; i++ {
+		x, p = nas.normalCell(x, p, filters*4, fmt.Sprintf("n3_%d", i+1))
+	}
+	_ = p
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// nasBuilder carries the graph builder through the cell helpers.
+type nasBuilder struct {
+	b *cnn.Builder
+}
+
+// sepUnit is the NASNet separable-convolution unit: two rounds of
+// ReLU -> depthwise k x k -> pointwise -> BN; the stride applies to the
+// first depthwise convolution only.
+func (nb *nasBuilder) sepUnit(x *cnn.Node, filters, k, stride int, tag string) *cnn.Node {
+	y := nb.b.AddNamed(tag+"_r1", cnn.ReLU(), x)
+	y = nb.b.AddNamed(tag+"_dw1", cnn.DepthwiseConv(k, stride, cnn.Same), y)
+	y = nb.b.AddNamed(tag+"_pw1", cnn.ConvNoBias(filters, 1, 1, cnn.Valid), y)
+	y = nb.b.AddNamed(tag+"_bn1", cnn.BN(), y)
+	y = nb.b.AddNamed(tag+"_r2", cnn.ReLU(), y)
+	y = nb.b.AddNamed(tag+"_dw2", cnn.DepthwiseConv(k, 1, cnn.Same), y)
+	y = nb.b.AddNamed(tag+"_pw2", cnn.ConvNoBias(filters, 1, 1, cnn.Valid), y)
+	return nb.b.AddNamed(tag+"_bn2", cnn.BN(), y)
+}
+
+// squeeze projects a cell input to the cell's filter count.
+func (nb *nasBuilder) squeeze(x *cnn.Node, filters int, tag string) *cnn.Node {
+	y := nb.b.AddNamed(tag+"_r", cnn.ReLU(), x)
+	y = nb.b.AddNamed(tag+"_c", cnn.ConvNoBias(filters, 1, 1, cnn.Valid), y)
+	return nb.b.AddNamed(tag+"_bn", cnn.BN(), y)
+}
+
+// adjust reconciles the previous cell output p with the current input h:
+// a strided average-pool + projection when the spatial sizes differ, a
+// plain projection when only the channel count differs.
+func (nb *nasBuilder) adjust(p, h *cnn.Node, filters int, tag string) *cnn.Node {
+	if p == nil {
+		p = h
+	}
+	if p.OutShape().H != h.OutShape().H || p.OutShape().W != h.OutShape().W {
+		y := nb.b.AddNamed(tag+"_r", cnn.ReLU(), p)
+		y = nb.b.AddNamed(tag+"_pool", cnn.AvgPool2D(1, 2, cnn.Valid), y)
+		y = nb.b.AddNamed(tag+"_c", cnn.ConvNoBias(filters, 1, 1, cnn.Valid), y)
+		y = nb.b.AddNamed(tag+"_bn", cnn.BN(), y)
+		// Spatial size may still be off by one against valid-padded h;
+		// crop via max-pool window 1 when needed.
+		if y.OutShape().H != h.OutShape().H || y.OutShape().W != h.OutShape().W {
+			y = nb.b.AddNamed(tag+"_crop", cnn.Pool2D{Kind2: cnn.AvgPool,
+				KH: y.OutShape().H - h.OutShape().H + 1, KW: y.OutShape().W - h.OutShape().W + 1,
+				SH: 1, SW: 1, Pad: cnn.Valid}, y)
+		}
+		return y
+	}
+	if p.OutShape().C != filters {
+		return nb.squeeze(p, filters, tag)
+	}
+	return p
+}
+
+// normalCell adds one NASNet-A normal cell and returns (output, input) so
+// the caller can thread the previous-cell line.
+func (nb *nasBuilder) normalCell(h, p *cnn.Node, filters int, tag string) (*cnn.Node, *cnn.Node) {
+	b := nb.b
+	pa := nb.adjust(p, h, filters, tag+"_adj")
+	hs := nb.squeeze(h, filters, tag+"_sq")
+
+	b1 := b.AddNamed(tag+"_b1", cnn.Add{},
+		nb.sepUnit(hs, filters, 5, 1, tag+"_b1l"),
+		nb.sepUnit(pa, filters, 3, 1, tag+"_b1r"))
+	b2 := b.AddNamed(tag+"_b2", cnn.Add{},
+		nb.sepUnit(pa, filters, 5, 1, tag+"_b2l"),
+		nb.sepUnit(pa, filters, 3, 1, tag+"_b2r"))
+	b3 := b.AddNamed(tag+"_b3", cnn.Add{},
+		b.AddNamed(tag+"_b3l", cnn.AvgPool2D(3, 1, cnn.Same), hs),
+		pa)
+	b4 := b.AddNamed(tag+"_b4", cnn.Add{},
+		b.AddNamed(tag+"_b4l", cnn.AvgPool2D(3, 1, cnn.Same), pa),
+		b.AddNamed(tag+"_b4r", cnn.AvgPool2D(3, 1, cnn.Same), pa))
+	b5 := b.AddNamed(tag+"_b5", cnn.Add{},
+		nb.sepUnit(hs, filters, 3, 1, tag+"_b5l"),
+		hs)
+
+	out := b.AddNamed(tag+"_cat", cnn.Concat{}, pa, b1, b2, b3, b4, b5)
+	return out, h
+}
+
+// reductionCell adds one NASNet-A reduction cell (stride-2) and returns
+// (output, input).
+func (nb *nasBuilder) reductionCell(h, p *cnn.Node, filters int, tag string) (*cnn.Node, *cnn.Node) {
+	b := nb.b
+	pa := nb.adjust(p, h, filters, tag+"_adj")
+	hs := nb.squeeze(h, filters, tag+"_sq")
+
+	b1 := b.AddNamed(tag+"_b1", cnn.Add{},
+		nb.sepUnit(hs, filters, 5, 2, tag+"_b1l"),
+		nb.sepUnit(pa, filters, 7, 2, tag+"_b1r"))
+	b2 := b.AddNamed(tag+"_b2", cnn.Add{},
+		b.AddNamed(tag+"_b2l", cnn.MaxPool2D(3, 2, cnn.Same), hs),
+		nb.sepUnit(pa, filters, 7, 2, tag+"_b2r"))
+	b3 := b.AddNamed(tag+"_b3", cnn.Add{},
+		b.AddNamed(tag+"_b3l", cnn.AvgPool2D(3, 2, cnn.Same), hs),
+		nb.sepUnit(pa, filters, 5, 2, tag+"_b3r"))
+	b4 := b.AddNamed(tag+"_b4", cnn.Add{},
+		b.AddNamed(tag+"_b4l", cnn.AvgPool2D(3, 1, cnn.Same), b1),
+		b2)
+	b5 := b.AddNamed(tag+"_b5", cnn.Add{},
+		nb.sepUnit(b1, filters, 3, 1, tag+"_b5l"),
+		b.AddNamed(tag+"_b5r", cnn.MaxPool2D(3, 2, cnn.Same), hs))
+
+	out := b.AddNamed(tag+"_cat", cnn.Concat{}, b2, b3, b4, b5)
+	return out, h
+}

@@ -1,0 +1,140 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+func init() {
+	register(Reference{
+		Name: "resnet101", Input: sq(224), Layers: 101,
+		Neurons: 55_886_036, TrainableParams: 44_601_832,
+	}, func() *cnn.Model { return buildResNetV1("resnet101", []int{3, 4, 23, 3}) })
+	register(Reference{
+		Name: "resnet152", Input: sq(224), Layers: 152,
+		Neurons: 79_067_348, TrainableParams: 60_268_520,
+	}, func() *cnn.Model { return buildResNetV1("resnet152", []int{3, 8, 36, 3}) })
+	register(Reference{
+		Name: "resnet50v2", Input: sq(224), Layers: 50,
+		Neurons: 31_381_204, TrainableParams: 25_568_360,
+	}, func() *cnn.Model { return buildResNetV2("resnet50v2", []int{3, 4, 6, 3}) })
+	register(Reference{
+		Name: "resnet101v2", Input: sq(224), Layers: 101,
+		Neurons: 51_261_140, TrainableParams: 44_577_896,
+	}, func() *cnn.Model { return buildResNetV2("resnet101v2", []int{3, 4, 23, 3}) })
+	register(Reference{
+		Name: "resnet152v2", Input: sq(224), Layers: 152,
+		Neurons: 75_755_220, TrainableParams: 60_236_904,
+	}, func() *cnn.Model { return buildResNetV2("resnet152v2", []int{3, 8, 36, 3}) })
+	registerExtra("resnet50", sq(224), func() *cnn.Model {
+		return buildResNetV1("resnet50", []int{3, 4, 6, 3})
+	})
+}
+
+// buildResNetV1 constructs a post-activation bottleneck ResNet (He et al.,
+// CVPR 2016) following the Keras convention: a 7x7/2 stem with bias, four
+// stages of 1x1-3x3-1x1 bottlenecks (stride on the first block of stages
+// 2-4), projection shortcuts at stage entries, global average pooling and
+// a 1000-way classifier. Keras ResNet v1 convolutions keep their biases.
+func buildResNetV1(name string, blocks []int) *cnn.Model {
+	b, x := cnn.NewBuilder(name, sq(224))
+	x = b.Add(cnn.Pad2D(3), x)
+	x = b.Add(cnn.Conv(64, 7, 2, cnn.Valid), x) // 112x112x64
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.Pad2D(1), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x) // 56x56x64
+
+	width := []int{64, 128, 256, 512}
+	for stage, n := range blocks {
+		for blk := 0; blk < n; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			x = resV1Bottleneck(b, x, width[stage], stride, blk == 0, fmt.Sprintf("s%db%d", stage+1, blk+1))
+		}
+	}
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// resV1Bottleneck adds one post-activation bottleneck residual block.
+// project selects a 1x1 projection shortcut (first block of each stage).
+func resV1Bottleneck(b *cnn.Builder, x *cnn.Node, width, stride int, project bool, tag string) *cnn.Node {
+	shortcut := x
+	if project {
+		shortcut = b.AddNamed(tag+"_sc_conv", cnn.Conv(4*width, 1, stride, cnn.Valid), x)
+		shortcut = b.AddNamed(tag+"_sc_bn", cnn.BN(), shortcut)
+	}
+	y := b.AddNamed(tag+"_c1", cnn.Conv(width, 1, stride, cnn.Valid), x)
+	y = b.AddNamed(tag+"_bn1", cnn.BN(), y)
+	y = b.AddNamed(tag+"_r1", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c2", cnn.Conv(width, 3, 1, cnn.Same), y)
+	y = b.AddNamed(tag+"_bn2", cnn.BN(), y)
+	y = b.AddNamed(tag+"_r2", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c3", cnn.Conv(4*width, 1, 1, cnn.Valid), y)
+	y = b.AddNamed(tag+"_bn3", cnn.BN(), y)
+	y = b.AddNamed(tag+"_add", cnn.Add{}, shortcut, y)
+	return b.AddNamed(tag+"_out", cnn.ReLU(), y)
+}
+
+// buildResNetV2 constructs a pre-activation bottleneck ResNet (He et al.,
+// ECCV 2016) in the Keras layout: bias-free internal convolutions with
+// BN+ReLU before each, stride-2 applied in the last block of stages 1-3,
+// a final BN+ReLU, global average pooling and a 1000-way classifier.
+func buildResNetV2(name string, blocks []int) *cnn.Model {
+	b, x := cnn.NewBuilder(name, sq(224))
+	x = b.Add(cnn.Pad2D(3), x)
+	x = b.Add(cnn.Conv(64, 7, 2, cnn.Valid), x) // stem conv keeps bias in Keras v2
+	x = b.Add(cnn.Pad2D(1), x)
+	x = b.Add(cnn.MaxPool2D(3, 2, cnn.Valid), x)
+
+	width := []int{64, 128, 256, 512}
+	for stage, n := range blocks {
+		for blk := 0; blk < n; blk++ {
+			stride := 1
+			if blk == n-1 && stage < len(blocks)-1 {
+				stride = 2
+			}
+			x = resV2Bottleneck(b, x, width[stage], stride, blk == 0, fmt.Sprintf("s%db%d", stage+1, blk+1))
+		}
+	}
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}
+
+// resV2Bottleneck adds one pre-activation bottleneck block. The shortcut
+// is a 1x1 projection after the pre-activation when the block enters a
+// stage, or a max-pool when it carries a stride, matching Keras.
+func resV2Bottleneck(b *cnn.Builder, x *cnn.Node, width, stride int, project bool, tag string) *cnn.Node {
+	pre := b.AddNamed(tag+"_pre_bn", cnn.BN(), x)
+	pre = b.AddNamed(tag+"_pre_r", cnn.ReLU(), pre)
+
+	var shortcut *cnn.Node
+	switch {
+	case project:
+		shortcut = b.AddNamed(tag+"_sc_conv", cnn.Conv(4*width, 1, stride, cnn.Valid), pre)
+	case stride > 1:
+		shortcut = b.AddNamed(tag+"_sc_pool", cnn.MaxPool2D(1, stride, cnn.Valid), x)
+	default:
+		shortcut = x
+	}
+
+	y := b.AddNamed(tag+"_c1", cnn.ConvNoBias(width, 1, 1, cnn.Valid), pre)
+	y = b.AddNamed(tag+"_bn1", cnn.BN(), y)
+	y = b.AddNamed(tag+"_r1", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_pad", cnn.Pad2D(1), y)
+	y = b.AddNamed(tag+"_c2", cnn.ConvNoBias(width, 3, stride, cnn.Valid), y)
+	y = b.AddNamed(tag+"_bn2", cnn.BN(), y)
+	y = b.AddNamed(tag+"_r2", cnn.ReLU(), y)
+	y = b.AddNamed(tag+"_c3", cnn.Conv(4*width, 1, 1, cnn.Valid), y)
+	return b.AddNamed(tag+"_add", cnn.Add{}, shortcut, y)
+}

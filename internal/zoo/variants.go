@@ -1,0 +1,133 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+// The variant builders generate parameterised versions of well-known
+// architectures — the paper's future work plans exactly such variations
+// to enlarge the training dataset beyond the 31 fixed networks.
+
+// VGGVariant builds a VGG-style network with a custom per-block
+// convolution count (5 blocks, e.g. {2,2,3,3,3} reproduces VGG16).
+func VGGVariant(name string, blocks []int) (*cnn.Model, error) {
+	if len(blocks) != 5 {
+		return nil, fmt.Errorf("zoo: VGG variants need 5 blocks, got %d", len(blocks))
+	}
+	for i, n := range blocks {
+		if n < 1 || n > 8 {
+			return nil, fmt.Errorf("zoo: block %d has %d convolutions, want 1-8", i, n)
+		}
+	}
+	return buildVGG(name, blocks), nil
+}
+
+// MobileNetAlpha builds MobileNet v1 with a width multiplier alpha in
+// (0, 2]; channel counts round to multiples of 8 as in the original
+// implementation. Alpha 1.0 reproduces the registered "mobilenet".
+func MobileNetAlpha(alpha float64) (*cnn.Model, error) {
+	if alpha <= 0 || alpha > 2 {
+		return nil, fmt.Errorf("zoo: width multiplier %f outside (0, 2]", alpha)
+	}
+	scale := func(c int) int {
+		v := int(float64(c)*alpha + 4)
+		v -= v % 8
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	name := fmt.Sprintf("mobilenet_a%03.0f", alpha*100)
+	b, x := cnn.NewBuilder(name, sq(224))
+	x = b.Add(cnn.ConvNoBias(scale(32), 3, 2, cnn.Same), x)
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	cfg := []struct{ f, s int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+	}
+	for i, c := range cfg {
+		tag := fmt.Sprintf("sep%d", i+1)
+		x = b.AddNamed(tag+"_dw", cnn.DepthwiseConv(3, c.s, cnn.Same), x)
+		x = b.AddNamed(tag+"_dwbn", cnn.BN(), x)
+		x = b.AddNamed(tag+"_dwr", cnn.ReLU(), x)
+		x = b.AddNamed(tag+"_pw", cnn.ConvNoBias(scale(c.f), 1, 1, cnn.Valid), x)
+		x = b.AddNamed(tag+"_pwbn", cnn.BN(), x)
+		x = b.AddNamed(tag+"_pwr", cnn.ReLU(), x)
+	}
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.Dropout{Rate: 0.001}, x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.Build(x)
+}
+
+// VariantSet generates a bundle of architecture variations (plus the
+// registered extras) for enlarging the training dataset beyond Table I —
+// the paper's closing future-work item. All names are distinct from the
+// Table I models.
+func VariantSet() ([]*cnn.Model, error) {
+	var out []*cnn.Model
+	for _, alpha := range []float64{0.25, 0.5, 0.75, 1.25} {
+		m, err := MobileNetAlpha(alpha)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	vggs := map[string][]int{
+		"vgg11-like": {1, 1, 2, 2, 2},
+		"vgg21-like": {2, 2, 4, 4, 5},
+	}
+	for name, blocks := range vggs {
+		m, err := VGGVariant(name, blocks)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	resnets := []struct {
+		name       string
+		blocks     []int
+		bottleneck bool
+	}{
+		{"resnet26", []int{2, 2, 2, 2}, true},
+		{"resnet65", []int{3, 4, 11, 3}, true},
+		{"resnet24-basic", []int{3, 3, 3, 2}, false},
+	}
+	for _, r := range resnets {
+		m, err := ResNetVariant(r.name, r.blocks, r.bottleneck)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	for _, name := range []string{"resnet18", "resnet34", "resnet50", "squeezenet"} {
+		m, err := Build(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ResNetVariant builds a ResNet with custom stage depths. With
+// bottleneck=true it uses the 1x1-3x3-1x1 blocks of ResNet-50 and
+// deeper; with false the two-3x3 basic blocks of ResNet-18/34.
+func ResNetVariant(name string, blocks []int, bottleneck bool) (*cnn.Model, error) {
+	if len(blocks) != 4 {
+		return nil, fmt.Errorf("zoo: ResNet variants need 4 stages, got %d", len(blocks))
+	}
+	for i, n := range blocks {
+		if n < 1 || n > 48 {
+			return nil, fmt.Errorf("zoo: stage %d has %d blocks, want 1-48", i, n)
+		}
+	}
+	if bottleneck {
+		return buildResNetV1(name, blocks), nil
+	}
+	return buildBasicResNet(name, blocks), nil
+}

@@ -1,0 +1,117 @@
+package zoo
+
+import "testing"
+
+func TestVGGVariantReproducesVGG16(t *testing.T) {
+	v, err := VGGVariant("vgg16-variant", []int{2, 2, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TrainableParams() != MustBuild("vgg16").TrainableParams() {
+		t.Error("variant {2,2,3,3,3} must equal VGG16")
+	}
+	v19, err := VGGVariant("vgg19-variant", []int{2, 2, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v19.TrainableParams() != MustBuild("vgg19").TrainableParams() {
+		t.Error("variant {2,2,4,4,4} must equal VGG19")
+	}
+	if _, err := VGGVariant("bad", []int{2, 2}); err == nil {
+		t.Error("wrong block count should error")
+	}
+	if _, err := VGGVariant("bad", []int{2, 2, 3, 3, 0}); err == nil {
+		t.Error("zero-conv block should error")
+	}
+}
+
+func TestMobileNetAlpha(t *testing.T) {
+	full, err := MobileNetAlpha(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TrainableParams() != MustBuild("mobilenet").TrainableParams() {
+		t.Errorf("alpha 1.0 params %d != base %d",
+			full.TrainableParams(), MustBuild("mobilenet").TrainableParams())
+	}
+	// Parameters grow monotonically with alpha.
+	var prev int64
+	for _, a := range []float64{0.25, 0.5, 0.75, 1.0, 1.25} {
+		m, err := MobileNetAlpha(a)
+		if err != nil {
+			t.Fatalf("alpha %f: %v", a, err)
+		}
+		p := m.TrainableParams()
+		if p <= prev {
+			t.Errorf("alpha %f: params %d not above %d", a, p, prev)
+		}
+		prev = p
+		if err := m.Validate(); err != nil {
+			t.Errorf("alpha %f: %v", a, err)
+		}
+	}
+	if _, err := MobileNetAlpha(0); err == nil {
+		t.Error("alpha 0 should error")
+	}
+	if _, err := MobileNetAlpha(3); err == nil {
+		t.Error("alpha 3 should error")
+	}
+}
+
+func TestResNetVariant(t *testing.T) {
+	v, err := ResNetVariant("resnet101-variant", []int{3, 4, 23, 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TrainableParams() != MustBuild("resnet101").TrainableParams() {
+		t.Error("bottleneck {3,4,23,3} must equal ResNet101")
+	}
+	basic, err := ResNetVariant("resnet18-variant", []int{2, 2, 2, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic.TrainableParams() != MustBuild("resnet18").TrainableParams() {
+		t.Error("basic {2,2,2,2} must equal ResNet18")
+	}
+	// A novel depth works end to end.
+	novel, err := ResNetVariant("resnet77", []int{3, 4, 15, 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if novel.TrainableParams() <= MustBuild("resnet50").TrainableParams() {
+		t.Error("deeper variant should have more parameters than ResNet50")
+	}
+	if _, err := ResNetVariant("bad", []int{1, 2}, true); err == nil {
+		t.Error("wrong stage count should error")
+	}
+	if _, err := ResNetVariant("bad", []int{1, 2, 3, 99}, true); err == nil {
+		t.Error("absurd stage depth should error")
+	}
+}
+
+func TestVariantSet(t *testing.T) {
+	vs, err := VariantSet()
+	if err != nil {
+		t.Fatalf("variant set: %v", err)
+	}
+	if len(vs) < 10 {
+		t.Fatalf("variant set too small: %d", len(vs))
+	}
+	seen := map[string]bool{}
+	tableI := map[string]bool{}
+	for _, n := range TableIOrder {
+		tableI[n] = true
+	}
+	for _, m := range vs {
+		if seen[m.Name] {
+			t.Errorf("duplicate variant %s", m.Name)
+		}
+		seen[m.Name] = true
+		if tableI[m.Name] {
+			t.Errorf("variant %s collides with Table I", m.Name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}

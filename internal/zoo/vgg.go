@@ -1,0 +1,38 @@
+package zoo
+
+import "cnnperf/internal/cnn"
+
+func init() {
+	register(Reference{
+		Name: "vgg16", Input: sq(224), Layers: 16,
+		Neurons: 15_262_696, TrainableParams: 138_357_544,
+	}, func() *cnn.Model { return buildVGG("vgg16", []int{2, 2, 3, 3, 3}) })
+	register(Reference{
+		Name: "vgg19", Input: sq(224), Layers: 19,
+		Neurons: 16_567_272, TrainableParams: 143_667_240,
+	}, func() *cnn.Model { return buildVGG("vgg19", []int{2, 2, 4, 4, 4}) })
+}
+
+// buildVGG constructs a VGG network (Simonyan & Zisserman): five blocks of
+// same-padded 3x3 convolutions with max pooling in between, followed by
+// two 4096-unit fully connected layers and a 1000-way classifier.
+func buildVGG(name string, blocks []int) *cnn.Model {
+	filters := []int{64, 128, 256, 512, 512}
+	b, x := cnn.NewBuilder(name, sq(224))
+	for i, n := range blocks {
+		for j := 0; j < n; j++ {
+			x = b.Add(cnn.Conv(filters[i], 3, 1, cnn.Same), x)
+			x = b.Add(cnn.ReLU(), x)
+			_ = j
+		}
+		x = b.Add(cnn.MaxPool2D(2, 2, cnn.Valid), x)
+	}
+	x = b.Add(cnn.Flatten{}, x)
+	x = b.Add(cnn.FC(4096), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.FC(4096), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}

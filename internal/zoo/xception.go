@@ -1,0 +1,83 @@
+package zoo
+
+import (
+	"fmt"
+
+	"cnnperf/internal/cnn"
+)
+
+func init() {
+	register(Reference{
+		Name: "xception", Input: sq(299), Layers: 71,
+		Neurons: 62_981_867, TrainableParams: 22_855_952,
+	}, buildXception)
+}
+
+// sepConvBN adds an Xception separable convolution unit: bias-free
+// depthwise 3x3 + bias-free pointwise + batch norm.
+func sepConvBN(b *cnn.Builder, x *cnn.Node, tag string, filters int) *cnn.Node {
+	y := b.AddNamed(tag+"_dw", cnn.DepthwiseConv(3, 1, cnn.Same), x)
+	y = b.AddNamed(tag+"_pw", cnn.ConvNoBias(filters, 1, 1, cnn.Valid), y)
+	return b.AddNamed(tag+"_bn", cnn.BN(), y)
+}
+
+// buildXception constructs Xception (Chollet, CVPR 2017): an entry flow of
+// three strided separable modules with 1x1 shortcuts, a middle flow of
+// eight residual separable modules at 728 channels, and the exit flow
+// ending in 1536/2048-channel separable convolutions.
+func buildXception() *cnn.Model {
+	b, x := cnn.NewBuilder("xception", sq(299))
+	// Entry stem.
+	x = b.Add(cnn.ConvNoBias(32, 3, 2, cnn.Valid), x) // 149
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.ConvNoBias(64, 3, 1, cnn.Valid), x) // 147
+	x = b.Add(cnn.BN(), x)
+	x = b.Add(cnn.ReLU(), x)
+
+	// Entry modules: 128, 256, 728 with strided max pool and conv shortcut.
+	for i, f := range []int{128, 256, 728} {
+		tag := fmt.Sprintf("entry%d", i+1)
+		shortcut := b.AddNamed(tag+"_sc", cnn.ConvNoBias(f, 1, 2, cnn.Same), x)
+		shortcut = b.AddNamed(tag+"_scbn", cnn.BN(), shortcut)
+		y := x
+		if i > 0 {
+			y = b.AddNamed(tag+"_r0", cnn.ReLU(), y)
+		}
+		y = sepConvBN(b, y, tag+"_s1", f)
+		y = b.AddNamed(tag+"_r1", cnn.ReLU(), y)
+		y = sepConvBN(b, y, tag+"_s2", f)
+		y = b.AddNamed(tag+"_pool", cnn.MaxPool2D(3, 2, cnn.Same), y)
+		x = b.AddNamed(tag+"_add", cnn.Add{}, shortcut, y)
+	}
+
+	// Middle flow: eight residual modules at 728 channels.
+	for i := 0; i < 8; i++ {
+		tag := fmt.Sprintf("mid%d", i+1)
+		y := x
+		for j := 1; j <= 3; j++ {
+			y = b.AddNamed(fmt.Sprintf("%s_r%d", tag, j), cnn.ReLU(), y)
+			y = sepConvBN(b, y, fmt.Sprintf("%s_s%d", tag, j), 728)
+		}
+		x = b.AddNamed(tag+"_add", cnn.Add{}, x, y)
+	}
+
+	// Exit flow.
+	shortcut := b.AddNamed("exit_sc", cnn.ConvNoBias(1024, 1, 2, cnn.Same), x)
+	shortcut = b.AddNamed("exit_scbn", cnn.BN(), shortcut)
+	y := b.AddNamed("exit_r1", cnn.ReLU(), x)
+	y = sepConvBN(b, y, "exit_s1", 728)
+	y = b.AddNamed("exit_r2", cnn.ReLU(), y)
+	y = sepConvBN(b, y, "exit_s2", 1024)
+	y = b.AddNamed("exit_pool", cnn.MaxPool2D(3, 2, cnn.Same), y)
+	x = b.AddNamed("exit_add", cnn.Add{}, shortcut, y)
+
+	x = sepConvBN(b, x, "exit_s3", 1536)
+	x = b.Add(cnn.ReLU(), x)
+	x = sepConvBN(b, x, "exit_s4", 2048)
+	x = b.Add(cnn.ReLU(), x)
+	x = b.Add(cnn.GlobalAvgPool(), x)
+	x = b.Add(cnn.FC(1000), x)
+	x = b.Add(cnn.Softmax(), x)
+	return b.MustBuild(x)
+}

@@ -1,0 +1,86 @@
+package cnnperf
+
+import "cnnperf/internal/cnn"
+
+// Re-exported graph operations for building custom CNNs with NewModel.
+// Each value is documented in internal/cnn.
+type (
+	// Op is a network operation.
+	Op = cnn.Op
+	// Node is one operation instance in a graph.
+	Node = cnn.Node
+	// Conv2D is a standard (optionally grouped) convolution.
+	Conv2D = cnn.Conv2D
+	// DepthwiseConv2D convolves each channel independently.
+	DepthwiseConv2D = cnn.DepthwiseConv2D
+	// Dense is a fully connected layer.
+	Dense = cnn.Dense
+	// Pool2D is spatial max/average pooling.
+	Pool2D = cnn.Pool2D
+	// GlobalPool2D reduces the spatial extent to 1x1.
+	GlobalPool2D = cnn.GlobalPool2D
+	// BatchNorm is channel-wise batch normalisation.
+	BatchNorm = cnn.BatchNorm
+	// GroupNorm is group normalisation.
+	GroupNorm = cnn.GroupNorm
+	// Activation is an elementwise non-linearity.
+	Activation = cnn.Activation
+	// Flatten collapses a feature map to a vector.
+	Flatten = cnn.Flatten
+	// Dropout is an inference no-op.
+	Dropout = cnn.Dropout
+	// ZeroPad2D adds explicit spatial padding.
+	ZeroPad2D = cnn.ZeroPad2D
+	// Add sums feature maps (residual connections).
+	Add = cnn.Add
+	// Multiply gates feature maps (squeeze-excite).
+	Multiply = cnn.Multiply
+	// Concat joins feature maps along channels.
+	Concat = cnn.Concat
+	// Padding selects Same or Valid boundary handling.
+	Padding = cnn.Padding
+	// Summary is the Static Analyzer report.
+	Summary = cnn.Summary
+)
+
+// Padding modes.
+const (
+	// Valid performs no padding.
+	Valid = cnn.Valid
+	// Same pads to preserve ceil(in/stride).
+	Same = cnn.Same
+)
+
+// Convenience constructors, mirroring internal/cnn.
+var (
+	// Conv builds a square-kernel convolution with bias.
+	Conv = cnn.Conv
+	// ConvNoBias builds a bias-free convolution.
+	ConvNoBias = cnn.ConvNoBias
+	// DepthwiseConv builds a square depthwise convolution.
+	DepthwiseConv = cnn.DepthwiseConv
+	// FC builds a dense layer with bias.
+	FC = cnn.FC
+	// MaxPool2D builds square max pooling.
+	MaxPool2D = cnn.MaxPool2D
+	// AvgPool2D builds square average pooling.
+	AvgPool2D = cnn.AvgPool2D
+	// GlobalAvgPool builds global average pooling.
+	GlobalAvgPool = cnn.GlobalAvgPool
+	// GlobalMaxPool builds global max pooling.
+	GlobalMaxPool = cnn.GlobalMaxPool
+	// BN builds standard batch normalisation.
+	BN = cnn.BN
+	// ReLU builds a rectified-linear activation.
+	ReLU = cnn.ReLU
+	// Swish builds a swish activation.
+	Swish = cnn.Swish
+	// Sigmoid builds a sigmoid activation.
+	Sigmoid = cnn.Sigmoid
+	// Softmax builds a softmax activation.
+	Softmax = cnn.Softmax
+	// Pad2D pads symmetrically on all sides.
+	Pad2D = cnn.Pad2D
+	// Analyze runs the Static Analyzer over a model.
+	Analyze = cnn.Analyze
+)
