@@ -6,6 +6,7 @@
 //	cnnperf models                      list the CNN zoo
 //	cnnperf gpus                        list the GPU catalogue
 //	cnnperf analyze <model>             static + dynamic analysis of one CNN
+//	cnnperf lint [-json] <model|file>   static-analysis diagnostics of generated or on-disk PTX
 //	cnnperf dataset [-out file.csv]     build the phase-1 training dataset
 //	cnnperf evaluate                    compare the five regressors (Table II)
 //	cnnperf predict <model> <gpu>       estimate IPC without execution
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -52,6 +54,8 @@ func main() {
 		}
 	case "analyze":
 		err = runAnalyze(os.Args[2:], cfg)
+	case "lint":
+		err = runLint(os.Args[2:], cfg)
 	case "dataset":
 		err = runDataset(os.Args[2:], cfg)
 	case "evaluate":
@@ -82,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cnnperf <models|gpus|analyze|dataset|evaluate|predict|profile|sweep|crossval|train|dot|dse|stats> [args]")
+	fmt.Fprintln(os.Stderr, "usage: cnnperf <models|gpus|analyze|lint|dataset|evaluate|predict|profile|sweep|crossval|train|dot|dse|stats> [args]")
 }
 
 func runAnalyze(args []string, cfg cnnperf.Config) error {
@@ -104,6 +108,49 @@ func runAnalyze(args []string, cfg cnnperf.Config) error {
 	fmt.Printf("executed instructions:  %d\n", a.Report.Executed)
 	fmt.Printf("mean control slice:     %.1f%% of static code\n", 100*a.Report.MeanSliceFraction)
 	fmt.Printf("analysis time (t_dca):  %s\n", a.DCATime.Round(1e5))
+	return nil
+}
+
+func runLint(args []string, cfg cnnperf.Config) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("lint needs one <model|ptx-file> argument")
+	}
+	target := fs.Arg(0)
+	var diags []cnnperf.Diag
+	if data, rerr := os.ReadFile(target); rerr == nil {
+		var err error
+		if diags, err = cnnperf.LintPTX(string(data)); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if diags, err = cnnperf.LintCNN(target, cfg); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		if diags == nil {
+			diags = []cnnperf.Diag{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		fmt.Printf("%d diagnostics\n", len(diags))
+	}
+	if cnnperf.HasLintErrors(diags) {
+		return fmt.Errorf("lint found error-severity diagnostics")
+	}
 	return nil
 }
 

@@ -100,6 +100,11 @@ func main() {
 			log.Fatalf("feature study: %v", err)
 		}
 		fmt.Println(text)
+		_, _, text, err = suite.StaticFeatureStudy()
+		if err != nil {
+			log.Fatalf("static feature study: %v", err)
+		}
+		fmt.Println(text)
 		_, _, text, err = suite.DatasetSizeStudy()
 		if err != nil {
 			log.Fatalf("dataset-size study: %v", err)

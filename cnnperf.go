@@ -40,6 +40,7 @@ import (
 	"cnnperf/internal/mlearn/dataset"
 	"cnnperf/internal/profiler"
 	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxanalysis"
 	"cnnperf/internal/ptxgen"
 	"cnnperf/internal/zoo"
 )
@@ -288,6 +289,47 @@ func FrequencySweep(name, gpuID string, clocksMHz []float64, cfg Config) ([]Swee
 // ExtendedFeatureNames is the future-work schema including FLOPs and
 // MACs predictors (enable with Config.ExtendedFeatures).
 var ExtendedFeatureNames = core.ExtendedFeatureNames
+
+// StaticFeatureNames is the schema with the static-analysis predictors
+// of internal/ptxanalysis appended — register pressure, loop nesting,
+// branch density, instruction-mix and coalescing fractions (enable with
+// Config.StaticFeatures).
+var StaticFeatureNames = core.StaticFeatureNames
+
+// Diag is one static-analysis lint finding (code PTXA001-PTXA008).
+type Diag = ptxanalysis.Diag
+
+// StaticAnalysis is the per-module static-analysis summary attached to
+// every ModelAnalysis.
+type StaticAnalysis = ptxanalysis.ModuleAnalysis
+
+// LintCNN compiles a zoo model to PTX and runs the static-analysis lint
+// over every generated kernel, returning the diagnostics errors-first
+// per kernel.
+func LintCNN(name string, cfg Config) ([]Diag, error) {
+	m, err := zoo.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ptxgen.Compile(m, cfg.PTX)
+	if err != nil {
+		return nil, err
+	}
+	return ptxanalysis.Lint(prog.Module), nil
+}
+
+// LintPTX parses PTX assembly text and lints every kernel in it.
+func LintPTX(src string) ([]Diag, error) {
+	m, err := ptx.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ptxanalysis.Lint(m), nil
+}
+
+// HasLintErrors reports whether any diagnostic is error-severity — the
+// condition under which the dynamic code analysis rejects a kernel.
+func HasLintErrors(diags []Diag) bool { return ptxanalysis.HasErrors(diags) }
 
 // Design-space exploration types (see internal/dse).
 type (

@@ -219,6 +219,34 @@ func TestPublicExtendedFeatures(t *testing.T) {
 	}
 }
 
+func TestPublicLint(t *testing.T) {
+	if len(cnnperf.StaticFeatureNames) <= len(cnnperf.FeatureNames) {
+		t.Error("static schema must extend the base schema")
+	}
+	diags, err := cnnperf.LintCNN("squeezenet", cnnperf.Config{})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if cnnperf.HasLintErrors(diags) {
+		t.Errorf("generated PTX must lint clean of errors, got %v", diags)
+	}
+	bad := ".version 6.0\n.target sm_61\n.address_size 64\n" +
+		".visible .entry bad()\n{\n\tadd.s32 %r2, %r5, 1;\n\tret;\n}\n"
+	diags, err = cnnperf.LintPTX(bad)
+	if err != nil {
+		t.Fatalf("lint ptx: %v", err)
+	}
+	if !cnnperf.HasLintErrors(diags) {
+		t.Errorf("use-before-def must be an error, got %v", diags)
+	}
+	if _, err := cnnperf.LintCNN("nope", cnnperf.Config{}); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := cnnperf.LintPTX("not ptx at all"); err == nil {
+		t.Error("unparsable PTX should error")
+	}
+}
+
 func TestPublicDetailedSimulator(t *testing.T) {
 	cfg := cnnperf.Config{}
 	res, err := cnnperf.SimulateCNNDetailed("squeezenet", "gtx1080ti", cfg)

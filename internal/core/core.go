@@ -26,6 +26,7 @@ import (
 	"cnnperf/internal/mlearn/dataset"
 	"cnnperf/internal/mlearn/metrics"
 	"cnnperf/internal/profiler"
+	"cnnperf/internal/ptxanalysis"
 	"cnnperf/internal/ptxgen"
 	"cnnperf/internal/zoo"
 )
@@ -37,6 +38,14 @@ var FeatureNames = append([]string{"executed_instructions", "trainable_params"},
 // ExtendedFeatureNames additionally includes the FLOP and MAC counts the
 // paper's future work proposes as extra CNN complexity predictors.
 var ExtendedFeatureNames = append(append([]string{}, FeatureNames...), "flops", "macs")
+
+// StaticFeatureNames is the base schema plus the static-analysis
+// predictors of internal/ptxanalysis (register pressure, loop nesting,
+// instruction mix, coalescing estimate).
+var StaticFeatureNames = append(append([]string{}, FeatureNames...), ptxanalysis.FeatureNames...)
+
+// FullFeatureNames combines the extended and static predictor sets.
+var FullFeatureNames = append(append([]string{}, ExtendedFeatureNames...), ptxanalysis.FeatureNames...)
 
 // Config collects the knobs of the whole pipeline.
 type Config struct {
@@ -53,6 +62,9 @@ type Config struct {
 	// ExtendedFeatures adds the FLOP and MAC predictors to the schema
 	// (the paper's future-work feature set).
 	ExtendedFeatures bool
+	// StaticFeatures adds the ptxanalysis predictors to the schema, so
+	// experiments can A/B the base vector against the static-augmented one.
+	StaticFeatures bool
 }
 
 // DefaultConfig returns the configuration of the reproduced experiments:
@@ -87,6 +99,8 @@ type ModelAnalysis struct {
 	Summary cnn.Summary
 	// Report is the Dynamic Code Analysis output.
 	Report *dca.Report
+	// Static is the static-analysis summary of the generated PTX module.
+	Static *ptxanalysis.ModuleAnalysis
 	// DCATime is the measured wall-clock of compile+analysis (t_dca).
 	DCATime time.Duration
 }
@@ -117,10 +131,15 @@ func AnalyzeModel(m *cnn.Model, cfg Config) (*ModelAnalysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	static, err := ptxanalysis.AnalyzeModule(prog.Module)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return &ModelAnalysis{
 		Name:    m.Name,
 		Summary: summary,
 		Report:  rep,
+		Static:  static,
 		DCATime: time.Since(start),
 	}, nil
 }
@@ -141,12 +160,35 @@ func (a *ModelAnalysis) ExtendedFeatures(spec gpu.Spec) []float64 {
 	return append(out, float64(a.Summary.FLOPs), float64(a.Summary.MACs))
 }
 
-// featuresFor picks the plain or extended vector to match a schema width.
-func (a *ModelAnalysis) featuresFor(spec gpu.Spec, schemaLen int) []float64 {
-	if schemaLen == len(ExtendedFeatureNames) {
-		return a.ExtendedFeatures(spec)
+// staticVec returns the ptxanalysis predictor block (zeros when the
+// analysis is absent, e.g. deserialised legacy results).
+func (a *ModelAnalysis) staticVec() []float64 {
+	if a.Static == nil {
+		return make([]float64, len(ptxanalysis.FeatureNames))
 	}
-	return a.Features(spec)
+	return a.Static.Features()
+}
+
+// StaticFeatures is Features plus the static-analysis predictors, in
+// StaticFeatureNames order.
+func (a *ModelAnalysis) StaticFeatures(spec gpu.Spec) []float64 {
+	return append(a.Features(spec), a.staticVec()...)
+}
+
+// featuresFor picks the vector variant matching a schema width. The four
+// schemas have pairwise-distinct lengths, so the width identifies the
+// variant.
+func (a *ModelAnalysis) featuresFor(spec gpu.Spec, schemaLen int) []float64 {
+	switch schemaLen {
+	case len(FullFeatureNames):
+		return append(a.ExtendedFeatures(spec), a.staticVec()...)
+	case len(StaticFeatureNames):
+		return a.StaticFeatures(spec)
+	case len(ExtendedFeatureNames):
+		return a.ExtendedFeatures(spec)
+	default:
+		return a.Features(spec)
+	}
 }
 
 // BuildDataset runs Phase 1 over the given CNNs and GPUs: each (CNN, GPU)
@@ -175,8 +217,13 @@ func BuildDatasetFromModels(models []*cnn.Model, gpus []string, cfg Config) (*da
 		return nil, nil, fmt.Errorf("core: need at least one model and one GPU")
 	}
 	schema := FeatureNames
-	if cfg.ExtendedFeatures {
+	switch {
+	case cfg.ExtendedFeatures && cfg.StaticFeatures:
+		schema = FullFeatureNames
+	case cfg.ExtendedFeatures:
 		schema = ExtendedFeatureNames
+	case cfg.StaticFeatures:
+		schema = StaticFeatureNames
 	}
 	ds := dataset.New(schema)
 	analyses := make(map[string]*ModelAnalysis, len(models))

@@ -385,6 +385,64 @@ func TestExtendedFeatures(t *testing.T) {
 	}
 }
 
+func TestStaticFeatures(t *testing.T) {
+	// The four schema widths must stay pairwise distinct: featuresFor
+	// dispatches on length.
+	widths := map[int]string{}
+	for _, s := range [][]string{FeatureNames, ExtendedFeatureNames, StaticFeatureNames, FullFeatureNames} {
+		if prev, dup := widths[len(s)]; dup {
+			t.Fatalf("schema width %d used by both %q and %q", len(s), prev, s[len(s)-1])
+		}
+		widths[len(s)] = s[len(s)-1]
+	}
+
+	cfg := fastConfig()
+	cfg.StaticFeatures = true
+	models := []string{"alexnet", "mobilenet", "mobilenetv2"}
+	ds, analyses, err := BuildDataset(models, gpu.TrainingGPUs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.FeatureNames) != len(StaticFeatureNames) {
+		t.Fatalf("schema width %d, want %d", len(ds.FeatureNames), len(StaticFeatureNames))
+	}
+	last := len(ds.FeatureNames)
+	if ds.FeatureNames[last-1] != "static_coalesced_fraction" {
+		t.Errorf("schema tail = %v", ds.FeatureNames[last-1])
+	}
+	a := analyses["alexnet"]
+	if a.Static == nil {
+		t.Fatal("static analysis missing from ModelAnalysis")
+	}
+	if a.Static.MaxRegPressure <= 0 {
+		t.Error("register pressure not computed")
+	}
+	row := ds.Rows[0]
+	if row.X[last-len(a.Static.Features())] != float64(a.Static.MaxRegPressure) {
+		t.Error("static features not populated in dataset rows")
+	}
+	est, err := TrainEstimator(ds, mlearn.NewDecisionTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc, err := est.Predict(a, gpu.MustLookup("t4"))
+	if err != nil {
+		t.Fatalf("static predict: %v", err)
+	}
+	if ipc <= 0 {
+		t.Errorf("IPC = %f", ipc)
+	}
+	// Both flags together select the full schema.
+	cfg.ExtendedFeatures = true
+	ds2, _, err := BuildDataset([]string{"alexnet"}, gpu.TrainingGPUs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.FeatureNames) != len(FullFeatureNames) {
+		t.Errorf("full schema width %d, want %d", len(ds2.FeatureNames), len(FullFeatureNames))
+	}
+}
+
 func TestEstimatorSaveLoad(t *testing.T) {
 	models := []string{"alexnet", "mobilenet", "mobilenetv2", "squeezenet"}
 	ds, analyses, err := BuildDataset(models, gpu.TrainingGPUs, fastConfig())

@@ -11,112 +11,23 @@ import (
 	"fmt"
 
 	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptx/cfg"
 )
 
 // BasicBlock is a maximal straight-line instruction range [Start, End).
-type BasicBlock struct {
-	// Start is the index of the first instruction.
-	Start int
-	// End is one past the last instruction.
-	End int
-	// Succs are the indices of successor blocks in the CFG.
-	Succs []int
-}
+// It is shared with the static-analysis framework via internal/ptx/cfg.
+type BasicBlock = cfg.Block
 
 // CFG is the control-flow graph of one kernel.
-type CFG struct {
-	// Blocks are the basic blocks in ascending Start order.
-	Blocks []*BasicBlock
-	// blockOf maps an instruction index to its block index.
-	blockOf []int
-}
-
-// BlockOf returns the block index containing instruction idx.
-func (c *CFG) BlockOf(idx int) int { return c.blockOf[idx] }
+type CFG = cfg.Graph
 
 // BuildCFG partitions the kernel body into basic blocks and wires the
-// successor edges from branch targets and fallthrough.
+// successor edges from branch targets and fallthrough. The construction
+// lives in internal/ptx/cfg so the static analyses see the same blocks.
 func BuildCFG(k *ptx.Kernel) (*CFG, error) {
-	n := len(k.Body)
-	if n == 0 {
-		return nil, fmt.Errorf("dca: kernel %q has an empty body", k.Name)
+	g, err := cfg.Build(k)
+	if err != nil {
+		return nil, fmt.Errorf("dca: %w", err)
 	}
-	leaders := make(map[int]bool, 8)
-	leaders[0] = true
-	for i, in := range k.Body {
-		if ptx.IsBranch(in.Opcode) {
-			tgt, err := k.Target(in.Operands[0])
-			if err != nil {
-				return nil, fmt.Errorf("dca: %w", err)
-			}
-			if tgt < n {
-				leaders[tgt] = true
-			}
-			if i+1 < n {
-				leaders[i+1] = true
-			}
-		}
-		if ptx.IsExit(in.Opcode) && i+1 < n {
-			leaders[i+1] = true
-		}
-	}
-	// Labels also start blocks: predicated instructions may jump there.
-	for _, idx := range k.Labels {
-		if idx < n {
-			leaders[idx] = true
-		}
-	}
-
-	cfg := &CFG{blockOf: make([]int, n)}
-	start := 0
-	for i := 1; i <= n; i++ {
-		if i == n || leaders[i] {
-			cfg.Blocks = append(cfg.Blocks, &BasicBlock{Start: start, End: i})
-			start = i
-		}
-	}
-	for bi, b := range cfg.Blocks {
-		for i := b.Start; i < b.End; i++ {
-			cfg.blockOf[i] = bi
-		}
-	}
-	// Successors.
-	for bi, b := range cfg.Blocks {
-		last := k.Body[b.End-1]
-		switch {
-		case ptx.IsExit(last.Opcode):
-			// no successors
-		case ptx.IsBranch(last.Opcode):
-			tgt, err := k.Target(last.Operands[0])
-			if err != nil {
-				return nil, fmt.Errorf("dca: %w", err)
-			}
-			if tgt < n {
-				b.Succs = append(b.Succs, cfg.blockOf[tgt])
-			}
-			if last.Pred != "" && b.End < n {
-				// Conditional branch falls through too.
-				b.Succs = append(b.Succs, bi+1)
-			}
-		default:
-			if b.End < n {
-				b.Succs = append(b.Succs, bi+1)
-			}
-		}
-	}
-	return cfg, nil
-}
-
-// BackEdges returns the (from, to) block pairs whose branch jumps backward
-// — the loop edges of the kernel.
-func (c *CFG) BackEdges() [][2]int {
-	var out [][2]int
-	for bi, b := range c.Blocks {
-		for _, s := range b.Succs {
-			if s <= bi {
-				out = append(out, [2]int{bi, s})
-			}
-		}
-	}
-	return out
+	return g, nil
 }

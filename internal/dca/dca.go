@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxanalysis"
 	"cnnperf/internal/ptxgen"
 )
 
@@ -62,6 +63,22 @@ type Report struct {
 type Options struct {
 	// Exec tunes the abstract executor.
 	Exec ExecOptions
+	// SkipLint bypasses the static-analysis validation gate. Set by
+	// AnalyzeProgram after it has linted each distinct kernel once, so
+	// repeated launches of one kernel are not re-analysed.
+	SkipLint bool
+}
+
+// lintGate rejects kernels whose static analysis reports error-severity
+// diagnostics (use-before-def registers, unresolved branch targets):
+// abstractly executing them would compute garbage or fail midway.
+func lintGate(k *ptx.Kernel) error {
+	diags := ptxanalysis.LintKernel(k)
+	if errs := ptxanalysis.Errors(diags); len(errs) > 0 {
+		return fmt.Errorf("dca: kernel %s rejected by static analysis: %s (%d error diagnostics)",
+			k.Name, errs[0].Msg, len(errs))
+	}
+	return nil
 }
 
 // AnalyzeKernelLaunch slices and abstractly executes one kernel under its
@@ -73,7 +90,11 @@ func AnalyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options) (KernelRe
 	if k == nil {
 		return KernelReport{}, fmt.Errorf("dca: nil kernel")
 	}
-	if _, err := BuildCFG(k); err != nil { // structural validation
+	if opts.SkipLint {
+		if _, err := BuildCFG(k); err != nil { // structural validation only
+			return KernelReport{}, err
+		}
+	} else if err := lintGate(k); err != nil {
 		return KernelReport{}, err
 	}
 	g := BuildDepGraph(k)
@@ -132,6 +153,25 @@ func AnalyzeProgram(prog *ptxgen.Program, opts Options) (*Report, error) {
 	}
 	start := time.Now()
 	rep := &Report{Model: prog.Model, PerClass: make(map[ptx.Class]int64)}
+	// Gate every distinct kernel once up front; the per-launch loop can
+	// then skip re-linting (a kernel may be launched many times).
+	if !opts.SkipLint {
+		linted := make(map[string]bool, len(prog.Launches))
+		for _, l := range prog.Launches {
+			if linted[l.Kernel] {
+				continue
+			}
+			linted[l.Kernel] = true
+			k := prog.Module.Kernel(l.Kernel)
+			if k == nil {
+				return nil, fmt.Errorf("dca: launch references unknown kernel %q", l.Kernel)
+			}
+			if err := lintGate(k); err != nil {
+				return nil, err
+			}
+		}
+		opts.SkipLint = true
+	}
 	var sliceSum float64
 	for _, l := range prog.Launches {
 		k := prog.Module.Kernel(l.Kernel)

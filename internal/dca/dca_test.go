@@ -59,6 +59,126 @@ func TestCFGEmptyKernel(t *testing.T) {
 	}
 }
 
+func TestCFGSingleBlock(t *testing.T) {
+	k := &ptx.Kernel{Name: "line"}
+	k.Append(ptx.Instruction{Opcode: "mov.u32", Operands: []string{"%r1", "%tid.x"}})
+	k.Append(ptx.Instruction{Opcode: "add.s32", Operands: []string{"%r2", "%r1", "1"}})
+	k.Append(ptx.Instruction{Opcode: "ret"})
+	cfg, err := BuildCFG(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	if len(cfg.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(cfg.Blocks))
+	}
+	b := cfg.Blocks[0]
+	if b.Start != 0 || b.End != 3 || len(b.Succs) != 0 || len(b.Preds) != 0 {
+		t.Errorf("block = %+v", *b)
+	}
+	if len(cfg.BackEdges()) != 0 {
+		t.Error("straight line has no back edges")
+	}
+	for i := 0; i < 3; i++ {
+		if cfg.BlockOf(i) != 0 {
+			t.Errorf("blockOf(%d) = %d", i, cfg.BlockOf(i))
+		}
+	}
+}
+
+// TestCFGBackEdgeOnlyLoop: an unconditional self-loop with no exit path
+// — the whole body is one block whose only successor is itself.
+func TestCFGBackEdgeOnlyLoop(t *testing.T) {
+	k := &ptx.Kernel{Name: "spin"}
+	if err := k.AddLabel("SPIN"); err != nil {
+		t.Fatal(err)
+	}
+	k.Append(ptx.Instruction{Opcode: "add.s32", Operands: []string{"%r1", "%r1", "1"}})
+	k.Append(ptx.Instruction{Opcode: "bra.uni", Operands: []string{"SPIN"}})
+	cfg, err := BuildCFG(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	if len(cfg.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(cfg.Blocks))
+	}
+	b := cfg.Blocks[0]
+	if len(b.Succs) != 1 || b.Succs[0] != 0 || len(b.Preds) != 1 || b.Preds[0] != 0 {
+		t.Errorf("self-loop edges wrong: %+v", *b)
+	}
+	back := cfg.BackEdges()
+	if len(back) != 1 || back[0] != [2]int{0, 0} {
+		t.Errorf("back edges = %v", back)
+	}
+	reach := cfg.Reachable()
+	if len(reach) != 1 || !reach[0] {
+		t.Errorf("reachable = %v", reach)
+	}
+}
+
+// TestCFGUnreachableTrailingBlock: code after an unconditional ret forms
+// its own block with no predecessors.
+func TestCFGUnreachableTrailingBlock(t *testing.T) {
+	k := &ptx.Kernel{Name: "dead"}
+	k.Append(ptx.Instruction{Opcode: "ret"})
+	k.Append(ptx.Instruction{Opcode: "mov.u32", Operands: []string{"%r1", "0"}})
+	k.Append(ptx.Instruction{Opcode: "ret"})
+	cfg, err := BuildCFG(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	if len(cfg.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(cfg.Blocks))
+	}
+	if len(cfg.Blocks[0].Succs) != 0 {
+		t.Errorf("ret block has successors: %v", cfg.Blocks[0].Succs)
+	}
+	if len(cfg.Blocks[1].Preds) != 0 {
+		t.Errorf("dead block has predecessors: %v", cfg.Blocks[1].Preds)
+	}
+	reach := cfg.Reachable()
+	if !reach[0] || reach[1] {
+		t.Errorf("reachable = %v, want [true false]", reach)
+	}
+}
+
+// TestCFGPredicatedExitFallsThrough: a guarded ret does not terminate
+// the block's control flow — the not-taken threads continue.
+func TestCFGPredicatedExitFallsThrough(t *testing.T) {
+	k := &ptx.Kernel{Name: "guard"}
+	k.Append(ptx.Instruction{Opcode: "setp.lt.s32", Operands: []string{"%p1", "%r1", "8"}})
+	k.Append(ptx.Instruction{Pred: "%p1", Opcode: "ret"})
+	k.Append(ptx.Instruction{Opcode: "mov.u32", Operands: []string{"%r2", "1"}})
+	k.Append(ptx.Instruction{Opcode: "ret"})
+	cfg, err := BuildCFG(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	if len(cfg.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(cfg.Blocks))
+	}
+	if len(cfg.Blocks[0].Succs) != 1 || cfg.Blocks[0].Succs[0] != 1 {
+		t.Errorf("predicated exit must fall through: %v", cfg.Blocks[0].Succs)
+	}
+}
+
+// TestLintGateRejectsBadKernel: the static-analysis gate refuses kernels
+// with error-severity diagnostics before abstract execution, unless the
+// caller explicitly skips it.
+func TestLintGateRejectsBadKernel(t *testing.T) {
+	k := &ptx.Kernel{Name: "ubd"}
+	k.Append(ptx.Instruction{Opcode: "add.s32", Operands: []string{"%r2", "%r5", "1"}})
+	k.Append(ptx.Instruction{Opcode: "ret"})
+	l := ptxgen.Launch{Kernel: "ubd", GridX: 1, BlockX: 32, Threads: 32}
+	if _, err := AnalyzeKernelLaunch(k, l, Options{}); err == nil {
+		t.Error("use-before-def kernel must be rejected by the lint gate")
+	}
+	// SkipLint bypasses the gate (the abstract executor reads the
+	// undefined register as zero).
+	if _, err := AnalyzeKernelLaunch(k, l, Options{SkipLint: true}); err != nil {
+		t.Errorf("SkipLint run failed: %v", err)
+	}
+}
+
 func TestDepGraph(t *testing.T) {
 	k := countedLoop(t, 4)
 	g := BuildDepGraph(k)

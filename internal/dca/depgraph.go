@@ -1,8 +1,6 @@
 package dca
 
 import (
-	"strings"
-
 	"cnnperf/internal/ptx"
 )
 
@@ -27,28 +25,10 @@ func (g *DepGraph) Edges() int {
 }
 
 // regOperand extracts the register name from an operand, handling memory
-// references "[%rd1+4]" and plain registers "%r3". Immediates, labels and
-// parameter names return "".
-func regOperand(op string) string {
-	op = strings.TrimSpace(op)
-	if strings.HasPrefix(op, "[") {
-		op = strings.TrimPrefix(op, "[")
-		op = strings.TrimSuffix(op, "]")
-		if i := strings.IndexAny(op, "+-"); i > 0 {
-			op = op[:i]
-		}
-	}
-	if !strings.HasPrefix(op, "%") {
-		return ""
-	}
-	// Special read-only registers are not defined by instructions.
-	switch op {
-	case "%tid.x", "%tid.y", "%tid.z", "%ntid.x", "%ntid.y", "%ntid.z",
-		"%ctaid.x", "%ctaid.y", "%ctaid.z", "%nctaid.x", "%nctaid.y", "%nctaid.z":
-		return ""
-	}
-	return op
-}
+// references "[%rd1+4]" and plain registers "%r3". Immediates, labels,
+// parameter names and special read-only registers return "". The
+// extraction is shared with the static analyses via ptx.RegOperand.
+func regOperand(op string) string { return ptx.RegOperand(op) }
 
 // BuildDepGraph constructs the dependency graph of a kernel body.
 func BuildDepGraph(k *ptx.Kernel) *DepGraph {

@@ -234,6 +234,34 @@ func TestExtendedFeatureStudyExtension(t *testing.T) {
 	}
 }
 
+func TestStaticFeatureStudyExtension(t *testing.T) {
+	s := getSuite(t)
+	base, static, text, err := s.StaticFeatureStudy()
+	if err != nil {
+		t.Fatalf("static feature study: %v", err)
+	}
+	if !strings.Contains(text, "static_reg_pressure") || !strings.Contains(text, "decision_tree") {
+		t.Errorf("text malformed:\n%s", text)
+	}
+	byName := func(evals []core.Evaluation, name string) *core.Evaluation {
+		for i := range evals {
+			if evals[i].Name == name {
+				return &evals[i]
+			}
+		}
+		return nil
+	}
+	b, st := byName(base, "decision_tree"), byName(static, "decision_tree")
+	if b == nil || st == nil {
+		t.Fatalf("missing decision_tree row: base %v static %v", base, static)
+	}
+	// The static predictors must not hurt the winning model: at most one
+	// MAPE point worse than the paper's schema.
+	if st.MAPE > b.MAPE+1.0 {
+		t.Errorf("static features degraded decision-tree MAPE from %.2f%% to %.2f%%", b.MAPE, st.MAPE)
+	}
+}
+
 func TestDatasetSizeStudyExtension(t *testing.T) {
 	s := getSuite(t)
 	base, enlarged, text, err := s.DatasetSizeStudy()

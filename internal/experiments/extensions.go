@@ -176,6 +176,51 @@ func (s *Suite) DatasetSizeStudy() (baseMAPE, enlargedMAPE float64, text string,
 	return baseMAPE, enlargedMAPE, b.String(), nil
 }
 
+// StaticFeatureStudy A/Bs the paper's feature vector against the
+// static-analysis-augmented schema (the ptxanalysis predictors: register
+// pressure, loop nesting, branch density, instruction-mix and coalescing
+// fractions appended), with the same models, GPUs and split seed, and
+// reports the eval metrics side by side per regressor.
+func (s *Suite) StaticFeatureStudy() (base, static []core.Evaluation, text string, err error) {
+	cfg := s.Cfg
+	cfg.StaticFeatures = true
+	ds, _, err := core.BuildDataset(zoo.TableIOrder, gpu.TrainingGPUs, cfg)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	frac := cfg.TrainFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.7
+	}
+	train, eval, err := ds.Split(frac, cfg.SplitSeed)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	static, err = core.EvaluateRegressors(train, eval, core.DefaultRegressors(cfg.SplitSeed))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	base, err = core.EvaluateRegressors(s.Train, s.Eval, core.DefaultRegressors(cfg.SplitSeed))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	baseBy := map[string]core.Evaluation{}
+	for _, e := range base {
+		baseBy[e.Name] = e
+	}
+	var b strings.Builder
+	b.WriteString("Extension: static-analysis feature study (paper set vs +ptxanalysis predictors)\n")
+	fmt.Fprintf(&b, "%-20s %12s %8s %14s %10s\n",
+		"Regression Model", "MAPE (base)", "R2", "MAPE (+static)", "R2")
+	for _, e := range static {
+		be := baseBy[e.Name]
+		fmt.Fprintf(&b, "%-20s %11.2f%% %8.3f %13.2f%% %10.3f\n",
+			e.Name, be.MAPE, be.R2, e.MAPE, e.R2)
+	}
+	fmt.Fprintf(&b, "(static predictors: %s)\n", strings.Join(core.StaticFeatureNames[len(core.FeatureNames):], ", "))
+	return base, static, b.String(), nil
+}
+
 // ExtendedFeatureStudy compares the paper's feature set against the
 // future-work schema with FLOPs and MACs added, using the same split
 // seed.

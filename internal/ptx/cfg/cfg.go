@@ -1,0 +1,148 @@
+// Package cfg builds control-flow graphs over parsed PTX kernels. It is
+// shared by the dynamic code analysis (which slices branch-deciding
+// instructions) and the static-analysis framework (which computes
+// dominators, loop nesting and dataflow facts over the same blocks).
+package cfg
+
+import (
+	"fmt"
+
+	"cnnperf/internal/ptx"
+)
+
+// Block is a maximal straight-line instruction range [Start, End).
+type Block struct {
+	// Start is the index of the first instruction.
+	Start int
+	// End is one past the last instruction.
+	End int
+	// Succs are the indices of successor blocks in the CFG.
+	Succs []int
+	// Preds are the indices of predecessor blocks in the CFG.
+	Preds []int
+}
+
+// Graph is the control-flow graph of one kernel.
+type Graph struct {
+	// Blocks are the basic blocks in ascending Start order.
+	Blocks []*Block
+	// blockOf maps an instruction index to its block index.
+	blockOf []int
+}
+
+// BlockOf returns the block index containing instruction idx.
+func (g *Graph) BlockOf(idx int) int { return g.blockOf[idx] }
+
+// Build partitions the kernel body into basic blocks and wires the
+// successor and predecessor edges from branch targets and fallthrough.
+// The entry block is always Blocks[0].
+func Build(k *ptx.Kernel) (*Graph, error) {
+	n := len(k.Body)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: kernel %q has an empty body", k.Name)
+	}
+	leaders := make(map[int]bool, 8)
+	leaders[0] = true
+	for i, in := range k.Body {
+		if ptx.IsBranch(in.Opcode) {
+			if len(in.Operands) != 1 {
+				return nil, fmt.Errorf("cfg: kernel %q: branch at %d needs 1 operand", k.Name, i)
+			}
+			tgt, err := k.Target(in.Operands[0])
+			if err != nil {
+				return nil, fmt.Errorf("cfg: %w", err)
+			}
+			if tgt < n {
+				leaders[tgt] = true
+			}
+			if i+1 < n {
+				leaders[i+1] = true
+			}
+		}
+		if ptx.IsExit(in.Opcode) && i+1 < n {
+			leaders[i+1] = true
+		}
+	}
+	// Labels also start blocks: predicated instructions may jump there.
+	for _, idx := range k.Labels {
+		if idx < n {
+			leaders[idx] = true
+		}
+	}
+
+	g := &Graph{blockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leaders[i] {
+			g.Blocks = append(g.Blocks, &Block{Start: start, End: i})
+			start = i
+		}
+	}
+	for bi, b := range g.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			g.blockOf[i] = bi
+		}
+	}
+	// Successors.
+	for bi, b := range g.Blocks {
+		last := k.Body[b.End-1]
+		switch {
+		case ptx.IsExit(last.Opcode) && last.Pred == "":
+			// no successors
+		case ptx.IsBranch(last.Opcode):
+			tgt, err := k.Target(last.Operands[0])
+			if err != nil {
+				return nil, fmt.Errorf("cfg: %w", err)
+			}
+			if tgt < n {
+				b.Succs = append(b.Succs, g.blockOf[tgt])
+			}
+			if last.Pred != "" && b.End < n {
+				// Conditional branch falls through too.
+				b.Succs = append(b.Succs, bi+1)
+			}
+		default:
+			if b.End < n {
+				b.Succs = append(b.Succs, bi+1)
+			}
+		}
+	}
+	for bi, b := range g.Blocks {
+		for _, s := range b.Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, bi)
+		}
+	}
+	return g, nil
+}
+
+// BackEdges returns the (from, to) block pairs whose branch jumps backward
+// — the loop edges of the kernel.
+func (g *Graph) BackEdges() [][2]int {
+	var out [][2]int
+	for bi, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s <= bi {
+				out = append(out, [2]int{bi, s})
+			}
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of block indices reachable from the entry.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

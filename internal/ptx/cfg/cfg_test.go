@@ -1,0 +1,78 @@
+package cfg
+
+import (
+	"testing"
+
+	"cnnperf/internal/ptx"
+)
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(&ptx.Kernel{Name: "empty"}); err == nil {
+		t.Error("empty body should error")
+	}
+	k := &ptx.Kernel{Name: "badbra"}
+	k.Append(ptx.Instruction{Opcode: "bra"})
+	if _, err := Build(k); err == nil {
+		t.Error("branch without operand should error")
+	}
+	k2 := &ptx.Kernel{Name: "nolabel"}
+	k2.Append(ptx.Instruction{Opcode: "bra", Operands: []string{"GONE"}})
+	if _, err := Build(k2); err == nil {
+		t.Error("unresolved branch target should error")
+	}
+}
+
+func TestBuildDiamondEdges(t *testing.T) {
+	k := &ptx.Kernel{Name: "diamond"}
+	k.Append(ptx.Instruction{Opcode: "setp.lt.s32", Operands: []string{"%p1", "%r1", "8"}})
+	k.Append(ptx.Instruction{Pred: "%p1", Opcode: "bra", Operands: []string{"THEN"}})
+	k.Append(ptx.Instruction{Opcode: "mov.u32", Operands: []string{"%r2", "1"}})
+	k.Append(ptx.Instruction{Opcode: "bra.uni", Operands: []string{"JOIN"}})
+	if err := k.AddLabel("THEN"); err != nil {
+		t.Fatal(err)
+	}
+	k.Append(ptx.Instruction{Opcode: "mov.u32", Operands: []string{"%r2", "2"}})
+	if err := k.AddLabel("JOIN"); err != nil {
+		t.Fatal(err)
+	}
+	k.Append(ptx.Instruction{Opcode: "ret"})
+	g, err := Build(k)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	// Entry branches to both arms; both arms join; join has two preds.
+	if len(g.Blocks[0].Succs) != 2 {
+		t.Errorf("entry succs = %v", g.Blocks[0].Succs)
+	}
+	if len(g.Blocks[3].Preds) != 2 {
+		t.Errorf("join preds = %v", g.Blocks[3].Preds)
+	}
+	if len(g.BackEdges()) != 0 {
+		t.Errorf("diamond has no back edges: %v", g.BackEdges())
+	}
+	for bi, ok := range g.Reachable() {
+		if !ok {
+			t.Errorf("block %d unreachable", bi)
+		}
+	}
+}
+
+// A branch whose target is a trailing label (index == len(Body)) falls
+// off the end: the block gets no successor edge for it.
+func TestBuildTrailingLabelTarget(t *testing.T) {
+	k := &ptx.Kernel{Name: "tail"}
+	k.Append(ptx.Instruction{Opcode: "bra.uni", Operands: []string{"END"}})
+	if err := k.AddLabel("END"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(k)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(g.Blocks) != 1 || len(g.Blocks[0].Succs) != 0 {
+		t.Errorf("graph = %+v", g.Blocks[0])
+	}
+}

@@ -140,10 +140,33 @@ func (k *Kernel) StaticHistogram() map[Class]int64 {
 	return h
 }
 
-// Validate checks label targets and operand arity of the body.
+// Validate checks label targets, label table consistency and operand
+// arity of the body.
 func (k *Kernel) Validate() error {
 	if k.Name == "" {
 		return fmt.Errorf("ptx: kernel without name")
+	}
+	// Labels must point into the body ([0, len] — len marks a trailing
+	// label) and the reverse index must agree with the forward one, so a
+	// hand-assembled kernel cannot print the same label twice.
+	for name, idx := range k.Labels {
+		if idx < 0 || idx > len(k.Body) {
+			return fmt.Errorf("ptx: kernel %q: label %q points at %d, outside the body [0,%d]",
+				k.Name, name, idx, len(k.Body))
+		}
+	}
+	for idx, names := range k.labelAt {
+		seen := make(map[string]bool, len(names))
+		for _, name := range names {
+			if seen[name] {
+				return fmt.Errorf("ptx: kernel %q: duplicate label %q", k.Name, name)
+			}
+			seen[name] = true
+			if at, ok := k.Labels[name]; !ok || at != idx {
+				return fmt.Errorf("ptx: kernel %q: label %q recorded at index %d but resolves to %d",
+					k.Name, name, idx, at)
+			}
+		}
 	}
 	for i, in := range k.Body {
 		if in.Opcode == "" {
@@ -152,9 +175,9 @@ func (k *Kernel) Validate() error {
 		if ClassOf(in.Opcode) == ClassUnknown {
 			return fmt.Errorf("ptx: kernel %q: unknown opcode %q at %d", k.Name, in.Opcode, i)
 		}
-		if in.Opcode == "bra" || in.Opcode == "bra.uni" {
+		if IsBranch(in.Opcode) {
 			if len(in.Operands) != 1 {
-				return fmt.Errorf("ptx: kernel %q: bra needs 1 operand at %d", k.Name, i)
+				return fmt.Errorf("ptx: kernel %q: %s needs 1 operand at %d", k.Name, in.Opcode, i)
 			}
 			if _, err := k.Target(in.Operands[0]); err != nil {
 				return err
@@ -186,7 +209,10 @@ func (m *Module) Kernel(name string) *Kernel {
 	return nil
 }
 
-// Validate checks the module header and all kernels.
+// Validate checks the module header and all kernels. Branches resolving
+// only against a label of a sibling kernel are rejected with a dedicated
+// error: PTX labels are function-scoped, so such a branch can never be
+// assembled.
 func (m *Module) Validate() error {
 	if m.AddressSize != 32 && m.AddressSize != 64 {
 		return fmt.Errorf("ptx: address size %d", m.AddressSize)
@@ -197,6 +223,24 @@ func (m *Module) Validate() error {
 			return fmt.Errorf("ptx: duplicate kernel %q", k.Name)
 		}
 		seen[k.Name] = true
+		for i, in := range k.Body {
+			if !IsBranch(in.Opcode) || len(in.Operands) != 1 {
+				continue
+			}
+			label := in.Operands[0]
+			if _, ok := k.Labels[label]; ok {
+				continue
+			}
+			for _, other := range m.Kernels {
+				if other == k {
+					continue
+				}
+				if _, ok := other.Labels[label]; ok {
+					return fmt.Errorf("ptx: kernel %q: branch at %d targets label %q of kernel %q (labels are function-scoped)",
+						k.Name, i, label, other.Name)
+				}
+			}
+		}
 		if err := k.Validate(); err != nil {
 			return err
 		}

@@ -1,0 +1,34 @@
+package ptx
+
+import "strings"
+
+// specialRegs are the read-only hardware registers: they are sourced by
+// instructions but never defined by one.
+var specialRegs = map[string]bool{
+	"%tid.x": true, "%tid.y": true, "%tid.z": true,
+	"%ntid.x": true, "%ntid.y": true, "%ntid.z": true,
+	"%ctaid.x": true, "%ctaid.y": true, "%ctaid.z": true,
+	"%nctaid.x": true, "%nctaid.y": true, "%nctaid.z": true,
+}
+
+// IsSpecialReg reports whether the operand names a read-only hardware
+// register such as "%tid.x".
+func IsSpecialReg(op string) bool { return specialRegs[op] }
+
+// RegOperand extracts the virtual register name from an operand, handling
+// memory references "[%rd1+4]" and plain registers "%r3". Immediates,
+// labels, parameter names and special read-only registers return "".
+func RegOperand(op string) string {
+	op = strings.TrimSpace(op)
+	if strings.HasPrefix(op, "[") {
+		op = strings.TrimPrefix(op, "[")
+		op = strings.TrimSuffix(op, "]")
+		if i := strings.IndexAny(op, "+-"); i > 0 {
+			op = op[:i]
+		}
+	}
+	if !strings.HasPrefix(op, "%") || IsSpecialReg(op) {
+		return ""
+	}
+	return op
+}

@@ -139,6 +139,62 @@ func TestKernelValidateCatchesBadBranch(t *testing.T) {
 	if err := k2.Validate(); err == nil {
 		t.Error("unknown opcode should fail validation")
 	}
+
+	// Branch arity applies to every bra variant, not just the bare forms.
+	k3 := &Kernel{Name: "bad3"}
+	k3.Append(Instruction{Opcode: "bra.uni"})
+	if err := k3.Validate(); err == nil {
+		t.Error("bra.uni without operands should fail validation")
+	}
+
+	// A label pointing outside the body is structurally broken.
+	k4 := &Kernel{Name: "bad4"}
+	k4.Append(Instruction{Opcode: "ret"})
+	k4.Labels = map[string]int{"WILD": 7}
+	if err := k4.Validate(); err == nil {
+		t.Error("out-of-range label index should fail validation")
+	}
+
+	// AddLabel refuses duplicates within one kernel.
+	k5 := &Kernel{Name: "k5"}
+	if err := k5.AddLabel("L"); err != nil {
+		t.Fatalf("first label: %v", err)
+	}
+	k5.Append(Instruction{Opcode: "ret"})
+	if err := k5.AddLabel("L"); err == nil {
+		t.Error("duplicate label must be rejected")
+	}
+	if err := k5.Validate(); err != nil {
+		t.Errorf("kernel left valid after rejected duplicate: %v", err)
+	}
+}
+
+func TestModuleValidateRejectsCrossKernelBranch(t *testing.T) {
+	// Kernel b branches to a label that exists only in kernel a: labels
+	// are function-scoped, so the module must not validate.
+	a := &Kernel{Name: "a"}
+	if err := a.AddLabel("DONE"); err != nil {
+		t.Fatal(err)
+	}
+	a.Append(Instruction{Opcode: "ret"})
+	b := &Kernel{Name: "b"}
+	b.Append(Instruction{Opcode: "bra", Operands: []string{"DONE"}})
+	b.Append(Instruction{Opcode: "ret"})
+	m := &Module{Version: "6.0", Target: "sm_61", AddressSize: 64, Kernels: []*Kernel{a, b}}
+	err := m.Validate()
+	if err == nil {
+		t.Fatal("cross-kernel branch target should fail module validation")
+	}
+	if !strings.Contains(err.Error(), "function-scoped") || !strings.Contains(err.Error(), `"a"`) {
+		t.Errorf("error should name the owning kernel: %v", err)
+	}
+	// The equivalent source text must be rejected by Parse too.
+	src := ".version 6.0\n.target sm_61\n.address_size 64\n" +
+		".visible .entry a()\n{\nDONE:\n\tret;\n}\n" +
+		".visible .entry b()\n{\n\tbra DONE;\n\tret;\n}\n"
+	if _, err := Parse(src); err == nil {
+		t.Error("Parse should reject cross-kernel branch targets")
+	}
 }
 
 func TestModuleRoundTrip(t *testing.T) {

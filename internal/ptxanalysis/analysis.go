@@ -1,0 +1,175 @@
+// Package ptxanalysis is the static-analysis framework over parsed PTX
+// kernels: dominator trees and loop nesting on the shared CFG, def-use
+// chains and live-variable dataflow over virtual registers, static
+// register pressure and instruction-mix profiling, and a lint
+// diagnostics engine whose error-severity findings gate the dynamic code
+// analysis. The per-module summary also feeds extra static predictors
+// into the ML feature vector (Ardalani et al. and BB-ML show static
+// program features alone carry strong predictive signal; see PAPERS.md).
+package ptxanalysis
+
+import (
+	"fmt"
+
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptx/cfg"
+)
+
+// KernelAnalysis bundles every static-analysis result of one kernel.
+type KernelAnalysis struct {
+	// Kernel is the analysed kernel's name.
+	Kernel string
+	// Static is the body length in instructions.
+	Static int
+	// CFG is the control-flow graph (nil for empty kernels).
+	CFG *cfg.Graph
+	// Dom is the dominator tree over CFG blocks.
+	Dom *DomTree
+	// PostDom is the post-dominator tree (index len(Blocks) is the
+	// virtual exit).
+	PostDom *DomTree
+	// Loops are the natural loops, outermost depth 1.
+	Loops []Loop
+	// MaxLoopDepth is the deepest loop nesting (0 for loop-free kernels).
+	MaxLoopDepth int
+	// Live is the live-variable solution with def-use chains.
+	Live *Liveness
+	// Pressure is the static register pressure.
+	Pressure Pressure
+	// Mix is the static instruction-mix profile.
+	Mix Mix
+	// Diags are the lint findings, errors first.
+	Diags []Diag
+}
+
+// AnalyzeKernel runs the full static analysis of one kernel. Kernels
+// with an empty body yield a minimal analysis carrying only the
+// empty-kernel diagnostic; structurally broken bodies (branches to
+// unresolved labels) return an error.
+func AnalyzeKernel(k *ptx.Kernel) (*KernelAnalysis, error) {
+	if k == nil {
+		return nil, fmt.Errorf("ptxanalysis: nil kernel")
+	}
+	a := &KernelAnalysis{Kernel: k.Name, Static: len(k.Body)}
+	if len(k.Body) == 0 {
+		a.Diags = []Diag{{
+			Severity: SevWarning, Kernel: k.Name, Line: -1,
+			Code: CodeEmptyKernel, Msg: "kernel body has no instructions",
+		}}
+		a.Mix = Mix{PerClass: make(map[ptx.Class]int), CoalescedFraction: 1}
+		return a, nil
+	}
+	g, err := cfg.Build(k)
+	if err != nil {
+		return nil, fmt.Errorf("ptxanalysis: %w", err)
+	}
+	a.CFG = g
+	a.Dom = Dominators(g)
+	a.PostDom = PostDominators(g)
+	a.Loops = NaturalLoops(g, a.Dom)
+	for _, l := range a.Loops {
+		if l.Depth > a.MaxLoopDepth {
+			a.MaxLoopDepth = l.Depth
+		}
+	}
+	a.Live = ComputeLiveness(k, g)
+	a.Pressure = ComputePressure(k, g, a.Live)
+	a.Mix = ComputeMix(k)
+	a.Diags = a.lint(k)
+	return a, nil
+}
+
+// ModuleAnalysis aggregates the per-kernel analyses of one module with
+// size-weighted summary statistics for the feature vector.
+type ModuleAnalysis struct {
+	// Kernels are the per-kernel analyses in module order.
+	Kernels []*KernelAnalysis
+	// Diags concatenates every kernel's diagnostics.
+	Diags []Diag
+	// MaxRegPressure is the highest total register pressure of any kernel.
+	MaxRegPressure int
+	// MaxPredPressure is the highest predicate-register pressure.
+	MaxPredPressure int
+	// MaxLoopDepth is the deepest loop nesting in the module.
+	MaxLoopDepth int
+	// MeanBranchDensity, FPFraction, MemFraction, SharedFraction and
+	// CoalescedFraction are static-instruction-weighted means over the
+	// kernels.
+	MeanBranchDensity  float64
+	FPFraction         float64
+	MemFraction        float64
+	SharedFraction     float64
+	CoalescedFraction  float64
+	StaticInstructions int
+}
+
+// AnalyzeModule analyses every kernel of the module.
+func AnalyzeModule(m *ptx.Module) (*ModuleAnalysis, error) {
+	if m == nil {
+		return nil, fmt.Errorf("ptxanalysis: nil module")
+	}
+	out := &ModuleAnalysis{}
+	var wBranch, wFP, wMem, wShared, wCoal float64
+	for _, k := range m.Kernels {
+		a, err := AnalyzeKernel(k)
+		if err != nil {
+			return nil, err
+		}
+		out.Kernels = append(out.Kernels, a)
+		out.Diags = append(out.Diags, a.Diags...)
+		if a.Pressure.Total > out.MaxRegPressure {
+			out.MaxRegPressure = a.Pressure.Total
+		}
+		if p := a.Pressure.ByType[".pred"]; p > out.MaxPredPressure {
+			out.MaxPredPressure = p
+		}
+		if a.MaxLoopDepth > out.MaxLoopDepth {
+			out.MaxLoopDepth = a.MaxLoopDepth
+		}
+		w := float64(a.Static)
+		out.StaticInstructions += a.Static
+		wBranch += w * a.Mix.BranchDensity
+		wFP += w * a.Mix.FPFraction
+		wMem += w * a.Mix.MemFraction
+		wShared += w * a.Mix.SharedFraction
+		wCoal += w * a.Mix.CoalescedFraction
+	}
+	if out.StaticInstructions > 0 {
+		n := float64(out.StaticInstructions)
+		out.MeanBranchDensity = wBranch / n
+		out.FPFraction = wFP / n
+		out.MemFraction = wMem / n
+		out.SharedFraction = wShared / n
+		out.CoalescedFraction = wCoal / n
+	}
+	return out, nil
+}
+
+// FeatureNames names the static predictors Features returns, in order.
+// They extend the paper's feature vector with the program-structure
+// signals of the static-analysis literature (register pressure,
+// control-flow shape, instruction mix, access-pattern quality).
+var FeatureNames = []string{
+	"static_reg_pressure",
+	"static_pred_pressure",
+	"static_max_loop_depth",
+	"static_branch_density",
+	"static_fp_fraction",
+	"static_mem_fraction",
+	"static_shared_fraction",
+	"static_coalesced_fraction",
+}
+
+// Features returns the static predictor vector in FeatureNames order.
+func (ma *ModuleAnalysis) Features() []float64 {
+	return []float64{
+		float64(ma.MaxRegPressure),
+		float64(ma.MaxPredPressure),
+		float64(ma.MaxLoopDepth),
+		ma.MeanBranchDensity,
+		ma.FPFraction,
+		ma.MemFraction,
+		ma.SharedFraction,
+		ma.CoalescedFraction,
+	}
+}

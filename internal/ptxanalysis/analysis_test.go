@@ -1,0 +1,198 @@
+package ptxanalysis
+
+import (
+	"testing"
+
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptx/cfg"
+)
+
+// parseKernel wraps a body in a minimal module and returns its kernel.
+func parseKernel(t *testing.T, body string) *ptx.Kernel {
+	t.Helper()
+	src := ".version 6.0\n.target sm_61\n.address_size 64\n" +
+		".visible .entry k(\n.param .u64 k_param_0\n)\n{\n" + body + "\n}\n"
+	m, err := ptx.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m.Kernels[0]
+}
+
+// diamond is the canonical if/else kernel:
+//
+//	b0: entry + conditional branch, b1: else, b2: then, b3: join.
+const diamondBody = `
+	mov.u32 %r1, %tid.x;
+	setp.lt.s32 %p1, %r1, 8;
+	@%p1 bra THEN;
+	mov.u32 %r2, 1;
+	bra.uni JOIN;
+THEN:
+	mov.u32 %r2, 2;
+JOIN:
+	add.s32 %r3, %r2, %r1;
+	st.global.u32 [%rd1], %r3;
+	ret;
+`
+
+func TestDominatorsDiamond(t *testing.T) {
+	k := parseKernel(t, diamondBody)
+	g, err := cfg.Build(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	dom := Dominators(g)
+	// The entry immediately dominates every block; the join is dominated
+	// by neither arm.
+	want := []int{0, 0, 0, 0}
+	for b, w := range want {
+		if dom.Idom[b] != w {
+			t.Errorf("idom[%d] = %d, want %d", b, dom.Idom[b], w)
+		}
+	}
+	if !dom.Dominates(0, 3) || dom.Dominates(1, 3) || dom.Dominates(2, 3) {
+		t.Error("diamond dominance wrong")
+	}
+	// Post-dominators: the join post-dominates everything; the arms
+	// post-dominate nothing but themselves.
+	pdom := PostDominators(g)
+	if !pdom.Dominates(3, 0) {
+		t.Error("join should post-dominate the entry")
+	}
+	if pdom.Dominates(1, 0) || pdom.Dominates(2, 0) {
+		t.Error("arms must not post-dominate the entry")
+	}
+}
+
+const loopBody = `
+	mov.u32 %r1, 0;
+LOOP:
+	add.s32 %r1, %r1, 1;
+	setp.lt.s32 %p1, %r1, 16;
+	@%p1 bra LOOP;
+	ret;
+`
+
+func TestNaturalLoopSimple(t *testing.T) {
+	k := parseKernel(t, loopBody)
+	g, err := cfg.Build(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	dom := Dominators(g)
+	loops := NaturalLoops(g, dom)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %+v, want 1", loops)
+	}
+	l := loops[0]
+	if l.Header != 1 || l.Depth != 1 || len(l.Blocks) != 1 || l.Blocks[0] != 1 {
+		t.Errorf("loop = %+v", l)
+	}
+}
+
+const nestedLoopBody = `
+	mov.u32 %r1, 0;
+OUTER:
+	mov.u32 %r2, 0;
+INNER:
+	add.s32 %r2, %r2, 1;
+	setp.lt.s32 %p1, %r2, 8;
+	@%p1 bra INNER;
+	add.s32 %r1, %r1, 1;
+	setp.lt.s32 %p2, %r1, 4;
+	@%p2 bra OUTER;
+	ret;
+`
+
+func TestNaturalLoopNesting(t *testing.T) {
+	k := parseKernel(t, nestedLoopBody)
+	g, err := cfg.Build(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	dom := Dominators(g)
+	loops := NaturalLoops(g, dom)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %+v, want 2", loops)
+	}
+	var inner, outer *Loop
+	for i := range loops {
+		switch loops[i].Depth {
+		case 1:
+			outer = &loops[i]
+		case 2:
+			inner = &loops[i]
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("depths wrong: %+v", loops)
+	}
+	if !outer.Contains(inner.Header) {
+		t.Error("outer loop must contain the inner header")
+	}
+	a, err := AnalyzeKernel(k)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if a.MaxLoopDepth != 2 {
+		t.Errorf("max loop depth = %d, want 2", a.MaxLoopDepth)
+	}
+	if HasErrors(a.Diags) {
+		t.Errorf("clean nested loop produced errors: %v", a.Diags)
+	}
+}
+
+func TestAnalyzeKernelEmptyAndNil(t *testing.T) {
+	if _, err := AnalyzeKernel(nil); err == nil {
+		t.Error("nil kernel should error")
+	}
+	a, err := AnalyzeKernel(&ptx.Kernel{Name: "empty"})
+	if err != nil {
+		t.Fatalf("empty kernel: %v", err)
+	}
+	if len(a.Diags) != 1 || a.Diags[0].Code != CodeEmptyKernel {
+		t.Errorf("diags = %v, want one %s", a.Diags, CodeEmptyKernel)
+	}
+	if HasErrors(a.Diags) {
+		t.Error("empty kernel is a warning, not an error")
+	}
+}
+
+func TestAnalyzeModuleAggregates(t *testing.T) {
+	src := ".version 6.0\n.target sm_61\n.address_size 64\n" +
+		".visible .entry a(\n.param .u64 a_param_0\n)\n{\n" + loopBody + "\n}\n" +
+		".visible .entry b(\n.param .u64 b_param_0\n)\n{\n" + nestedLoopBody + "\n}\n"
+	m, err := ptx.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ma, err := AnalyzeModule(m)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(ma.Kernels) != 2 {
+		t.Fatalf("kernels = %d", len(ma.Kernels))
+	}
+	if ma.MaxLoopDepth != 2 {
+		t.Errorf("module max loop depth = %d, want 2", ma.MaxLoopDepth)
+	}
+	if ma.StaticInstructions != len(m.Kernels[0].Body)+len(m.Kernels[1].Body) {
+		t.Error("static instruction total wrong")
+	}
+	f := ma.Features()
+	if len(f) != len(FeatureNames) {
+		t.Fatalf("features = %d, names = %d", len(f), len(FeatureNames))
+	}
+	if f[2] != 2 { // static_max_loop_depth
+		t.Errorf("loop-depth feature = %f, want 2", f[2])
+	}
+	for i, v := range f {
+		if v < 0 {
+			t.Errorf("feature %s negative: %f", FeatureNames[i], v)
+		}
+	}
+}

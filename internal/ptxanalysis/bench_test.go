@@ -1,0 +1,61 @@
+package ptxanalysis
+
+import (
+	"testing"
+
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+func resnetModule(b *testing.B) *ptx.Module {
+	b.Helper()
+	m, err := zoo.Build("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ptxgen.Compile(m, ptxgen.Options{Lowering: ptxgen.TiledGEMM, Batch: 4, FuseElementwise: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog.Module
+}
+
+// BenchmarkAnalyzeKernel measures the full static analysis (CFG,
+// dominators, loops, liveness, pressure, mix, lint) per kernel of a
+// zoo-generated ResNet-50 module.
+func BenchmarkAnalyzeKernel(b *testing.B) {
+	mod := resnetModule(b)
+	var total int
+	for _, k := range mod.Kernels {
+		total += len(k.Body)
+	}
+	b.ReportMetric(float64(len(mod.Kernels)), "kernels")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := mod.Kernels[i%len(mod.Kernels)]
+		a, err := AnalyzeKernel(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Pressure.Total <= 0 {
+			b.Fatal("no pressure computed")
+		}
+	}
+}
+
+// BenchmarkAnalyzeModule measures the whole-module analysis used by the
+// feature extractor.
+func BenchmarkAnalyzeModule(b *testing.B) {
+	mod := resnetModule(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ma, err := AnalyzeModule(mod)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ma.StaticInstructions <= 0 {
+			b.Fatal("no instructions analysed")
+		}
+	}
+}

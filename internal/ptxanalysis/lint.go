@@ -1,0 +1,225 @@
+package ptxanalysis
+
+import (
+	"fmt"
+	"sort"
+
+	"cnnperf/internal/ptx"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// SevInfo marks observations with no correctness impact.
+	SevInfo Severity = iota
+	// SevWarning marks suspicious but executable constructs.
+	SevWarning
+	// SevError marks constructs the abstract executor must reject.
+	SevError
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// Diagnostic codes. The table is documented in DESIGN.md §Static
+// Analysis.
+const (
+	// CodeUseBeforeDef: a register may be read before any definition.
+	CodeUseBeforeDef = "PTXA001"
+	// CodeDeadStore: a defined value is never consumed.
+	CodeDeadStore = "PTXA002"
+	// CodeUnreachable: a basic block has no path from the kernel entry.
+	CodeUnreachable = "PTXA003"
+	// CodeBranchIntoLoop: an edge enters a loop body bypassing its header.
+	CodeBranchIntoLoop = "PTXA004"
+	// CodeBarrierDivergent: a barrier does not post-dominate the entry, so
+	// threads of one block may disagree on reaching it.
+	CodeBarrierDivergent = "PTXA005"
+	// CodeEmptyKernel: the kernel body has no instructions.
+	CodeEmptyKernel = "PTXA006"
+	// CodeIrreducibleLoop: a back edge whose target does not dominate its
+	// source — irreducible (unstructured) control flow.
+	CodeIrreducibleLoop = "PTXA007"
+	// CodeMalformed: the kernel is structurally broken (e.g. a branch to
+	// an unresolved label) and could not be analysed at all.
+	CodeMalformed = "PTXA008"
+)
+
+// Diag is one lint diagnostic anchored to an instruction.
+type Diag struct {
+	// Severity grades the finding.
+	Severity Severity `json:"severity"`
+	// Kernel names the containing kernel.
+	Kernel string `json:"kernel"`
+	// Line is the instruction index within the kernel body (-1 when the
+	// finding has no single anchor instruction).
+	Line int `json:"line"`
+	// Code is the stable machine-readable diagnostic code (PTXAnnn).
+	Code string `json:"code"`
+	// Msg is the human-readable description.
+	Msg string `json:"msg"`
+}
+
+// String renders the diagnostic in a compiler-style single line.
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d: %s %s: %s", d.Kernel, d.Line, d.Severity, d.Code, d.Msg)
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(diags []Diag) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors filters the error-severity diagnostics.
+func Errors(diags []Diag) []Diag {
+	var out []Diag
+	for _, d := range diags {
+		if d.Severity == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// lint derives the diagnostics of one analysed kernel. It assumes the
+// analysis fields (CFG, Dom, PostDom, Loops, Live) are populated.
+func (a *KernelAnalysis) lint(k *ptx.Kernel) []Diag {
+	var diags []Diag
+	add := func(sev Severity, line int, code, format string, args ...any) {
+		diags = append(diags, Diag{
+			Severity: sev, Kernel: k.Name, Line: line, Code: code,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// PTXA001 use-before-def.
+	regs := make([]string, 0, len(a.Live.UseBeforeDef))
+	for r := range a.Live.UseBeforeDef {
+		regs = append(regs, r)
+	}
+	sort.Strings(regs)
+	for _, r := range regs {
+		add(SevError, a.Live.UseBeforeDef[r], CodeUseBeforeDef,
+			"register %s may be read before it is written", r)
+	}
+
+	// PTXA002 dead stores.
+	for _, i := range a.Live.DeadDefs {
+		add(SevWarning, i, CodeDeadStore,
+			"value of %s defined by %q is never used", k.Body[i].Dest(), k.Body[i].Opcode)
+	}
+
+	// PTXA003 unreachable blocks.
+	reach := a.CFG.Reachable()
+	for bi, ok := range reach {
+		if !ok {
+			add(SevWarning, a.CFG.Blocks[bi].Start, CodeUnreachable,
+				"basic block %d (instructions %d-%d) is unreachable from the kernel entry",
+				bi, a.CFG.Blocks[bi].Start, a.CFG.Blocks[bi].End-1)
+		}
+	}
+
+	// PTXA004 branches into loop bodies bypassing the header. A natural
+	// loop is only enterable through its header by construction, so the
+	// check works on the lexical back-edge interval [header..tail]: an
+	// edge from outside the interval to a block inside it other than the
+	// header side-steps the loop entry.
+	intervals := make(map[int]int) // header -> furthest tail
+	for _, e := range a.CFG.BackEdges() {
+		if e[0] > intervals[e[1]] {
+			intervals[e[1]] = e[0]
+		}
+	}
+	headers := make([]int, 0, len(intervals))
+	for h := range intervals {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	for _, head := range headers {
+		tail := intervals[head]
+		for bi, b := range a.CFG.Blocks {
+			if bi >= head && bi <= tail {
+				continue
+			}
+			for _, s := range b.Succs {
+				if s > head && s <= tail {
+					add(SevWarning, b.End-1, CodeBranchIntoLoop,
+						"branch from block %d enters the body of the loop spanning blocks %d-%d without passing its header",
+						bi, head, tail)
+				}
+			}
+		}
+	}
+
+	// PTXA005 barriers in potentially divergent regions: a bar.sync that
+	// does not post-dominate the entry block is skipped by some threads
+	// on some path — a hang hazard under intra-block divergence.
+	for i, in := range k.Body {
+		if !ptx.IsBarrier(in.Opcode) {
+			continue
+		}
+		b := a.CFG.BlockOf(i)
+		if !a.PostDom.Dominates(b, 0) || in.Pred != "" {
+			add(SevWarning, i, CodeBarrierDivergent,
+				"%s at a point not all threads of the block must reach (divergence hazard)", in.Opcode)
+		}
+	}
+
+	// PTXA007 irreducible back edges (no natural loop).
+	for _, e := range a.CFG.BackEdges() {
+		if !a.Dom.Dominates(e[1], e[0]) {
+			add(SevWarning, a.CFG.Blocks[e[0]].End-1, CodeIrreducibleLoop,
+				"back edge from block %d to block %d whose target does not dominate its source (irreducible loop)",
+				e[0], e[1])
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Severity != diags[j].Severity {
+			return diags[i].Severity > diags[j].Severity
+		}
+		return diags[i].Line < diags[j].Line
+	})
+	return diags
+}
+
+// LintKernel runs the full static analysis of one kernel and returns its
+// diagnostics. Kernels whose CFG cannot be built (unresolved branch
+// targets) report the failure as an error-severity diagnostic.
+func LintKernel(k *ptx.Kernel) []Diag {
+	a, err := AnalyzeKernel(k)
+	if err != nil {
+		return []Diag{{Severity: SevError, Kernel: k.Name, Line: -1, Code: CodeMalformed, Msg: err.Error()}}
+	}
+	return a.Diags
+}
+
+// Lint analyses every kernel of a module and concatenates the
+// diagnostics.
+func Lint(m *ptx.Module) []Diag {
+	var out []Diag
+	for _, k := range m.Kernels {
+		out = append(out, LintKernel(k)...)
+	}
+	return out
+}

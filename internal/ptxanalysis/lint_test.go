@@ -1,0 +1,217 @@
+package ptxanalysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+func codes(diags []Diag) map[string]int {
+	out := make(map[string]int)
+	for _, d := range diags {
+		out[d.Code]++
+	}
+	return out
+}
+
+func findDiag(diags []Diag, code string) *Diag {
+	for i := range diags {
+		if diags[i].Code == code {
+			return &diags[i]
+		}
+	}
+	return nil
+}
+
+func TestLintUseBeforeDef(t *testing.T) {
+	k := parseKernel(t, `
+	add.s32 %r2, %r5, 1;
+	st.global.u32 [%rd1], %r2;
+	ret;
+`)
+	diags := LintKernel(k)
+	if !HasErrors(diags) {
+		t.Fatalf("want errors, got %v", diags)
+	}
+	c := codes(diags)
+	if c[CodeUseBeforeDef] != 2 { // %r5 and %rd1
+		t.Fatalf("use-before-def count = %d, want 2 (%v)", c[CodeUseBeforeDef], diags)
+	}
+	d := findDiag(diags, CodeUseBeforeDef)
+	if d.Severity != SevError || d.Kernel != "k" {
+		t.Errorf("diag = %+v", *d)
+	}
+	if !strings.Contains(d.Msg, "%r5") && !strings.Contains(d.Msg, "%rd1") {
+		t.Errorf("msg does not name the register: %q", d.Msg)
+	}
+}
+
+func TestLintDeadStore(t *testing.T) {
+	k := parseKernel(t, `
+	ld.param.u64 %rd1, [k_param_0];
+	mov.u32 %r1, %tid.x;
+	mov.u32 %r2, 5;
+	st.global.u32 [%rd1], %r1;
+	ret;
+`)
+	diags := LintKernel(k)
+	if HasErrors(diags) {
+		t.Fatalf("unexpected errors: %v", diags)
+	}
+	d := findDiag(diags, CodeDeadStore)
+	if d == nil {
+		t.Fatalf("no dead-store diagnostic in %v", diags)
+	}
+	if d.Line != 2 || d.Severity != SevWarning {
+		t.Errorf("dead store = %+v, want line 2 warning", *d)
+	}
+	if !strings.Contains(d.Msg, "%r2") {
+		t.Errorf("msg does not name %%r2: %q", d.Msg)
+	}
+}
+
+func TestLintUnreachableBlock(t *testing.T) {
+	k := parseKernel(t, `
+	ret;
+	mov.u32 %r1, 0;
+	ret;
+`)
+	diags := LintKernel(k)
+	d := findDiag(diags, CodeUnreachable)
+	if d == nil {
+		t.Fatalf("no unreachable diagnostic in %v", diags)
+	}
+	if d.Line != 1 || d.Severity != SevWarning {
+		t.Errorf("unreachable = %+v, want line 1 warning", *d)
+	}
+}
+
+// TestLintBranchIntoLoop: block 0 jumps to INSIDE, which sits inside the
+// lexical back-edge interval LOOP..(bra LOOP) without being its header.
+func TestLintBranchIntoLoop(t *testing.T) {
+	k := parseKernel(t, `
+	mov.u32 %r1, 0;
+	setp.eq.s32 %p2, %r1, 0;
+	@%p2 bra INSIDE;
+LOOP:
+	add.s32 %r1, %r1, 1;
+INSIDE:
+	setp.lt.s32 %p1, %r1, 16;
+	@%p1 bra LOOP;
+	ret;
+`)
+	diags := LintKernel(k)
+	if HasErrors(diags) {
+		t.Fatalf("unexpected errors: %v", diags)
+	}
+	d := findDiag(diags, CodeBranchIntoLoop)
+	if d == nil {
+		t.Fatalf("no branch-into-loop diagnostic in %v", diags)
+	}
+	if d.Line != 2 {
+		t.Errorf("anchor line = %d, want 2 (the entering branch)", d.Line)
+	}
+	// The same shape is also irreducible: the header no longer dominates
+	// the back-edge source.
+	if findDiag(diags, CodeIrreducibleLoop) == nil {
+		t.Errorf("expected an irreducible-loop diagnostic too, got %v", diags)
+	}
+}
+
+// TestLintBarrierDivergent: a bar.sync on only one arm of a branch does
+// not post-dominate the entry, so threads of the block can disagree on
+// reaching it.
+func TestLintBarrierDivergent(t *testing.T) {
+	k := parseKernel(t, `
+	mov.u32 %r1, %tid.x;
+	setp.lt.s32 %p1, %r1, 8;
+	@%p1 bra SKIP;
+	bar.sync 0;
+SKIP:
+	ret;
+`)
+	diags := LintKernel(k)
+	d := findDiag(diags, CodeBarrierDivergent)
+	if d == nil {
+		t.Fatalf("no barrier diagnostic in %v", diags)
+	}
+	if d.Line != 3 || d.Severity != SevWarning {
+		t.Errorf("barrier diag = %+v, want line 3 warning", *d)
+	}
+
+	// Control: a barrier every thread reaches is clean.
+	clean := parseKernel(t, `
+	mov.u32 %r1, %tid.x;
+	bar.sync 0;
+	ret;
+`)
+	if findDiag(LintKernel(clean), CodeBarrierDivergent) != nil {
+		t.Error("unconditional barrier flagged")
+	}
+}
+
+func TestLintMalformedKernel(t *testing.T) {
+	// A branch to a label that was never placed cannot be parsed into a
+	// CFG; Lint must degrade to a PTXA008 error, not panic.
+	k := &ptx.Kernel{Name: "broken"}
+	k.Body = append(k.Body, ptx.Instruction{Opcode: "bra", Operands: []string{"NOWHERE"}})
+	diags := LintKernel(k)
+	if len(diags) != 1 || diags[0].Code != CodeMalformed || diags[0].Severity != SevError {
+		t.Fatalf("diags = %v, want one %s error", diags, CodeMalformed)
+	}
+}
+
+func TestDiagJSONAndString(t *testing.T) {
+	d := Diag{Severity: SevError, Kernel: "k", Line: 3, Code: CodeUseBeforeDef, Msg: "m"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"severity":"error"`) {
+		t.Errorf("json = %s", b)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["code"] != "PTXA001" {
+		t.Errorf("round trip = %v", back)
+	}
+	if got := d.String(); got != "k:3: error PTXA001: m" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestZooModulesLintClean is the acceptance gate: every model of the zoo,
+// under every convolution lowering, must compile to PTX with zero
+// error-severity diagnostics.
+func TestZooModulesLintClean(t *testing.T) {
+	names := zoo.Names()
+	if testing.Short() {
+		names = names[:4]
+	}
+	lowerings := []ptxgen.ConvLowering{ptxgen.ImplicitGEMM, ptxgen.Im2colGEMM, ptxgen.TiledGEMM}
+	for _, name := range names {
+		m, err := zoo.Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, low := range lowerings {
+			prog, err := ptxgen.Compile(m, ptxgen.Options{Lowering: low, Batch: 4, FuseElementwise: true})
+			if err != nil {
+				t.Fatalf("%s lowering %d: %v", name, low, err)
+			}
+			diags := Lint(prog.Module)
+			if errs := Errors(diags); len(errs) > 0 {
+				for _, d := range errs[:min(len(errs), 5)] {
+					t.Errorf("%s lowering %d: %s", name, low, d)
+				}
+				t.Fatalf("%s lowering %d: %d error diagnostics", name, low, len(errs))
+			}
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package ptxanalysis
+
+import (
+	"sort"
+	"strings"
+
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptx/cfg"
+)
+
+// uses returns the virtual registers an instruction reads: its source
+// operands (including address registers of memory references) plus its
+// guard predicate.
+func uses(in ptx.Instruction) []string {
+	var out []string
+	for _, src := range in.Sources() {
+		if r := ptx.RegOperand(src); r != "" {
+			out = append(out, r)
+		}
+	}
+	if in.Pred != "" {
+		out = append(out, in.Pred)
+	}
+	// Stores and branches have no destination, but a memory *destination*
+	// operand of a store is already covered by Sources. For instructions
+	// with a destination, a memory reference cannot be Operands[0] in our
+	// subset, so nothing is missed.
+	return out
+}
+
+// def returns the virtual register an instruction writes, or "".
+func def(in ptx.Instruction) string { return in.Dest() }
+
+// Liveness holds the per-block live-variable solution and the derived
+// def-use facts of one kernel.
+type Liveness struct {
+	// LiveIn[b] is the set of registers live on entry to block b.
+	LiveIn []map[string]bool
+	// LiveOut[b] is the set of registers live on exit from block b.
+	LiveOut []map[string]bool
+	// DefUse maps a defining instruction index to the indices of
+	// instructions that may consume its value (conservative: all uses of
+	// the defined register anywhere in the kernel).
+	DefUse map[int][]int
+	// UseBeforeDef maps each register that may be read before any
+	// definition to the index of its first reading instruction.
+	UseBeforeDef map[string]int
+	// DeadDefs are indices of instructions whose destination register is
+	// not live immediately after the definition (dead stores). Predicated
+	// definitions are excluded: they may deliberately leave the previous
+	// value in place.
+	DeadDefs []int
+}
+
+// ComputeLiveness solves backward live-variable dataflow over the CFG:
+//
+//	LiveOut[b] = union of LiveIn[s] over successors s of b
+//	LiveIn[b]  = use[b] ∪ (LiveOut[b] − def[b])
+//
+// iterated to a fixpoint, then walks each block backwards to derive
+// use-before-def, dead definitions and def-use chains.
+func ComputeLiveness(k *ptx.Kernel, g *cfg.Graph) *Liveness {
+	n := len(g.Blocks)
+	useB := make([]map[string]bool, n)
+	defB := make([]map[string]bool, n)
+	for bi, b := range g.Blocks {
+		u := make(map[string]bool)
+		d := make(map[string]bool)
+		for i := b.Start; i < b.End; i++ {
+			in := k.Body[i]
+			for _, r := range uses(in) {
+				if !d[r] {
+					u[r] = true
+				}
+			}
+			if r := def(in); r != "" {
+				d[r] = true
+			}
+		}
+		useB[bi], defB[bi] = u, d
+	}
+
+	lv := &Liveness{
+		LiveIn:       make([]map[string]bool, n),
+		LiveOut:      make([]map[string]bool, n),
+		DefUse:       make(map[int][]int),
+		UseBeforeDef: make(map[string]int),
+	}
+	for i := 0; i < n; i++ {
+		lv.LiveIn[i] = make(map[string]bool)
+		lv.LiveOut[i] = make(map[string]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			out := lv.LiveOut[bi]
+			for _, s := range g.Blocks[bi].Succs {
+				for r := range lv.LiveIn[s] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.LiveIn[bi]
+			for r := range useB[bi] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !defB[bi][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Use-before-def: registers live into the entry block have a path
+	// from kernel entry to a read with no prior write. Attribute each to
+	// its first reading instruction.
+	for r := range lv.LiveIn[0] {
+		lv.UseBeforeDef[r] = -1
+	}
+	if len(lv.UseBeforeDef) > 0 {
+	scan:
+		for i, in := range k.Body {
+			for _, r := range uses(in) {
+				if at, tracked := lv.UseBeforeDef[r]; tracked && at < 0 {
+					lv.UseBeforeDef[r] = i
+					for _, v := range lv.UseBeforeDef {
+						if v < 0 {
+							continue scan
+						}
+					}
+					break scan
+				}
+			}
+		}
+	}
+
+	// Def-use chains (conservative, flow-insensitive over defs).
+	defsOf := make(map[string][]int)
+	for i, in := range k.Body {
+		if r := def(in); r != "" {
+			defsOf[r] = append(defsOf[r], i)
+		}
+	}
+	for i, in := range k.Body {
+		for _, r := range uses(in) {
+			for _, d := range defsOf[r] {
+				if d != i {
+					lv.DefUse[d] = append(lv.DefUse[d], i)
+				}
+			}
+		}
+	}
+	for d := range lv.DefUse {
+		sort.Ints(lv.DefUse[d])
+		lv.DefUse[d] = dedupSorted(lv.DefUse[d])
+	}
+
+	// Dead definitions: walk each block backwards from its live-out set.
+	for bi, b := range g.Blocks {
+		live := make(map[string]bool, len(lv.LiveOut[bi]))
+		for r := range lv.LiveOut[bi] {
+			live[r] = true
+		}
+		for i := b.End - 1; i >= b.Start; i-- {
+			in := k.Body[i]
+			if r := def(in); r != "" {
+				if !live[r] && in.Pred == "" {
+					lv.DeadDefs = append(lv.DeadDefs, i)
+				}
+				delete(live, r)
+			}
+			for _, r := range uses(in) {
+				live[r] = true
+			}
+		}
+	}
+	sort.Ints(lv.DeadDefs)
+	return lv
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Pressure is the static register pressure of one kernel: the maximum
+// number of simultaneously live virtual registers at any program point.
+type Pressure struct {
+	// ByType maps a register type (".pred", ".b32", ".b64", ".f32") to
+	// its maximum simultaneous live count.
+	ByType map[string]int
+	// Total is the maximum live count across all types at one point.
+	Total int
+}
+
+// regType resolves a register's declared type via the kernel's register
+// banks, falling back to the conventional prefixes of compiled PTX.
+func regType(k *ptx.Kernel, reg string) string {
+	best := ""
+	for _, rd := range k.Regs {
+		if strings.HasPrefix(reg, rd.Prefix) && len(rd.Prefix) > len(best) {
+			best = rd.Type
+		}
+	}
+	if best != "" {
+		return best
+	}
+	switch {
+	case strings.HasPrefix(reg, "%p"):
+		return ".pred"
+	case strings.HasPrefix(reg, "%rd"):
+		return ".b64"
+	case strings.HasPrefix(reg, "%f"):
+		return ".f32"
+	default:
+		return ".b32"
+	}
+}
+
+// ComputePressure measures the maximum live-register counts per register
+// type by replaying each block backwards from its live-out set.
+func ComputePressure(k *ptx.Kernel, g *cfg.Graph, lv *Liveness) Pressure {
+	p := Pressure{ByType: make(map[string]int)}
+	measure := func(live map[string]bool) {
+		if len(live) > p.Total {
+			p.Total = len(live)
+		}
+		counts := make(map[string]int)
+		for r := range live {
+			counts[regType(k, r)]++
+		}
+		for t, c := range counts {
+			if c > p.ByType[t] {
+				p.ByType[t] = c
+			}
+		}
+	}
+	for bi, b := range g.Blocks {
+		live := make(map[string]bool, len(lv.LiveOut[bi]))
+		for r := range lv.LiveOut[bi] {
+			live[r] = true
+		}
+		measure(live)
+		for i := b.End - 1; i >= b.Start; i-- {
+			in := k.Body[i]
+			if r := def(in); r != "" {
+				delete(live, r)
+			}
+			for _, r := range uses(in) {
+				live[r] = true
+			}
+			measure(live)
+		}
+	}
+	return p
+}

@@ -1,0 +1,301 @@
+package ptxanalysis
+
+import (
+	"strconv"
+	"strings"
+
+	"cnnperf/internal/ptx"
+)
+
+// Mix is the static instruction-mix profile of one kernel.
+type Mix struct {
+	// PerClass counts static instructions per execution class.
+	PerClass map[ptx.Class]int
+	// GlobalLoads, GlobalStores, SharedLoads, SharedStores and ParamLoads
+	// break the memory operations down by address space.
+	GlobalLoads, GlobalStores, SharedLoads, SharedStores, ParamLoads int
+	// Branches counts control transfers; CondBranches the guarded subset.
+	Branches, CondBranches int
+	// Barriers counts bar/membar synchronisations.
+	Barriers int
+	// BranchDensity is Branches divided by the body length.
+	BranchDensity float64
+	// CoalescedGlobal and StridedGlobal split the global accesses by the
+	// address-arithmetic heuristic of StrideClass.
+	CoalescedGlobal, StridedGlobal int
+	// CoalescedFraction is CoalescedGlobal over all global accesses
+	// (1.0 when the kernel touches no global memory).
+	CoalescedFraction float64
+	// FPFraction is the share of FP32+FMA+SFU instructions.
+	FPFraction float64
+	// MemFraction is the share of memory instructions (all spaces).
+	MemFraction float64
+	// SharedFraction is the share of shared-memory instructions.
+	SharedFraction float64
+}
+
+// strideClass orders the thread-index dependence of a register value.
+type strideClass int
+
+const (
+	// strideUniform: the value does not depend on the thread index
+	// (parameters, loop counters, block-uniform arithmetic).
+	strideUniform strideClass = iota
+	// strideUnit: the value is an affine function of the thread index
+	// with a small element-size coefficient — neighbouring threads touch
+	// neighbouring addresses, the access coalesces.
+	strideUnit
+	// strideScattered: the thread index is scaled by a large or unknown
+	// factor — neighbouring threads touch distant addresses.
+	strideScattered
+)
+
+func maxStride(a, b strideClass) strideClass {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// strider resolves the stride class of registers by walking their
+// definitions. Cyclic definitions (loop counters: add %r1, %r1, 1)
+// resolve to the class of their acyclic inputs.
+type strider struct {
+	k       *ptx.Kernel
+	defsOf  map[string][]int
+	memo    map[string]strideClass
+	onStack map[string]bool
+}
+
+func newStrider(k *ptx.Kernel) *strider {
+	s := &strider{
+		k:       k,
+		defsOf:  make(map[string][]int),
+		memo:    make(map[string]strideClass),
+		onStack: make(map[string]bool),
+	}
+	for i, in := range k.Body {
+		if d := in.Dest(); d != "" {
+			s.defsOf[d] = append(s.defsOf[d], i)
+		}
+	}
+	return s
+}
+
+// smallStride reports whether an immediate multiplier preserves
+// coalescing: scaling a thread index by an element size (1-8 bytes, or
+// shifts up to 3 bits) keeps neighbouring threads within one memory
+// transaction.
+func smallStride(op string) bool {
+	v, err := strconv.ParseInt(op, 10, 64)
+	return err == nil && v >= 1 && v <= 8
+}
+
+func smallShift(op string) bool {
+	v, err := strconv.ParseInt(op, 10, 64)
+	return err == nil && v >= 0 && v <= 3
+}
+
+// operandClass resolves one operand: immediates and parameters are
+// uniform, %tid.x is the unit reference, other special registers are
+// uniform per thread block.
+func (s *strider) operandClass(op string) strideClass {
+	op = strings.TrimSpace(op)
+	if strings.HasPrefix(op, "%tid.") {
+		return strideUnit
+	}
+	if r := ptx.RegOperand(op); r != "" {
+		return s.regClass(r)
+	}
+	return strideUniform
+}
+
+func (s *strider) regClass(reg string) strideClass {
+	if c, ok := s.memo[reg]; ok {
+		return c
+	}
+	if s.onStack[reg] {
+		// Cycle through a loop-carried definition: the recursive
+		// contribution is the register's own class, which the other
+		// definitions determine.
+		return strideUniform
+	}
+	s.onStack[reg] = true
+	c := strideUniform
+	for _, di := range s.defsOf[reg] {
+		c = maxStride(c, s.defClass(s.k.Body[di]))
+	}
+	delete(s.onStack, reg)
+	s.memo[reg] = c
+	return c
+}
+
+// defClass derives the stride class produced by one defining instruction.
+func (s *strider) defClass(in ptx.Instruction) strideClass {
+	root, _, _ := strings.Cut(in.Opcode, ".")
+	srcs := in.Sources()
+	get := func(i int) strideClass {
+		if i < len(srcs) {
+			return s.operandClass(srcs[i])
+		}
+		return strideUniform
+	}
+	switch root {
+	case "mov", "cvt", "cvta", "ld":
+		// Moves and conversions forward their input; loads produce data,
+		// not thread-index arithmetic.
+		if root == "ld" {
+			return strideUniform
+		}
+		return get(0)
+	case "add", "sub", "or", "and", "xor", "min", "max", "rem", "selp":
+		c := strideUniform
+		for i := range srcs {
+			c = maxStride(c, get(i))
+		}
+		return c
+	case "shl":
+		if get(0) == strideUniform {
+			return strideUniform
+		}
+		if smallShift(last(srcs)) {
+			return get(0)
+		}
+		return strideScattered
+	case "mul":
+		return s.mulClass(get(0), get(1), srcs)
+	case "mad", "fma":
+		// a*b + c
+		prod := s.mulClass(get(0), get(1), srcs[:min(2, len(srcs))])
+		return maxStride(prod, get(2))
+	case "div", "shr":
+		if get(0) == strideUniform {
+			return strideUniform
+		}
+		return strideScattered
+	default:
+		c := strideUniform
+		for i := range srcs {
+			c = maxStride(c, get(i))
+		}
+		return c
+	}
+}
+
+// mulClass resolves a product: uniform*uniform stays uniform; a
+// thread-index term survives multiplication only by a small element-size
+// immediate.
+func (s *strider) mulClass(a, b strideClass, srcs []string) strideClass {
+	if a == strideUniform && b == strideUniform {
+		return strideUniform
+	}
+	// One side carries the thread index: the product still coalesces only
+	// when the other side is a small element-size immediate.
+	if a != strideUniform && len(srcs) >= 2 && smallStride(strings.TrimSpace(srcs[1])) {
+		return a
+	}
+	if b != strideUniform && len(srcs) >= 1 && smallStride(strings.TrimSpace(srcs[0])) {
+		return b
+	}
+	return strideScattered
+}
+
+func last(srcs []string) string {
+	if len(srcs) == 0 {
+		return ""
+	}
+	return strings.TrimSpace(srcs[len(srcs)-1])
+}
+
+// memSpace classifies a memory opcode's address space.
+func memSpace(opcode string) string {
+	switch {
+	case strings.Contains(opcode, ".param"):
+		return "param"
+	case strings.Contains(opcode, ".shared"):
+		return "shared"
+	default:
+		return "global"
+	}
+}
+
+// addrReg extracts the address register of the memory-reference operand,
+// or "" when the reference is direct (parameter name).
+func addrReg(in ptx.Instruction) string {
+	for _, op := range in.Operands {
+		op = strings.TrimSpace(op)
+		if strings.HasPrefix(op, "[") {
+			return ptx.RegOperand(op)
+		}
+	}
+	return ""
+}
+
+// ComputeMix profiles the static instruction mix of a kernel, including
+// the coalescing estimate from address-arithmetic patterns: a global
+// access whose address is an affine function of %tid.x with an
+// element-size coefficient is counted as coalesced, anything scaling the
+// thread index further as strided.
+func ComputeMix(k *ptx.Kernel) Mix {
+	m := Mix{PerClass: make(map[ptx.Class]int)}
+	st := newStrider(k)
+	n := len(k.Body)
+	var fp, mem, shared int
+	for _, in := range k.Body {
+		c := in.Class()
+		m.PerClass[c]++
+		switch c {
+		case ptx.ClassLoad:
+			if memSpace(in.Opcode) == "param" {
+				m.ParamLoads++
+			} else {
+				m.GlobalLoads++
+			}
+			mem++
+		case ptx.ClassStore:
+			m.GlobalStores++
+			mem++
+		case ptx.ClassLoadShared:
+			m.SharedLoads++
+			mem++
+			shared++
+		case ptx.ClassStoreShared:
+			m.SharedStores++
+			mem++
+			shared++
+		case ptx.ClassBranch:
+			m.Branches++
+			if in.Pred != "" {
+				m.CondBranches++
+			}
+		case ptx.ClassSync:
+			m.Barriers++
+		case ptx.ClassFP32, ptx.ClassFMA, ptx.ClassSFU:
+			fp++
+		}
+		// Coalescing: only global-space loads and stores.
+		if (c == ptx.ClassLoad || c == ptx.ClassStore) && memSpace(in.Opcode) == "global" {
+			if r := addrReg(in); r != "" {
+				if st.regClass(r) <= strideUnit {
+					m.CoalescedGlobal++
+				} else {
+					m.StridedGlobal++
+				}
+			} else {
+				m.CoalescedGlobal++ // direct parameter reference
+			}
+		}
+	}
+	if n > 0 {
+		m.BranchDensity = float64(m.Branches) / float64(n)
+		m.FPFraction = float64(fp) / float64(n)
+		m.MemFraction = float64(mem) / float64(n)
+		m.SharedFraction = float64(shared) / float64(n)
+	}
+	if g := m.CoalescedGlobal + m.StridedGlobal; g > 0 {
+		m.CoalescedFraction = float64(m.CoalescedGlobal) / float64(g)
+	} else {
+		m.CoalescedFraction = 1
+	}
+	return m
+}
