@@ -6,6 +6,8 @@
 package cnnperf_test
 
 import (
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -373,16 +375,73 @@ func BenchmarkEstimatorPredict(b *testing.B) {
 	}
 }
 
-// BenchmarkDatasetBuild measures the full phase-1 dataset creation.
+// BenchmarkDatasetBuild measures the full phase-1 dataset creation at
+// two operating points: the sequential, uncached seed pipeline
+// (workers=1) and the concurrent, memoized one (workers=GOMAXPROCS with
+// a fresh analysis cache per build). The model set shares many conv /
+// GEMM kernel shapes across depths, so the cache carries the speedup
+// even on a single core; the worker pool adds more on multi-core
+// runners. The sub-benchmarks first assert the two configurations
+// produce byte-identical CSV, and the cached one reports its hit rate.
 func BenchmarkDatasetBuild(b *testing.B) {
-	cfg := core.DefaultConfig()
-	for i := 0; i < b.N; i++ {
-		ds, _, err := cnnperf.BuildDataset([]string{"alexnet", "mobilenet", "mobilenetv2"}, cnnperf.TrainingGPUs(), cfg)
-		if err != nil {
+	models := []string{"resnet50v2", "resnet101v2", "resnet152v2"}
+	wantRows := len(models) * len(cnnperf.TrainingGPUs())
+
+	build := func(workers int, cache *cnnperf.AnalysisCache) (*cnnperf.Dataset, error) {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		cfg.Cache = cache
+		ds, _, err := cnnperf.BuildDataset(models, cnnperf.TrainingGPUs(), cfg)
+		return ds, err
+	}
+	csvOf := func(ds *cnnperf.Dataset) string {
+		var sb strings.Builder
+		if err := ds.WriteCSV(&sb); err != nil {
 			b.Fatal(err)
 		}
-		if ds.Len() != 6 {
-			b.Fatal("unexpected dataset size")
-		}
+		return sb.String()
 	}
+
+	// Equivalence gate: both operating points must emit identical bytes.
+	seq, err := build(1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := build(runtime.GOMAXPROCS(0), cnnperf.NewAnalysisCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if a, bb := csvOf(seq), csvOf(par); a != bb {
+		b.Fatalf("parallel+cached dataset differs from sequential baseline:\n%s\nvs\n%s", a, bb)
+	}
+
+	b.Run("workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, err := build(1, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ds.Len() != wantRows {
+				b.Fatal("unexpected dataset size")
+			}
+		}
+	})
+	b.Run("workers=max", func(b *testing.B) {
+		var stats cnnperf.AnalysisCacheStats
+		for i := 0; i < b.N; i++ {
+			cache := cnnperf.NewAnalysisCache(0)
+			ds, err := build(runtime.GOMAXPROCS(0), cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ds.Len() != wantRows {
+				b.Fatal("unexpected dataset size")
+			}
+			stats = cache.Stats()
+		}
+		if stats.Hits == 0 {
+			b.Fatal("analysis cache reported zero hits")
+		}
+		b.ReportMetric(100*stats.HitRate(), "cache_hit_%")
+	})
 }

@@ -7,7 +7,8 @@
 //	cnnperf gpus                        list the GPU catalogue
 //	cnnperf analyze <model>             static + dynamic analysis of one CNN
 //	cnnperf lint [-json] <model|file>   static-analysis diagnostics of generated or on-disk PTX
-//	cnnperf dataset [-out file.csv]     build the phase-1 training dataset
+//	cnnperf dataset [-out file.csv] [-workers n] [-cachestats]
+//	                                    build the phase-1 training dataset
 //	cnnperf evaluate                    compare the five regressors (Table II)
 //	cnnperf predict <model> <gpu>       estimate IPC without execution
 //	cnnperf profile <model> <gpu>       nvprof-style simulated profile
@@ -157,9 +158,14 @@ func runLint(args []string, cfg cnnperf.Config) error {
 func runDataset(args []string, cfg cnnperf.Config) error {
 	fs := flag.NewFlagSet("dataset", flag.ContinueOnError)
 	out := fs.String("out", "dataset.csv", "output CSV path")
+	workers := fs.Int("workers", 0, "worker pool size for the per-model analyses (0 = GOMAXPROCS)")
+	cachestats := fs.Bool("cachestats", false, "print the analysis-cache hit/miss counters")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg.Workers = *workers
+	cache := cnnperf.NewAnalysisCache(0)
+	cfg.Cache = cache
 	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
 	if err != nil {
 		return err
@@ -173,6 +179,9 @@ func runDataset(args []string, cfg cnnperf.Config) error {
 		return err
 	}
 	fmt.Printf("wrote %d observations to %s\n", ds.Len(), *out)
+	if *cachestats {
+		fmt.Printf("analysis cache: %s\n", cache.Stats())
+	}
 	return nil
 }
 

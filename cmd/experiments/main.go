@@ -25,6 +25,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	ext := flag.Bool("ext", false, "also run the extension studies (cross-validation, DVFS, feature sets)")
 	simcomp := flag.Bool("simcomp", false, "run the cycle-level-simulator comparison (slow)")
+	workers := flag.Int("workers", 0, "worker pool size for the analysis pipeline (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *table == 0 && *figure == 0 && !*ext && !*simcomp {
@@ -33,6 +34,7 @@ func main() {
 	log.SetFlags(0)
 
 	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
 	var suite *experiments.Suite
 	needSuite := *all || *table >= 2 || *figure == 4 || *ext || *simcomp
 	if needSuite {

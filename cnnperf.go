@@ -28,8 +28,10 @@
 package cnnperf
 
 import (
+	"context"
 	"io"
 
+	"cnnperf/internal/analysiscache"
 	"cnnperf/internal/cnn"
 	"cnnperf/internal/core"
 	"cnnperf/internal/dca"
@@ -99,10 +101,30 @@ func AnalyzeModel(m *Model, cfg Config) (*ModelAnalysis, error) {
 }
 
 // BuildDataset runs phase 1 over the given CNNs and GPUs and returns the
-// observation table plus the per-CNN analyses for reuse.
+// observation table plus the per-CNN analyses for reuse. Set Config.Workers
+// to fan the per-model analyses over a worker pool and Config.Cache to
+// memoize per-kernel analysis work; the rows are identical either way.
 func BuildDataset(models, gpus []string, cfg Config) (*Dataset, map[string]*ModelAnalysis, error) {
 	return core.BuildDataset(models, gpus, cfg)
 }
+
+// BuildDatasetContext is BuildDataset with cancellation: ctx aborts the
+// worker pool promptly and the first error encountered is returned.
+func BuildDatasetContext(ctx context.Context, models, gpus []string, cfg Config) (*Dataset, map[string]*ModelAnalysis, error) {
+	return core.BuildDatasetContext(ctx, models, gpus, cfg)
+}
+
+// AnalysisCache is the concurrency-safe content-addressed memo store of
+// per-kernel analysis results; plug one into Config.Cache to share work
+// across models and repeated builds.
+type AnalysisCache = analysiscache.Cache
+
+// AnalysisCacheStats is a snapshot of the cache counters.
+type AnalysisCacheStats = analysiscache.Stats
+
+// NewAnalysisCache creates an analysis cache bounded to capacity entries
+// (<= 0 means unbounded).
+func NewAnalysisCache(capacity int) *AnalysisCache { return analysiscache.New(capacity) }
 
 // EvaluateRegressors trains and scores candidates on a split (Table II).
 func EvaluateRegressors(train, eval *Dataset, candidates []Regressor) ([]Evaluation, error) {

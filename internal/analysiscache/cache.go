@@ -1,0 +1,178 @@
+// Package analysiscache is the content-addressed memo store underneath
+// the analysis pipeline: per-kernel dynamic-code-analysis reports and
+// static-analysis results are keyed by a hash of the kernel's canonical
+// text (plus launch discriminators), so the many zoo models sharing
+// identical conv/GEMM kernel shapes pay for each slice exactly once.
+// The cache is safe for concurrent use by the worker pool: concurrent
+// misses on one key are deduplicated so a value is computed at most
+// once, and a bounded capacity evicts least-recently-used entries.
+// Hit/miss/eviction counters are exposed for tests and the CLI.
+package analysiscache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups answered from the cache, including lookups
+	// that waited on an in-flight computation of the same key.
+	Hits uint64
+	// Misses counts lookups that had to compute the value.
+	Misses uint64
+	// Evictions counts entries dropped by the capacity bound.
+	Evictions uint64
+	// Entries is the current resident entry count.
+	Entries int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String renders the counters in a CLI-friendly single line.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d hit_rate=%.1f%%",
+		s.Hits, s.Misses, s.Evictions, s.Entries, 100*s.HitRate())
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a concurrency-safe, content-addressed memo store with LRU
+// eviction. The zero value is not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*call
+
+	hits, misses, evictions uint64
+}
+
+// New creates a cache bounded to capacity entries; capacity <= 0 means
+// unbounded (the per-kernel results of even the full CNN zoo are small).
+func New(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the cached value for key, counting a hit or miss.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a value under key, evicting the least-recently-used entry
+// when over capacity.
+func (c *Cache) Put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, v)
+}
+
+// put stores a value; the caller holds c.mu.
+func (c *Cache) put(key string, v any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, val: v})
+	for c.capacity > 0 && c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// GetOrCompute returns the cached value for key, computing and caching
+// it on a miss. Concurrent callers for the same key share one
+// computation: the first runs compute, the rest wait and count as hits.
+// Errors are propagated to every sharing caller and never cached.
+func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (v any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		v = el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, true, cl.err
+	}
+	c.misses++
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	cl.val, cl.err = compute()
+	close(cl.done)
+
+	c.mu.Lock()
+	// A Reset during the computation replaces the inflight table; only
+	// cache the result if this call is still the registered one.
+	if c.inflight[key] == cl {
+		delete(c.inflight, key)
+		if cl.err == nil {
+			c.put(key, cl.val)
+		}
+	}
+	c.mu.Unlock()
+	return cl.val, false, cl.err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+	}
+}
+
+// Reset drops every entry and zeroes the counters. In-flight
+// computations complete but their results are discarded.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru = list.New()
+	c.inflight = make(map[string]*call)
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}

@@ -1,0 +1,95 @@
+package analysiscache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnnperf/internal/ptx"
+)
+
+// CanonicalKernelText renders a kernel in a name-independent normal
+// form: the entry name is replaced by a placeholder and every parameter
+// is renamed positionally (with its uses in the body rewritten), so two
+// kernels that differ only in the fusion counter baked into their names
+// — the common case across CNN zoo models sharing layer shapes —
+// canonicalise to the same text. Everything that can change the analysis
+// result (register banks, labels, predicates, opcodes, operands) is
+// preserved verbatim.
+func CanonicalKernelText(k *ptx.Kernel) string {
+	var repl *strings.Replacer
+	if len(k.Params) > 0 {
+		// Longest name first, so a parameter whose name prefixes another
+		// ("p_1" vs "p_10") can never steal the rewrite.
+		ordered := make([]int, len(k.Params))
+		for i := range ordered {
+			ordered[i] = i
+		}
+		sort.Slice(ordered, func(a, b int) bool {
+			return len(k.Params[ordered[a]].Name) > len(k.Params[ordered[b]].Name)
+		})
+		pairs := make([]string, 0, 2*len(k.Params))
+		for _, i := range ordered {
+			pairs = append(pairs, k.Params[i].Name, fmt.Sprintf("$arg%d", i))
+		}
+		repl = strings.NewReplacer(pairs...)
+	}
+
+	var b strings.Builder
+	b.WriteString(".entry $kernel(\n")
+	for i, p := range k.Params {
+		fmt.Fprintf(&b, ".param %s $arg%d\n", p.Type, i)
+	}
+	b.WriteString(")\n")
+	for _, r := range k.Regs {
+		fmt.Fprintf(&b, ".reg %s %s<%d>;\n", r.Type, r.Prefix, r.Count)
+	}
+	for i, in := range k.Body {
+		for _, lbl := range sortedLabels(k.LabelsAt(i)) {
+			b.WriteString(lbl)
+			b.WriteString(":\n")
+		}
+		line := in.String()
+		if repl != nil {
+			line = repl.Replace(line)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	for _, lbl := range sortedLabels(k.LabelsAt(len(k.Body))) {
+		b.WriteString(lbl)
+		b.WriteString(":\n")
+	}
+	return b.String()
+}
+
+func sortedLabels(ls []string) []string {
+	out := append([]string(nil), ls...)
+	sort.Strings(out)
+	return out
+}
+
+// Fingerprint is the content address of a kernel: the SHA-256 of its
+// canonical text. Identical kernels (regardless of name) share a
+// fingerprint; kernels differing in any instruction, operand, label or
+// register bank do not.
+func Fingerprint(k *ptx.Kernel) string {
+	sum := sha256.Sum256([]byte(CanonicalKernelText(k)))
+	return hex.EncodeToString(sum[:])
+}
+
+// KernelKey derives a cache key in the given namespace from a kernel's
+// canonical text plus any extra discriminators (launch geometry,
+// parameter values, executor options). Extras are length-framed before
+// hashing so no two distinct extra lists can collide by concatenation.
+func KernelKey(ns string, k *ptx.Kernel, extras ...string) string {
+	h := sha256.New()
+	text := CanonicalKernelText(k)
+	fmt.Fprintf(h, "%d\x00%s", len(text), text)
+	for _, e := range extras {
+		fmt.Fprintf(h, "%d\x00%s", len(e), e)
+	}
+	return ns + ":" + hex.EncodeToString(h.Sum(nil))
+}

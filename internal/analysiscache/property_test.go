@@ -1,0 +1,170 @@
+package analysiscache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cnnperf/internal/analysiscache"
+	"cnnperf/internal/cnn"
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxgen"
+)
+
+// randomModels builds a corpus of small CNNs with randomized layer
+// shapes (seeded, so the corpus is stable across runs) and compiles each
+// to PTX. The generated kernels drive the cache-key property tests.
+func randomModels(t *testing.T, seed int64, n int) []*ptxgen.Program {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var progs []*ptxgen.Program
+	for i := 0; i < n; i++ {
+		size := 16 + 8*rng.Intn(4)
+		filters := 4 + 4*rng.Intn(8)
+		kern := []int{1, 3, 5}[rng.Intn(3)]
+		units := 8 + 8*rng.Intn(8)
+		b, x := cnn.NewBuilder(fmt.Sprintf("prop_%d_%d", seed, i), cnn.Shape{H: size, W: size, C: 3})
+		x = b.Add(cnn.Conv(filters, kern, 1, cnn.Same), x)
+		x = b.Add(cnn.ReLU(), x)
+		if rng.Intn(2) == 0 {
+			x = b.Add(cnn.MaxPool2D(2, 2, cnn.Valid), x)
+		}
+		x = b.Add(cnn.Flatten{}, x)
+		x = b.Add(cnn.FC(units), x)
+		m, err := b.Build(x)
+		if err != nil {
+			t.Fatalf("building model %d: %v", i, err)
+		}
+		prog, err := ptxgen.Compile(m, ptxgen.Options{})
+		if err != nil {
+			t.Fatalf("compiling model %d: %v", i, err)
+		}
+		progs = append(progs, prog)
+	}
+	return progs
+}
+
+// TestFingerprintCollisionFreedom checks over the randomized corpus that
+// a fingerprint never maps to two distinct canonical texts, and that a
+// shared fingerprint always means identical canonical text.
+func TestFingerprintCollisionFreedom(t *testing.T) {
+	byFP := make(map[string]string)
+	kernels := 0
+	for _, prog := range randomModels(t, 1, 12) {
+		for _, k := range prog.Module.Kernels {
+			kernels++
+			fp := analysiscache.Fingerprint(k)
+			canon := analysiscache.CanonicalKernelText(k)
+			if prev, ok := byFP[fp]; ok {
+				if prev != canon {
+					t.Fatalf("fingerprint %s maps to two distinct canonical texts:\n%s\nvs\n%s", fp, prev, canon)
+				}
+			} else {
+				byFP[fp] = canon
+			}
+		}
+	}
+	if kernels == 0 {
+		t.Fatal("corpus generated no kernels")
+	}
+	if len(byFP) < 2 {
+		t.Fatalf("corpus degenerate: only %d distinct kernels", len(byFP))
+	}
+}
+
+// TestIdenticalKernelsAlwaysHit checks that recompiling the same model
+// yields kernels whose keys hit the entries of the first compilation.
+func TestIdenticalKernelsAlwaysHit(t *testing.T) {
+	first := randomModels(t, 2, 4)
+	second := randomModels(t, 2, 4)
+	c := analysiscache.New(0)
+	for _, prog := range first {
+		for _, k := range prog.Module.Kernels {
+			c.Put(analysiscache.KernelKey("t", k), k.Name)
+		}
+	}
+	for i, prog := range second {
+		for j, k := range prog.Module.Kernels {
+			if _, ok := c.Get(analysiscache.KernelKey("t", k)); !ok {
+				t.Fatalf("identical kernel %d of model %d missed the cache", j, i)
+			}
+		}
+	}
+}
+
+// TestRenamedKernelSameFingerprint checks name-independence: the same
+// kernel body under a different entry and parameter naming scheme — the
+// per-model fusion counter baked into generated kernel names — shares a
+// fingerprint, while a single-instruction or single-operand difference
+// does not.
+func TestRenamedKernelSameFingerprint(t *testing.T) {
+	const a = `.version 6.0
+.target sm_61
+.address_size 64
+.visible .entry fusion_0_gemm(
+.param .u64 fusion_0_gemm_param_0
+)
+{
+mov.u32 %r1, %tid.x;
+setp.lt.u32 %p1, %r1, 718296;
+@%p1 bra BODY;
+ret;
+BODY:
+ld.param.u64 %rd1, [fusion_0_gemm_param_0];
+ret;
+}
+`
+	// Same body, different fusion counter in kernel and parameter names.
+	b := strings.ReplaceAll(a, "fusion_0_gemm", "fusion_13_gemm")
+	// One operand difference (the bounds immediate).
+	cSrc := strings.ReplaceAll(a, "718296", "718297")
+	// One instruction difference (an extra move).
+	d := strings.ReplaceAll(a, "BODY:\n", "BODY:\nmov.u32 %r2, %r1;\n")
+
+	fp := func(src string) string {
+		t.Helper()
+		m, err := ptx.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if len(m.Kernels) != 1 {
+			t.Fatalf("want 1 kernel, got %d", len(m.Kernels))
+		}
+		return analysiscache.Fingerprint(m.Kernels[0])
+	}
+	fpA, fpB, fpC, fpD := fp(a), fp(b), fp(cSrc), fp(d)
+	if fpA != fpB {
+		t.Fatalf("renamed kernel changed fingerprint: %s vs %s", fpA, fpB)
+	}
+	if fpA == fpC {
+		t.Fatal("operand mutation kept the fingerprint")
+	}
+	if fpA == fpD {
+		t.Fatal("instruction insertion kept the fingerprint")
+	}
+}
+
+// TestKernelKeyDiscriminators checks that the namespace and every extra
+// (launch geometry, parameter values, executor options) separate keys,
+// and that the length framing prevents concatenation collisions.
+func TestKernelKeyDiscriminators(t *testing.T) {
+	prog := randomModels(t, 3, 1)[0]
+	k := prog.Module.Kernels[0]
+	base := analysiscache.KernelKey("dca", k, "grid=2;block=32", "0=7;")
+	cases := map[string]string{
+		"namespace":     analysiscache.KernelKey("ptxa", k, "grid=2;block=32", "0=7;"),
+		"launch config": analysiscache.KernelKey("dca", k, "grid=4;block=32", "0=7;"),
+		"param values":  analysiscache.KernelKey("dca", k, "grid=2;block=32", "0=8;"),
+		"extra split":   analysiscache.KernelKey("dca", k, "grid=2;block=320=7;"),
+		"no extras":     analysiscache.KernelKey("dca", k),
+	}
+	for name, key := range cases {
+		if key == base {
+			t.Fatalf("%s difference did not change the key", name)
+		}
+	}
+	if again := analysiscache.KernelKey("dca", k, "grid=2;block=32", "0=7;"); again != base {
+		t.Fatalf("key not stable: %s vs %s", base, again)
+	}
+}

@@ -14,10 +14,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"cnnperf/internal/analysiscache"
 	"cnnperf/internal/cnn"
 	"cnnperf/internal/dca"
 	"cnnperf/internal/gpu"
@@ -25,6 +28,7 @@ import (
 	"cnnperf/internal/mlearn"
 	"cnnperf/internal/mlearn/dataset"
 	"cnnperf/internal/mlearn/metrics"
+	"cnnperf/internal/parallel"
 	"cnnperf/internal/profiler"
 	"cnnperf/internal/ptxanalysis"
 	"cnnperf/internal/ptxgen"
@@ -65,6 +69,17 @@ type Config struct {
 	// StaticFeatures adds the ptxanalysis predictors to the schema, so
 	// experiments can A/B the base vector against the static-augmented one.
 	StaticFeatures bool
+	// Workers bounds the analysis parallelism: models, regressors and
+	// sweep points fan out over a pool of this many goroutines. Zero or
+	// negative selects runtime.GOMAXPROCS(0). Results are assembled in
+	// deterministic input order regardless of the worker count.
+	Workers int
+	// Cache memoizes per-kernel dynamic-code-analysis and
+	// static-analysis results, content-addressed by canonical kernel
+	// text, so models sharing identical kernel shapes pay for each slice
+	// exactly once. Nil disables memoization (the seed behaviour);
+	// results are bit-identical either way.
+	Cache *analysiscache.Cache
 }
 
 // DefaultConfig returns the configuration of the reproduced experiments:
@@ -82,6 +97,9 @@ func DefaultConfig() Config {
 		SplitSeed: 24,
 	}
 }
+
+// workers resolves the parallelism knob (<= 0 means GOMAXPROCS).
+func (c Config) workers() int { return parallel.Workers(c.Workers) }
 
 func (c Config) trainFrac() float64 {
 	if c.TrainFrac <= 0 || c.TrainFrac >= 1 {
@@ -118,20 +136,37 @@ func AnalyzeCNN(name string, cfg Config) (*ModelAnalysis, error) {
 // AnalyzeModel is AnalyzeCNN over an already-constructed graph (supports
 // user-defined CNNs outside the zoo).
 func AnalyzeModel(m *cnn.Model, cfg Config) (*ModelAnalysis, error) {
+	return AnalyzeModelContext(context.Background(), m, cfg)
+}
+
+// AnalyzeModelContext is AnalyzeModel with cancellation between the
+// pipeline stages, so an aborted dataset build stops promptly. With
+// cfg.Cache set, the per-kernel dca and static-analysis work is
+// memoized by kernel content.
+func AnalyzeModelContext(ctx context.Context, m *cnn.Model, cfg Config) (*ModelAnalysis, error) {
 	start := time.Now()
 	summary, err := cnn.Analyze(m)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	prog, err := ptxgen.Compile(m, cfg.PTX)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	rep, err := dca.AnalyzeProgram(prog, dca.Options{})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{Cache: cfg.Cache})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	static, err := ptxanalysis.AnalyzeModule(prog.Module)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	static, err := ptxanalysis.AnalyzeModuleCached(prog.Module, cfg.Cache)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -195,6 +230,12 @@ func (a *ModelAnalysis) featuresFor(spec gpu.Spec, schemaLen int) []float64 {
 // pair becomes one observation whose response is the simulated-profiler
 // IPC measurement. Analyses are cached per CNN and returned for reuse.
 func BuildDataset(models []string, gpus []string, cfg Config) (*dataset.Dataset, map[string]*ModelAnalysis, error) {
+	return BuildDatasetContext(context.Background(), models, gpus, cfg)
+}
+
+// BuildDatasetContext is BuildDataset with cancellation: cancelling the
+// context aborts the in-flight analyses promptly.
+func BuildDatasetContext(ctx context.Context, models []string, gpus []string, cfg Config) (*dataset.Dataset, map[string]*ModelAnalysis, error) {
 	if len(models) == 0 {
 		return nil, nil, fmt.Errorf("core: need at least one model")
 	}
@@ -206,13 +247,22 @@ func BuildDataset(models []string, gpus []string, cfg Config) (*dataset.Dataset,
 		}
 		graphs = append(graphs, m)
 	}
-	return BuildDatasetFromModels(graphs, gpus, cfg)
+	return BuildDatasetFromModelsContext(ctx, graphs, gpus, cfg)
 }
 
 // BuildDatasetFromModels is BuildDataset over already-constructed graphs
 // — zoo variants or user-defined CNNs — so the training dataset can grow
 // beyond the fixed Table I inventory, as the paper's future work plans.
 func BuildDatasetFromModels(models []*cnn.Model, gpus []string, cfg Config) (*dataset.Dataset, map[string]*ModelAnalysis, error) {
+	return BuildDatasetFromModelsContext(context.Background(), models, gpus, cfg)
+}
+
+// BuildDatasetFromModelsContext fans the per-model analyses out over a
+// bounded worker pool of cfg.Workers goroutines. The first failing model
+// cancels the pool and its error is returned; on success the rows are
+// assembled in input order, so the dataset bytes are identical for every
+// worker count.
+func BuildDatasetFromModelsContext(ctx context.Context, models []*cnn.Model, gpus []string, cfg Config) (*dataset.Dataset, map[string]*ModelAnalysis, error) {
 	if len(models) == 0 || len(gpus) == 0 {
 		return nil, nil, fmt.Errorf("core: need at least one model and one GPU")
 	}
@@ -225,28 +275,60 @@ func BuildDatasetFromModels(models []*cnn.Model, gpus []string, cfg Config) (*da
 	case cfg.StaticFeatures:
 		schema = StaticFeatureNames
 	}
-	ds := dataset.New(schema)
-	analyses := make(map[string]*ModelAnalysis, len(models))
+	// Resolve every GPU and reject duplicate models before spawning any
+	// work, so these errors are deterministic and cheap.
+	specs := make([]gpu.Spec, len(gpus))
+	for i, gid := range gpus {
+		spec, err := gpu.Lookup(gid)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		specs[i] = spec
+	}
+	names := make(map[string]bool, len(models))
 	for _, m := range models {
-		if _, dup := analyses[m.Name]; dup {
+		if names[m.Name] {
 			return nil, nil, fmt.Errorf("core: duplicate model %q in dataset", m.Name)
 		}
-		a, err := AnalyzeModel(m, cfg)
+		names[m.Name] = true
+	}
+
+	type modelResult struct {
+		analysis *ModelAnalysis
+		rows     []dataset.Row
+	}
+	results := make([]modelResult, len(models))
+	pcfg := profConfig(cfg)
+	err := parallel.ForEach(ctx, cfg.workers(), len(models), func(ctx context.Context, i int) error {
+		m := models[i]
+		a, err := AnalyzeModelContext(ctx, m, cfg)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		analyses[m.Name] = a
-		for _, gid := range gpus {
-			spec, err := gpu.Lookup(gid)
+		rows := make([]dataset.Row, 0, len(gpus))
+		for j, gid := range gpus {
+			prof, err := profiler.RunWithReport(a.Report, specs[j], pcfg)
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: %w", err)
+				return err
 			}
-			prof, err := profiler.RunWithReport(a.Report, spec, profConfig(cfg))
-			if err != nil {
-				return nil, nil, err
-			}
-			tag := fmt.Sprintf("%s@%s", m.Name, gid)
-			if err := ds.Append(tag, a.featuresFor(spec, len(schema)), prof.IPC); err != nil {
+			rows = append(rows, dataset.Row{
+				Tag: fmt.Sprintf("%s@%s", m.Name, gid),
+				X:   a.featuresFor(specs[j], len(schema)),
+				Y:   prof.IPC,
+			})
+		}
+		results[i] = modelResult{analysis: a, rows: rows}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := dataset.New(schema)
+	analyses := make(map[string]*ModelAnalysis, len(models))
+	for i, m := range models {
+		analyses[m.Name] = results[i].analysis
+		for _, r := range results[i].rows {
+			if err := ds.Append(r.Tag, r.X, r.Y); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -287,24 +369,34 @@ type Evaluation struct {
 // EvaluateRegressors trains each candidate on the training split and
 // scores it on the evaluation split (Phase 2, Table II).
 func EvaluateRegressors(train, eval *dataset.Dataset, candidates []mlearn.Regressor) ([]Evaluation, error) {
+	return EvaluateRegressorsContext(context.Background(), train, eval, candidates, 0)
+}
+
+// EvaluateRegressorsContext fans the candidate fits out over a bounded
+// worker pool (workers <= 0 selects GOMAXPROCS). Each regressor trains
+// and scores independently on the shared read-only splits; the rows come
+// back in candidate order, so the result is identical for every worker
+// count.
+func EvaluateRegressorsContext(ctx context.Context, train, eval *dataset.Dataset, candidates []mlearn.Regressor, workers int) ([]Evaluation, error) {
 	if train.Len() == 0 || eval.Len() == 0 {
 		return nil, fmt.Errorf("core: empty split")
 	}
 	trX, trY := train.XY()
 	evX, evY := eval.XY()
-	out := make([]Evaluation, 0, len(candidates))
-	for _, reg := range candidates {
+	out := make([]Evaluation, len(candidates))
+	err := parallel.ForEach(ctx, workers, len(candidates), func(_ context.Context, i int) error {
+		reg := candidates[i]
 		if err := reg.Fit(trX, trY); err != nil {
-			return nil, fmt.Errorf("core: fitting %s: %w", reg.Name(), err)
+			return fmt.Errorf("core: fitting %s: %w", reg.Name(), err)
 		}
 		pred := mlearn.PredictAll(reg, evX)
 		mape, err := metrics.MAPE(evY, pred)
 		if err != nil {
-			return nil, fmt.Errorf("core: scoring %s: %w", reg.Name(), err)
+			return fmt.Errorf("core: scoring %s: %w", reg.Name(), err)
 		}
 		r2, err := metrics.R2(evY, pred)
 		if err != nil {
-			return nil, fmt.Errorf("core: scoring %s: %w", reg.Name(), err)
+			return fmt.Errorf("core: scoring %s: %w", reg.Name(), err)
 		}
 		ev := Evaluation{Name: reg.Name(), MAPE: mape, R2: r2}
 		if adj, err := metrics.AdjustedR2(r2, eval.Len(), len(train.FeatureNames)); err == nil {
@@ -312,7 +404,11 @@ func EvaluateRegressors(train, eval *dataset.Dataset, candidates []mlearn.Regres
 		} else {
 			ev.AdjR2 = r2 // too few eval rows to adjust; report raw
 		}
-		out = append(out, ev)
+		out[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -339,7 +435,9 @@ type Estimator struct {
 	// Schema is the feature order the model was trained with.
 	Schema []string
 
-	predictTime time.Duration
+	// predictTimeNS holds the last Predict duration in nanoseconds,
+	// atomically so concurrent DSE sweeps can share one estimator.
+	predictTimeNS atomic.Int64
 }
 
 // TrainEstimator fits the given regressor on the full training split.
@@ -361,7 +459,7 @@ func (e *Estimator) Predict(a *ModelAnalysis, spec gpu.Spec) (float64, error) {
 	}
 	start := time.Now()
 	ipc := e.Regressor.Predict(a.featuresFor(spec, len(e.Schema)))
-	e.predictTime = time.Since(start)
+	e.predictTimeNS.Store(int64(time.Since(start)))
 	if ipc <= 0 {
 		return 0, fmt.Errorf("core: regressor %s produced non-positive IPC %f", e.Regressor.Name(), ipc)
 	}
@@ -370,7 +468,9 @@ func (e *Estimator) Predict(a *ModelAnalysis, spec gpu.Spec) (float64, error) {
 
 // LastPredictTime reports the duration of the most recent Predict call
 // (the paper's t_pm).
-func (e *Estimator) LastPredictTime() time.Duration { return e.predictTime }
+func (e *Estimator) LastPredictTime() time.Duration {
+	return time.Duration(e.predictTimeNS.Load())
+}
 
 // FeatureImportances exposes the estimator's importance vector paired
 // with feature names, sorted descending — the paper's Table III.

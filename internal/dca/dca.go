@@ -2,8 +2,10 @@ package dca
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"cnnperf/internal/analysiscache"
 	"cnnperf/internal/ptx"
 	"cnnperf/internal/ptxanalysis"
 	"cnnperf/internal/ptxgen"
@@ -67,14 +69,38 @@ type Options struct {
 	// AnalyzeProgram after it has linted each distinct kernel once, so
 	// repeated launches of one kernel are not re-analysed.
 	SkipLint bool
+	// Cache memoizes per-kernel analysis results content-addressed by
+	// the kernel's canonical text and launch configuration, so identical
+	// kernels — within one model or across the whole zoo — are sliced
+	// and abstractly executed exactly once. Nil disables memoization.
+	Cache *analysiscache.Cache
 }
 
 // lintGate rejects kernels whose static analysis reports error-severity
 // diagnostics (use-before-def registers, unresolved branch targets):
 // abstractly executing them would compute garbage or fail midway.
 func lintGate(k *ptx.Kernel) error {
-	diags := ptxanalysis.LintKernel(k)
-	if errs := ptxanalysis.Errors(diags); len(errs) > 0 {
+	return gateErr(k, ptxanalysis.Errors(ptxanalysis.LintKernel(k)))
+}
+
+// cachedLintGate is lintGate memoizing the error-severity findings by
+// kernel content.
+func cachedLintGate(k *ptx.Kernel, c *analysiscache.Cache) error {
+	if c == nil {
+		return lintGate(k)
+	}
+	v, _, err := c.GetOrCompute(analysiscache.KernelKey("lint", k), func() (any, error) {
+		return ptxanalysis.Errors(ptxanalysis.LintKernel(k)), nil
+	})
+	if err != nil {
+		return err
+	}
+	return gateErr(k, v.([]ptxanalysis.Diag))
+}
+
+// gateErr converts error-severity diagnostics into the gate rejection.
+func gateErr(k *ptx.Kernel, errs []ptxanalysis.Diag) error {
+	if len(errs) > 0 {
 		return fmt.Errorf("dca: kernel %s rejected by static analysis: %s (%d error diagnostics)",
 			k.Name, errs[0].Msg, len(errs))
 	}
@@ -85,11 +111,60 @@ func lintGate(k *ptx.Kernel) error {
 // launch configuration. Threads of a launch differ only in whether the
 // bounds check passes, so one in-bounds and (when the grid overcovers)
 // one out-of-bounds representative suffice; the counts scale by thread
-// population.
+// population. With opts.Cache set, the result is memoized by kernel
+// content and launch configuration.
 func AnalyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options) (KernelReport, error) {
 	if k == nil {
 		return KernelReport{}, fmt.Errorf("dca: nil kernel")
 	}
+	if opts.Cache == nil {
+		return analyzeKernelLaunchUncached(k, l, opts)
+	}
+	key := launchKey(k, l, opts)
+	v, _, err := opts.Cache.GetOrCompute(key, func() (any, error) {
+		kr, err := analyzeKernelLaunchUncached(k, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &kr, nil
+	})
+	if err != nil {
+		return KernelReport{}, err
+	}
+	// The cached report may come from a content-identical kernel under a
+	// different name or launch identity; re-stamp the launch-specific
+	// fields (none of which influence the counts) and detach the class
+	// histogram so callers cannot mutate the shared entry.
+	kr := *(v.(*KernelReport))
+	kr.Kernel = k.Name
+	kr.Node = l.Node
+	kr.WorkingSetBytes = l.WorkingSetBytes
+	perClass := make(map[ptx.Class]int64, len(kr.PerClass))
+	for c, n := range kr.PerClass {
+		perClass[c] = n
+	}
+	kr.PerClass = perClass
+	return kr, nil
+}
+
+// launchKey derives the memoization key of one (kernel, launch) pair:
+// the canonical kernel text plus every launch and executor knob that can
+// influence the counted result. WorkingSetBytes and the node identity
+// are deliberately excluded — they are carried through the report but do
+// not affect the abstract execution.
+func launchKey(k *ptx.Kernel, l ptxgen.Launch, opts Options) string {
+	var params strings.Builder
+	for i, p := range k.Params {
+		fmt.Fprintf(&params, "%d=%d;", i, l.Params[p.Name])
+	}
+	return analysiscache.KernelKey("dca", k,
+		fmt.Sprintf("grid=%d;block=%d;threads=%d;full=%t;maxsteps=%d;lint=%t",
+			l.GridX, l.BlockX, l.Threads, opts.Exec.Full, opts.Exec.MaxSteps, opts.SkipLint),
+		params.String())
+}
+
+// analyzeKernelLaunchUncached is the memoization-free analysis body.
+func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options) (KernelReport, error) {
 	if opts.SkipLint {
 		if _, err := BuildCFG(k); err != nil { // structural validation only
 			return KernelReport{}, err
@@ -154,7 +229,9 @@ func AnalyzeProgram(prog *ptxgen.Program, opts Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Model: prog.Model, PerClass: make(map[ptx.Class]int64)}
 	// Gate every distinct kernel once up front; the per-launch loop can
-	// then skip re-linting (a kernel may be launched many times).
+	// then skip re-linting (a kernel may be launched many times). With a
+	// cache, the error-severity findings are memoized by content, so a
+	// kernel shape shared across models is linted exactly once.
 	if !opts.SkipLint {
 		linted := make(map[string]bool, len(prog.Launches))
 		for _, l := range prog.Launches {
@@ -166,7 +243,7 @@ func AnalyzeProgram(prog *ptxgen.Program, opts Options) (*Report, error) {
 			if k == nil {
 				return nil, fmt.Errorf("dca: launch references unknown kernel %q", l.Kernel)
 			}
-			if err := lintGate(k); err != nil {
+			if err := cachedLintGate(k, opts.Cache); err != nil {
 				return nil, err
 			}
 		}

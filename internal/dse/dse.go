@@ -8,12 +8,14 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"cnnperf/internal/core"
 	"cnnperf/internal/gpu"
+	"cnnperf/internal/parallel"
 )
 
 // Constraints bound the acceptable design points. Zero values disable a
@@ -83,21 +85,37 @@ func (r *Result) Best() (Candidate, error) {
 // trained estimator and ranks them under the given objective and
 // constraints.
 func Explore(est *core.Estimator, a *core.ModelAnalysis, candidateIDs []string, cons Constraints, obj Objective) (*Result, error) {
+	return ExploreContext(context.Background(), est, a, candidateIDs, cons, obj, 0)
+}
+
+// ExploreContext is Explore with cancellation and a bounded worker pool:
+// the candidate devices are scored concurrently (workers <= 0 selects
+// GOMAXPROCS), then ranked. Scoring is a pure function of (estimator,
+// analysis, spec), so the ranking is identical for every worker count.
+func ExploreContext(ctx context.Context, est *core.Estimator, a *core.ModelAnalysis, candidateIDs []string, cons Constraints, obj Objective, workers int) (*Result, error) {
 	if est == nil || a == nil {
 		return nil, fmt.Errorf("dse: nil estimator or analysis")
 	}
 	if len(candidateIDs) == 0 {
 		return nil, fmt.Errorf("dse: no candidate devices")
 	}
-	res := &Result{Model: a.Name, Objective: obj}
-	for _, id := range candidateIDs {
+	// Resolve every candidate up front so an unknown id fails fast and
+	// deterministically, before any scoring work is spent.
+	specs := make([]gpu.Spec, len(candidateIDs))
+	for i, id := range candidateIDs {
 		spec, err := gpu.Lookup(id)
 		if err != nil {
 			return nil, fmt.Errorf("dse: %w", err)
 		}
+		specs[i] = spec
+	}
+	res := &Result{Model: a.Name, Objective: obj}
+	scored := make([]Candidate, len(candidateIDs))
+	err := parallel.ForEach(ctx, workers, len(candidateIDs), func(_ context.Context, i int) error {
+		id, spec := candidateIDs[i], specs[i]
 		ipc, err := est.Predict(a, spec)
 		if err != nil {
-			return nil, fmt.Errorf("dse: predicting %s on %s: %w", a.Name, id, err)
+			return fmt.Errorf("dse: predicting %s on %s: %w", a.Name, id, err)
 		}
 		c := Candidate{ID: id, Spec: spec, PredictedIPC: ipc}
 		clockHz := spec.BoostClockMHz * 1e6
@@ -126,8 +144,13 @@ func Explore(est *core.Estimator, a *core.ModelAnalysis, candidateIDs []string, 
 			c.Violations = append(c.Violations,
 				fmt.Sprintf("memory %.0fGB < %.1fGB needed", spec.MemSizeGB, needGB))
 		}
-		res.Candidates = append(res.Candidates, c)
+		scored[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Candidates = scored
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
 		a, b := res.Candidates[i], res.Candidates[j]
 		if a.Feasible != b.Feasible {

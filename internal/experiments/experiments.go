@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"cnnperf/internal/analysiscache"
 	"cnnperf/internal/cnn"
 	"cnnperf/internal/core"
 	"cnnperf/internal/gpu"
@@ -39,8 +41,14 @@ type Suite struct {
 }
 
 // NewSuite builds the phase-1 dataset over all Table I CNNs and the two
-// training GPUs, then splits it with the configured seed.
+// training GPUs, then splits it with the configured seed. When the
+// configuration carries no analysis cache, an unbounded one is
+// installed: the zoo models share many identical kernel shapes, so the
+// suite's repeated dataset builds and per-model analyses hit heavily.
 func NewSuite(cfg core.Config) (*Suite, error) {
+	if cfg.Cache == nil {
+		cfg.Cache = analysiscache.New(0)
+	}
 	start := time.Now()
 	ds, analyses, err := core.BuildDataset(zoo.TableIOrder, gpu.TrainingGPUs, cfg)
 	if err != nil {
@@ -87,10 +95,20 @@ func (s *Suite) TableI() string {
 	return b.String()
 }
 
+// CacheStats reports the suite's analysis-cache counters (zero Stats
+// when the suite runs uncached).
+func (s *Suite) CacheStats() analysiscache.Stats {
+	if s.Cfg.Cache == nil {
+		return analysiscache.Stats{}
+	}
+	return s.Cfg.Cache.Stats()
+}
+
 // TableII trains the five candidate regressors and returns their
 // evaluation rows plus the rendered table.
 func (s *Suite) TableII() ([]core.Evaluation, string, error) {
-	evals, err := core.EvaluateRegressors(s.Train, s.Eval, core.DefaultRegressors(s.Cfg.SplitSeed))
+	evals, err := core.EvaluateRegressorsContext(context.Background(),
+		s.Train, s.Eval, core.DefaultRegressors(s.Cfg.SplitSeed), s.Cfg.Workers)
 	if err != nil {
 		return nil, "", err
 	}

@@ -57,6 +57,7 @@ func (s *Suite) FrequencyScaling(model, gpuID string, clocksMHz []float64) ([]gp
 	}
 	cfg := s.Cfg.Sim
 	cfg.NoisePct = -1 // deterministic sweep
+	cfg.Workers = s.Cfg.Workers
 	points, err := gpusim.FrequencySweep(a.Report, spec, clocksMHz, cfg)
 	if err != nil {
 		return nil, "", err

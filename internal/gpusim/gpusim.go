@@ -10,12 +10,14 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
 
 	"cnnperf/internal/dca"
 	"cnnperf/internal/gpu"
+	"cnnperf/internal/parallel"
 	"cnnperf/internal/ptx"
 )
 
@@ -31,6 +33,11 @@ type Config struct {
 	LaunchOverheadUs float64
 	// ClockMHz overrides the simulation clock (default: boost clock).
 	ClockMHz float64
+	// Workers bounds the worker pool of the sweep entry points
+	// (FrequencySweep); <= 0 selects GOMAXPROCS. Simulation is a pure
+	// function of (report, spec, config), so the sweep output is
+	// identical for every worker count.
+	Workers int
 }
 
 func (c Config) noisePct() float64 {
@@ -181,8 +188,8 @@ func Simulate(rep *dca.Report, spec gpu.Spec, cfg Config) (*Result, error) {
 	// leakage over the runtime. Average power is capped at the TDP
 	// (boards throttle), scaling the runtime is out of model scope.
 	var dynPJ float64
-	for c, n := range rep.PerClass {
-		dynPJ += float64(n) * energyPerInstrPJ(c)
+	for _, c := range classOrder(rep.PerClass) {
+		dynPJ += float64(rep.PerClass[c]) * energyPerInstrPJ(c)
 	}
 	for _, kt := range res.Kernels {
 		dynPJ += kt.DRAMBytes * dramEnergyPerBytePJ
@@ -214,8 +221,8 @@ func simulateKernel(kr dca.KernelReport, spec gpu.Spec, bytesPerCycle, l2Bytes f
 	// Functional-unit cycles: each class issues on its unit at a width
 	// proportional to the SM's core count.
 	cores := float64(spec.CUDACores)
-	for c, n := range kr.PerClass {
-		kt.ComputeCycles += float64(n) / (issueWidth(c) * cores * eff)
+	for _, c := range classOrder(kr.PerClass) {
+		kt.ComputeCycles += float64(kr.PerClass[c]) / (issueWidth(c) * cores * eff)
 	}
 
 	// DRAM cycles: loads and stores move 4 bytes each; the L2 filters
@@ -233,6 +240,24 @@ func simulateKernel(kr dca.KernelReport, spec gpu.Spec, bytesPerCycle, l2Bytes f
 	kt.Cycles = maxC + 0.15*minC
 	kt.MemoryBound = kt.MemCycles > kt.ComputeCycles
 	return kt
+}
+
+// classOrder returns the histogram's keys in the stable ptx.Classes
+// order (unknown first). Summing float contributions in map-iteration
+// order would make the simulated cycle count vary run to run — float
+// addition is not associative — which the pipeline's determinism
+// guarantee (byte-identical results for any worker count) forbids.
+func classOrder(m map[ptx.Class]int64) []ptx.Class {
+	out := make([]ptx.Class, 0, len(m))
+	if _, ok := m[ptx.ClassUnknown]; ok {
+		out = append(out, ptx.ClassUnknown)
+	}
+	for _, c := range ptx.Classes {
+		if _, ok := m[c]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // dramTraffic models the off-chip bytes of a kernel: compulsory traffic
@@ -293,18 +318,24 @@ func FrequencySweep(rep *dca.Report, spec gpu.Spec, clocksMHz []float64, cfg Con
 	if len(clocksMHz) == 0 {
 		return nil, fmt.Errorf("gpusim: empty clock list")
 	}
-	out := make([]SweepPoint, 0, len(clocksMHz))
 	for _, clk := range clocksMHz {
 		if clk <= 0 {
 			return nil, fmt.Errorf("gpusim: invalid clock %f MHz", clk)
 		}
+	}
+	out := make([]SweepPoint, len(clocksMHz))
+	err := parallel.ForEach(context.Background(), cfg.Workers, len(clocksMHz), func(_ context.Context, i int) error {
 		c := cfg
-		c.ClockMHz = clk
+		c.ClockMHz = clocksMHz[i]
 		r, err := Simulate(rep, spec, c)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, SweepPoint{ClockMHz: clk, Result: r})
+		out[i] = SweepPoint{ClockMHz: clocksMHz[i], Result: r}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

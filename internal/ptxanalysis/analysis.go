@@ -11,6 +11,7 @@ package ptxanalysis
 import (
 	"fmt"
 
+	"cnnperf/internal/analysiscache"
 	"cnnperf/internal/ptx"
 	"cnnperf/internal/ptx/cfg"
 )
@@ -105,13 +106,21 @@ type ModuleAnalysis struct {
 
 // AnalyzeModule analyses every kernel of the module.
 func AnalyzeModule(m *ptx.Module) (*ModuleAnalysis, error) {
+	return AnalyzeModuleCached(m, nil)
+}
+
+// AnalyzeModuleCached is AnalyzeModule memoizing per-kernel analyses in
+// the given content-addressed cache: a kernel body already analysed —
+// under any name, in any module — is not re-analysed. A nil cache
+// disables memoization.
+func AnalyzeModuleCached(m *ptx.Module, c *analysiscache.Cache) (*ModuleAnalysis, error) {
 	if m == nil {
 		return nil, fmt.Errorf("ptxanalysis: nil module")
 	}
 	out := &ModuleAnalysis{}
 	var wBranch, wFP, wMem, wShared, wCoal float64
 	for _, k := range m.Kernels {
-		a, err := AnalyzeKernel(k)
+		a, err := analyzeKernelCached(k, c)
 		if err != nil {
 			return nil, err
 		}
@@ -143,6 +152,33 @@ func AnalyzeModule(m *ptx.Module) (*ModuleAnalysis, error) {
 		out.CoalescedFraction = wCoal / n
 	}
 	return out, nil
+}
+
+// analyzeKernelCached memoizes AnalyzeKernel by kernel content. On a hit
+// from a content-identical kernel under a different name, the analysis
+// is shallow-copied with its identity re-stamped; the heavyweight
+// structures (CFG, dominator trees, liveness) are shared read-only.
+func analyzeKernelCached(k *ptx.Kernel, c *analysiscache.Cache) (*KernelAnalysis, error) {
+	if c == nil {
+		return AnalyzeKernel(k)
+	}
+	v, _, err := c.GetOrCompute(analysiscache.KernelKey("ptxa", k), func() (any, error) {
+		return AnalyzeKernel(k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := v.(*KernelAnalysis)
+	if a.Kernel == k.Name {
+		return a, nil
+	}
+	cp := *a
+	cp.Kernel = k.Name
+	cp.Diags = append([]Diag(nil), a.Diags...)
+	for i := range cp.Diags {
+		cp.Diags[i].Kernel = k.Name
+	}
+	return &cp, nil
 }
 
 // FeatureNames names the static predictors Features returns, in order.
