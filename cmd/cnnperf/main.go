@@ -19,6 +19,9 @@
 //	cnnperf dse <model> [-power W] [-latency s] [-eff]
 //	                                    rank candidate GPUs under constraints
 //	cnnperf stats                       dataset feature statistics
+//
+// The global -cpuprofile and -memprofile flags (before the subcommand)
+// write pprof profiles of the pipeline itself.
 package main
 
 import (
@@ -32,62 +35,81 @@ import (
 	"cnnperf/internal/core"
 	"cnnperf/internal/mlearn"
 	"cnnperf/internal/mlearn/dataset"
+	"cnnperf/internal/profiler"
 )
 
 func main() {
 	log.SetFlags(0)
-	if len(os.Args) < 2 {
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cfg := cnnperf.DefaultConfig()
-	var err error
-	switch os.Args[1] {
-	case "models":
-		for _, n := range cnnperf.ModelNames() {
-			fmt.Println(n)
-		}
-	case "gpus":
-		for _, id := range cnnperf.GPUNames() {
-			spec := cnnperf.MustGPU(id)
-			fmt.Printf("%-12s %-22s %5d cores %4d SMs %7.0f GB/s %6d KiB L2\n",
-				id, spec.Name, spec.CUDACores, spec.SMs, spec.MemBandwidthGBs, spec.L2CacheKB)
-		}
-	case "analyze":
-		err = runAnalyze(os.Args[2:], cfg)
-	case "lint":
-		err = runLint(os.Args[2:], cfg)
-	case "dataset":
-		err = runDataset(os.Args[2:], cfg)
-	case "evaluate":
-		err = runEvaluate(cfg)
-	case "predict":
-		err = runPredict(os.Args[2:], cfg)
-	case "profile":
-		err = runProfile(os.Args[2:], cfg)
-	case "sweep":
-		err = runSweep(os.Args[2:], cfg)
-	case "crossval":
-		err = runCrossval(os.Args[2:], cfg)
-	case "train":
-		err = runTrain(os.Args[2:], cfg)
-	case "dot":
-		err = runDot(os.Args[2:])
-	case "dse":
-		err = runDSE(os.Args[2:], cfg)
-	case "stats":
-		err = runStats(cfg)
-	default:
-		usage()
-		os.Exit(2)
+	stopProfiles, err := profiler.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatalf("cnnperf: %v", err)
+	}
+	err = dispatch(args)
+	if perr := stopProfiles(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		log.Fatalf("cnnperf: %v", err)
 	}
 }
 
+func dispatch(args []string) error {
+	cfg := cnnperf.DefaultConfig()
+	switch args[0] {
+	case "models":
+		for _, n := range cnnperf.ModelNames() {
+			fmt.Println(n)
+		}
+		return nil
+	case "gpus":
+		for _, id := range cnnperf.GPUNames() {
+			spec := cnnperf.MustGPU(id)
+			fmt.Printf("%-12s %-22s %5d cores %4d SMs %7.0f GB/s %6d KiB L2\n",
+				id, spec.Name, spec.CUDACores, spec.SMs, spec.MemBandwidthGBs, spec.L2CacheKB)
+		}
+		return nil
+	case "analyze":
+		return runAnalyze(args[1:], cfg)
+	case "lint":
+		return runLint(args[1:], cfg)
+	case "dataset":
+		return runDataset(args[1:], cfg)
+	case "evaluate":
+		return runEvaluate(cfg)
+	case "predict":
+		return runPredict(args[1:], cfg)
+	case "profile":
+		return runProfile(args[1:], cfg)
+	case "sweep":
+		return runSweep(args[1:], cfg)
+	case "crossval":
+		return runCrossval(args[1:], cfg)
+	case "train":
+		return runTrain(args[1:], cfg)
+	case "dot":
+		return runDot(args[1:])
+	case "dse":
+		return runDSE(args[1:], cfg)
+	case "stats":
+		return runStats(cfg)
+	default:
+		usage()
+		os.Exit(2)
+		return nil
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cnnperf <models|gpus|analyze|lint|dataset|evaluate|predict|profile|sweep|crossval|train|dot|dse|stats> [args]")
+	fmt.Fprintln(os.Stderr, "usage: cnnperf [-cpuprofile file] [-memprofile file] <models|gpus|analyze|lint|dataset|evaluate|predict|profile|sweep|crossval|train|dot|dse|stats> [args]")
 }
 
 func runAnalyze(args []string, cfg cnnperf.Config) error {

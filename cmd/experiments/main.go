@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-table 1|2|3|4] [-figure 4] [-all]
+//	experiments [-table 1|2|3|4] [-figure 4] [-all] [-cpuprofile file] [-memprofile file]
 //
 // With no flags it runs everything. Table II/III/Fig4/Table IV share one
 // phase-1 dataset build over the 31 Table I CNNs and both training GPUs.
@@ -17,7 +17,12 @@ import (
 
 	"cnnperf/internal/core"
 	"cnnperf/internal/experiments"
+	"cnnperf/internal/profiler"
 )
+
+// fatalf aborts like log.Fatalf after flushing any active pprof
+// profiles, so a failed run still leaves usable profile data.
+var fatalf = log.Fatalf
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-4)")
@@ -26,12 +31,28 @@ func main() {
 	ext := flag.Bool("ext", false, "also run the extension studies (cross-validation, DVFS, feature sets)")
 	simcomp := flag.Bool("simcomp", false, "run the cycle-level-simulator comparison (slow)")
 	workers := flag.Int("workers", 0, "worker pool size for the analysis pipeline (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 	flag.Parse()
 
 	if *table == 0 && *figure == 0 && !*ext && !*simcomp {
 		*all = true
 	}
 	log.SetFlags(0)
+
+	stopProfiles, err := profiler.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatalf("experiments: %v", err)
+	}
+	fatalf = func(format string, args ...any) {
+		stopProfiles()
+		log.Fatalf(format, args...)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
@@ -41,7 +62,7 @@ func main() {
 		var err error
 		suite, err = experiments.NewSuite(cfg)
 		if err != nil {
-			log.Fatalf("building dataset: %v", err)
+			fatalf("building dataset: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "dataset: %d rows (train %d / eval %d) built in %s\n",
 			suite.Data.Len(), suite.Train.Len(), suite.Eval.Len(), suite.BuildTime.Round(1e6))
@@ -52,7 +73,7 @@ func main() {
 			var err error
 			suite, err = experiments.NewSuite(cfg)
 			if err != nil {
-				log.Fatalf("building dataset: %v", err)
+				fatalf("building dataset: %v", err)
 			}
 		}
 		fmt.Println(suite.TableI())
@@ -60,56 +81,56 @@ func main() {
 	if *all || *table == 2 {
 		_, text, err := suite.TableII()
 		if err != nil {
-			log.Fatalf("table II: %v", err)
+			fatalf("table II: %v", err)
 		}
 		fmt.Println(text)
 	}
 	if *all || *table == 3 {
 		_, text, err := suite.TableIII()
 		if err != nil {
-			log.Fatalf("table III: %v", err)
+			fatalf("table III: %v", err)
 		}
 		fmt.Println(text)
 	}
 	if *all || *figure == 4 {
 		_, text, err := suite.Fig4()
 		if err != nil {
-			log.Fatalf("figure 4: %v", err)
+			fatalf("figure 4: %v", err)
 		}
 		fmt.Println(text)
 	}
 	if *all || *table == 4 {
 		_, text, err := suite.TableIV()
 		if err != nil {
-			log.Fatalf("table IV: %v", err)
+			fatalf("table IV: %v", err)
 		}
 		fmt.Println(text)
 	}
 	if *ext {
 		_, text, err := suite.CrossValidation(5)
 		if err != nil {
-			log.Fatalf("cross-validation: %v", err)
+			fatalf("cross-validation: %v", err)
 		}
 		fmt.Println(text)
 		_, text, err = suite.FrequencyScaling("resnet50v2", "gtx1080ti",
 			[]float64{800, 1000, 1200, 1400, 1582, 1800, 2000})
 		if err != nil {
-			log.Fatalf("frequency scaling: %v", err)
+			fatalf("frequency scaling: %v", err)
 		}
 		fmt.Println(text)
 		text, err = suite.ExtendedFeatureStudy()
 		if err != nil {
-			log.Fatalf("feature study: %v", err)
+			fatalf("feature study: %v", err)
 		}
 		fmt.Println(text)
 		_, _, text, err = suite.StaticFeatureStudy()
 		if err != nil {
-			log.Fatalf("static feature study: %v", err)
+			fatalf("static feature study: %v", err)
 		}
 		fmt.Println(text)
 		_, _, text, err = suite.DatasetSizeStudy()
 		if err != nil {
-			log.Fatalf("dataset-size study: %v", err)
+			fatalf("dataset-size study: %v", err)
 		}
 		fmt.Println(text)
 	}
@@ -117,7 +138,7 @@ func main() {
 		text, err := suite.SimulatorComparison(
 			[]string{"alexnet", "mobilenetv2", "squeezenet", "resnet18"}, "gtx1080ti")
 		if err != nil {
-			log.Fatalf("simulator comparison: %v", err)
+			fatalf("simulator comparison: %v", err)
 		}
 		fmt.Println(text)
 	}

@@ -80,6 +80,12 @@ type Config struct {
 	// exactly once. Nil disables memoization (the seed behaviour);
 	// results are bit-identical either way.
 	Cache *analysiscache.Cache
+	// ReferenceInterp forces the dynamic code analysis onto the
+	// reference tree-walking interpreter instead of the compiled
+	// register-slot bytecode engine. Results are identical either way
+	// (the determinism harness enforces it); the flag exists for
+	// differential testing and as an escape hatch.
+	ReferenceInterp bool
 }
 
 // DefaultConfig returns the configuration of the reproduced experiments:
@@ -159,7 +165,10 @@ func AnalyzeModelContext(ctx context.Context, m *cnn.Model, cfg Config) (*ModelA
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rep, err := dca.AnalyzeProgram(prog, dca.Options{Cache: cfg.Cache})
+	rep, err := dca.AnalyzeProgram(prog, dca.Options{
+		Cache: cfg.Cache,
+		Exec:  dca.ExecOptions{Reference: cfg.ReferenceInterp},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -3,6 +3,7 @@ package dca
 import (
 	"testing"
 
+	"cnnperf/internal/ptx"
 	"cnnperf/internal/ptxgen"
 	"cnnperf/internal/zoo"
 )
@@ -32,6 +33,76 @@ func BenchmarkAnalyzeProgram(b *testing.B) {
 			}
 		})
 	}
+}
+
+// heaviestLaunch returns the kernel and launch with the most dynamic
+// steps for the in-bounds probe thread — the workload where interpreter
+// speed matters most.
+func heaviestLaunch(b *testing.B, prog *ptxgen.Program) (*ptx.Kernel, ptxgen.Launch) {
+	b.Helper()
+	byName := make(map[string]*ptx.Kernel, len(prog.Module.Kernels))
+	for _, k := range prog.Module.Kernels {
+		byName[k.Name] = k
+	}
+	var (
+		best      *ptx.Kernel
+		bestL     ptxgen.Launch
+		bestSteps int64 = -1
+	)
+	for _, l := range prog.Launches {
+		k := byName[l.Kernel]
+		if k == nil {
+			continue
+		}
+		g := BuildDepGraph(k)
+		slice := BuildControlSlice(k, g)
+		ctx := ThreadCtx{NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
+		res, err := ExecuteThread(k, slice, l.Params, ctx, ExecOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Steps > bestSteps {
+			best, bestL, bestSteps = k, l, res.Steps
+		}
+	}
+	if best == nil {
+		b.Fatal("no launches")
+	}
+	return best, bestL
+}
+
+// BenchmarkExecuteThread compares the reference tree-walking
+// interpreter against the compiled register-slot bytecode engine on the
+// heaviest single-thread workload in the resnet50v2 schedule. The
+// compile step runs outside the timed loop, matching production where
+// compiled kernels are built once and memoized.
+func BenchmarkExecuteThread(b *testing.B) {
+	prog := compileZoo(b, "resnet50v2")
+	k, l := heaviestLaunch(b, prog)
+	g := BuildDepGraph(k)
+	slice := BuildControlSlice(k, g)
+	ctx := ThreadCtx{NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ExecuteThread(k, slice, l.Params, ctx, ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		ck, err := Compile(k, slice, ExecOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ck.Execute(k, l.Params, ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSliceVsFull isolates the interpreter cost difference between

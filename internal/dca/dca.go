@@ -79,8 +79,10 @@ type Options struct {
 // lintGate rejects kernels whose static analysis reports error-severity
 // diagnostics (use-before-def registers, unresolved branch targets):
 // abstractly executing them would compute garbage or fail midway.
+// LintErrors computes exactly the error-severity subset of the full
+// lint, skipping the warning-only analyses the gate never looks at.
 func lintGate(k *ptx.Kernel) error {
-	return gateErr(k, ptxanalysis.Errors(ptxanalysis.LintKernel(k)))
+	return gateErr(k, ptxanalysis.LintErrors(k))
 }
 
 // cachedLintGate is lintGate memoizing the error-severity findings by
@@ -90,7 +92,7 @@ func cachedLintGate(k *ptx.Kernel, c *analysiscache.Cache) error {
 		return lintGate(k)
 	}
 	v, _, err := c.GetOrCompute(analysiscache.KernelKey("lint", k), func() (any, error) {
-		return ptxanalysis.Errors(ptxanalysis.LintKernel(k)), nil
+		return ptxanalysis.LintErrors(k), nil
 	})
 	if err != nil {
 		return err
@@ -114,15 +116,49 @@ func gateErr(k *ptx.Kernel, errs []ptxanalysis.Diag) error {
 // population. With opts.Cache set, the result is memoized by kernel
 // content and launch configuration.
 func AnalyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options) (KernelReport, error) {
+	return analyzeKernelLaunch(k, l, opts, nil)
+}
+
+// kernelProgram bundles the per-kernel artifacts every launch of one
+// kernel shares: the dependency graph, the control slice and the
+// compiled bytecode. AnalyzeProgram prepares one per distinct kernel so
+// repeated launches do not rebuild them.
+type kernelProgram struct {
+	g     *DepGraph
+	slice *ControlSlice
+	ck    *CompiledKernel // nil: run the reference interpreter
+	// cfgErr is the structural CFG failure, reported per launch when
+	// the lint gate is skipped.
+	cfgErr error
+}
+
+// prepareKernel builds the launch-independent analysis artifacts.
+func prepareKernel(k *ptx.Kernel, opts Options) *kernelProgram {
+	kp := &kernelProgram{}
+	if _, err := BuildCFG(k); err != nil {
+		kp.cfgErr = err
+		return kp
+	}
+	kp.g = BuildDepGraph(k)
+	kp.slice = BuildControlSlice(k, kp.g)
+	if !opts.Exec.Reference {
+		kp.ck = compiledKernel(k, kp.slice, opts)
+	}
+	return kp
+}
+
+// analyzeKernelLaunch is AnalyzeKernelLaunch with an optional lazy
+// provider of prepared per-kernel artifacts (nil: build them inline).
+func analyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram) (KernelReport, error) {
 	if k == nil {
 		return KernelReport{}, fmt.Errorf("dca: nil kernel")
 	}
 	if opts.Cache == nil {
-		return analyzeKernelLaunchUncached(k, l, opts)
+		return analyzeKernelLaunchUncached(k, l, opts, prep)
 	}
 	key := launchKey(k, l, opts)
 	v, _, err := opts.Cache.GetOrCompute(key, func() (any, error) {
-		kr, err := analyzeKernelLaunchUncached(k, l, opts)
+		kr, err := analyzeKernelLaunchUncached(k, l, opts, prep)
 		if err != nil {
 			return nil, err
 		}
@@ -158,22 +194,63 @@ func launchKey(k *ptx.Kernel, l ptxgen.Launch, opts Options) string {
 		fmt.Fprintf(&params, "%d=%d;", i, l.Params[p.Name])
 	}
 	return analysiscache.KernelKey("dca", k,
-		fmt.Sprintf("grid=%d;block=%d;threads=%d;full=%t;maxsteps=%d;lint=%t",
-			l.GridX, l.BlockX, l.Threads, opts.Exec.Full, opts.Exec.MaxSteps, opts.SkipLint),
+		fmt.Sprintf("grid=%d;block=%d;threads=%d;full=%t;maxsteps=%d;lint=%t;ref=%t",
+			l.GridX, l.BlockX, l.Threads, opts.Exec.Full, opts.Exec.MaxSteps, opts.SkipLint, opts.Exec.Reference),
 		params.String())
 }
 
+// compiledKernel returns the bytecode form of the kernel's control
+// slice, memoized by kernel content and the executor knobs baked into
+// the compiled program. A nil return means the kernel cannot be
+// compiled; the caller falls back to the reference interpreter.
+func compiledKernel(k *ptx.Kernel, slice *ControlSlice, opts Options) *CompiledKernel {
+	if opts.Cache == nil {
+		ck, err := Compile(k, slice, opts.Exec)
+		if err != nil {
+			return nil
+		}
+		return ck
+	}
+	key := analysiscache.KernelKey("dcac", k,
+		fmt.Sprintf("full=%t;maxsteps=%d", opts.Exec.Full, opts.Exec.effectiveMaxSteps()))
+	v, _, err := opts.Cache.GetOrCompute(key, func() (any, error) {
+		return Compile(k, slice, opts.Exec)
+	})
+	if err != nil {
+		return nil
+	}
+	return v.(*CompiledKernel)
+}
+
 // analyzeKernelLaunchUncached is the memoization-free analysis body.
-func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options) (KernelReport, error) {
-	if opts.SkipLint {
-		if _, err := BuildCFG(k); err != nil { // structural validation only
+func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram) (KernelReport, error) {
+	if !opts.SkipLint {
+		if err := lintGate(k); err != nil {
 			return KernelReport{}, err
 		}
-	} else if err := lintGate(k); err != nil {
-		return KernelReport{}, err
 	}
-	g := BuildDepGraph(k)
-	slice := BuildControlSlice(k, g)
+	var kp *kernelProgram
+	if prep != nil {
+		kp = prep()
+	} else {
+		kp = prepareKernel(k, opts)
+	}
+	if kp.cfgErr != nil { // structural validation (lint subsumes it)
+		return KernelReport{}, kp.cfgErr
+	}
+	slice := kp.slice
+
+	// Engine selection: the compiled register-slot bytecode is the
+	// default; opts.Exec.Reference (or a compiler bailout) runs the
+	// reference tree-walking interpreter instead. Both produce
+	// identical results — the differential fuzz target and the
+	// zoo-wide equivalence tests enforce it.
+	exec := func(tc ThreadCtx) (ExecResult, error) {
+		if kp.ck != nil {
+			return kp.ck.Execute(k, l.Params, tc)
+		}
+		return ExecuteThread(k, slice, l.Params, tc, opts.Exec)
+	}
 
 	rep := KernelReport{
 		Kernel:          k.Name,
@@ -181,14 +258,14 @@ func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options) (
 		Static:          len(k.Body),
 		SliceSize:       slice.Size,
 		SliceFraction:   slice.Fraction(),
-		DepEdges:        g.Edges(),
+		DepEdges:        kp.g.Edges(),
 		PerClass:        make(map[ptx.Class]int64),
 		WorkingSetBytes: l.WorkingSetBytes,
 		Threads:         l.Threads,
 	}
 
 	inCtx := ThreadCtx{CtaID: 0, Tid: 0, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
-	inRes, err := ExecuteThread(k, slice, l.Params, inCtx, opts.Exec)
+	inRes, err := exec(inCtx)
 	if err != nil {
 		return rep, fmt.Errorf("dca: kernel %s: %w", k.Name, err)
 	}
@@ -208,7 +285,7 @@ func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options) (
 	}
 	if oob > 0 {
 		oobCtx := ThreadCtx{CtaID: int64(l.GridX) - 1, Tid: int64(l.BlockX) - 1, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
-		oobRes, err := ExecuteThread(k, slice, l.Params, oobCtx, opts.Exec)
+		oobRes, err := exec(oobCtx)
 		if err != nil {
 			return rep, fmt.Errorf("dca: kernel %s (oob thread): %w", k.Name, err)
 		}
@@ -249,13 +326,24 @@ func AnalyzeProgram(prog *ptxgen.Program, opts Options) (*Report, error) {
 		}
 		opts.SkipLint = true
 	}
+	// One kernel is launched many times with different parameters; its
+	// launch-independent artifacts (dependency graph, control slice,
+	// compiled bytecode) are prepared lazily once and shared.
+	prepared := make(map[string]*kernelProgram, 8)
 	var sliceSum float64
 	for _, l := range prog.Launches {
 		k := prog.Module.Kernel(l.Kernel)
 		if k == nil {
 			return nil, fmt.Errorf("dca: launch references unknown kernel %q", l.Kernel)
 		}
-		kr, err := AnalyzeKernelLaunch(k, l, opts)
+		kr, err := analyzeKernelLaunch(k, l, opts, func() *kernelProgram {
+			kp := prepared[k.Name]
+			if kp == nil {
+				kp = prepareKernel(k, opts)
+				prepared[k.Name] = kp
+			}
+			return kp
+		})
 		if err != nil {
 			return nil, err
 		}

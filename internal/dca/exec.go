@@ -25,7 +25,8 @@ type ThreadCtx struct {
 type ExecResult struct {
 	// Steps is the number of dynamically executed instructions.
 	Steps int64
-	// PerClass histograms the executed instructions by class.
+	// PerClass histograms the executed instructions by class. Only
+	// classes with a nonzero count appear.
 	PerClass map[ptx.Class]int64
 	// Interpreted counts the instructions actually evaluated (the slice);
 	// Steps-Interpreted instructions were only counted.
@@ -42,27 +43,63 @@ type ExecOptions struct {
 	// Full interprets every instruction instead of only the control
 	// slice (global loads read as zero). Used by the ablation study.
 	Full bool
+	// Reference forces the reference tree-walking interpreter instead of
+	// the compiled register-slot bytecode engine. Results are identical
+	// by construction (and by the differential tests); the flag exists
+	// for differential testing and as an escape hatch.
+	Reference bool
+}
+
+// effectiveMaxSteps resolves the MaxSteps default shared by both
+// execution engines.
+func (o ExecOptions) effectiveMaxSteps() int64 {
+	if o.MaxSteps <= 0 {
+		return 50_000_000
+	}
+	return o.MaxSteps
+}
+
+// perClassMap converts a fixed-size class histogram into the sparse map
+// form of the ExecResult API, keeping only nonzero entries.
+func perClassMap(hist *[ptx.NumClasses]int64) map[ptx.Class]int64 {
+	m := make(map[ptx.Class]int64, 8)
+	for c, v := range hist {
+		if v != 0 {
+			m[ptx.Class(c)] = v
+		}
+	}
+	return m
 }
 
 // ExecuteThread runs one thread through the kernel, evaluating only the
 // control slice (or everything under opts.Full) and counting every
-// instruction the thread would execute.
-func ExecuteThread(k *ptx.Kernel, slice *ControlSlice, params map[string]int64, ctx ThreadCtx, opts ExecOptions) (ExecResult, error) {
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 50_000_000
-	}
-	res := ExecResult{PerClass: make(map[ptx.Class]int64)}
+// instruction the thread would execute. This is the reference
+// interpreter; CompiledKernel.Execute is the fast path and must agree
+// with it exactly.
+func ExecuteThread(k *ptx.Kernel, slice *ControlSlice, params map[string]int64, ctx ThreadCtx, opts ExecOptions) (res ExecResult, err error) {
+	maxSteps := opts.effectiveMaxSteps()
+	// The hot loop increments a fixed-size array; the map form of the
+	// result is materialized once on return.
+	var perClass [ptx.NumClasses]int64
+	defer func() { res.PerClass = perClassMap(&perClass) }()
 	env := make(map[string]int64, 32)
 	n := len(k.Body)
+	// Decode every opcode once up front: the loop below revisits the
+	// same pc once per loop iteration, and string-splitting the opcode
+	// each time dominated the interpreter profile.
+	dec := make([]ptx.OpInfo, n)
+	for i := range k.Body {
+		dec[i] = ptx.Decode(k.Body[i].Opcode)
+	}
 	pc := 0
 	for pc < n {
 		if res.Steps >= maxSteps {
 			return res, fmt.Errorf("dca: kernel %q exceeded %d steps (infinite loop?)", k.Name, maxSteps)
 		}
-		in := k.Body[pc]
+		in := &k.Body[pc]
+		info := &dec[pc]
 		res.Steps++
-		res.PerClass[in.Class()]++
+		perClass[info.Class]++
 		interpret := opts.Full || slice.InSlice[pc]
 		if !interpret {
 			pc++
@@ -82,7 +119,7 @@ func ExecuteThread(k *ptx.Kernel, slice *ControlSlice, params map[string]int64, 
 				taken = !taken
 			}
 		}
-		if ptx.IsBranch(in.Opcode) {
+		if info.Branch {
 			if taken {
 				tgt, err := k.Target(in.Operands[0])
 				if err != nil {
@@ -97,11 +134,11 @@ func ExecuteThread(k *ptx.Kernel, slice *ControlSlice, params map[string]int64, 
 			}
 			continue
 		}
-		if ptx.IsExit(in.Opcode) {
+		if info.Exit {
 			return res, nil
 		}
 		if taken {
-			if err := step(k, in, pc, env, params, ctx, opts); err != nil {
+			if err := stepDecoded(k, *in, pc, info, env, params, ctx, opts); err != nil {
 				return res, err
 			}
 		}
@@ -110,8 +147,16 @@ func ExecuteThread(k *ptx.Kernel, slice *ControlSlice, params map[string]int64, 
 	return res, nil
 }
 
-// step evaluates one non-branch instruction into env.
+// step evaluates one non-branch instruction into env. It decodes the
+// opcode on every call; hot loops pre-decode and call stepDecoded.
 func step(k *ptx.Kernel, in ptx.Instruction, pc int, env map[string]int64, params map[string]int64, ctx ThreadCtx, opts ExecOptions) error {
+	info := ptx.Decode(in.Opcode)
+	return stepDecoded(k, in, pc, &info, env, params, ctx, opts)
+}
+
+// stepDecoded evaluates one non-branch instruction into env using the
+// pre-decoded opcode info.
+func stepDecoded(k *ptx.Kernel, in ptx.Instruction, pc int, info *ptx.OpInfo, env map[string]int64, params map[string]int64, ctx ThreadCtx, opts ExecOptions) error {
 	val := func(op string) (int64, error) { return operandValue(op, env, ctx) }
 	dst := in.Dest()
 	src := in.Sources()
@@ -121,7 +166,7 @@ func step(k *ptx.Kernel, in ptx.Instruction, pc int, env map[string]int64, param
 		}
 		return nil
 	}
-	root, _, _ := strings.Cut(in.Opcode, ".")
+	root := info.Root
 	switch root {
 	case "mov", "cvt", "cvta", "abs", "neg", "not":
 		if err := need(1); err != nil {
@@ -209,8 +254,7 @@ func step(k *ptx.Kernel, in ptx.Instruction, pc int, env map[string]int64, param
 		if err != nil {
 			return err
 		}
-		cmp := cmpOf(in.Opcode)
-		r, err := compare(cmp, a, b)
+		r, err := compare(info.Cmp, a, b)
 		if err != nil {
 			return fmt.Errorf("dca: kernel %q pc %d: %w", k.Name, pc, err)
 		}

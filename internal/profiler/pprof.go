@@ -1,0 +1,58 @@
+package profiler
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles turns on host-side pprof profiling of the pipeline
+// itself (as opposed to the simulated nvprof profile of the modeled
+// GPU). A non-empty cpuPath starts a CPU profile immediately; a
+// non-empty memPath schedules an allocation profile snapshot for stop
+// time. Either path may be empty to skip that profile.
+//
+// The returned stop function finishes the CPU profile and writes the
+// memory profile; callers must invoke it exactly once before the
+// process exits, on error paths included, or the profiles are lost.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiler: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiler: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("profiler: %w", err)
+				}
+				return first
+			}
+			// Materialize recent frees so the snapshot reflects live data.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && first == nil {
+				first = fmt.Errorf("profiler: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiler: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

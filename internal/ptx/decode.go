@@ -1,0 +1,68 @@
+package ptx
+
+import (
+	"strings"
+	"sync"
+)
+
+// NumClasses is the number of distinct Class values, including
+// ClassUnknown. Fixed-size histograms indexed by Class use it as their
+// array length.
+const NumClasses = int(ClassControl) + 1
+
+// OpInfo is the pre-decoded form of one full opcode. Interpreters that
+// revisit the same instruction many times (the dynamic code analysis
+// walks loop bodies once per iteration) decode the opcode once and keep
+// the OpInfo instead of re-splitting the string on every step.
+type OpInfo struct {
+	// Root is the opcode text before the first '.' ("setp.lt.s32" -> "setp").
+	Root string
+	// Cmp is the second dotted field — the comparison mnemonic for setp
+	// opcodes ("setp.lt.s32" -> "lt") — or "" when absent.
+	Cmp string
+	// Class is ClassOf(opcode).
+	Class Class
+	// Branch, Exit, Barrier and Dest mirror IsBranch, IsExit, IsBarrier
+	// and HasDest.
+	Branch, Exit, Barrier, Dest bool
+}
+
+// opInfoCache interns decoded opcodes. Opcode strings come from a small
+// fixed vocabulary (the generator emits a few dozen distinct spellings),
+// so the map stays tiny and read-mostly — exactly sync.Map's sweet spot.
+var opInfoCache sync.Map // string -> OpInfo
+
+// Decode returns the pre-decoded form of a full opcode, memoized
+// process-wide by opcode spelling.
+func Decode(opcode string) OpInfo {
+	if v, ok := opInfoCache.Load(opcode); ok {
+		return v.(OpInfo)
+	}
+	info := decodeOpcode(opcode)
+	opInfoCache.Store(opcode, info)
+	return info
+}
+
+func decodeOpcode(opcode string) OpInfo {
+	root, rest, _ := strings.Cut(opcode, ".")
+	cmp, _, _ := strings.Cut(rest, ".")
+	c := ClassOf(opcode)
+	return OpInfo{
+		Root:    root,
+		Cmp:     cmp,
+		Class:   c,
+		Branch:  c == ClassBranch,
+		Exit:    c == ClassControl,
+		Barrier: c == ClassSync,
+		Dest:    hasDestClass(c),
+	}
+}
+
+// hasDestClass is HasDest keyed by the already-computed class.
+func hasDestClass(c Class) bool {
+	switch c {
+	case ClassStore, ClassStoreShared, ClassBranch, ClassSync, ClassControl, ClassUnknown:
+		return false
+	}
+	return true
+}

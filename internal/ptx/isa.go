@@ -157,10 +157,4 @@ func IsExit(opcode string) bool { return ClassOf(opcode) == ClassControl }
 // HasDest reports whether the first operand of the opcode is a
 // destination register (everything except stores, branches, barriers and
 // control opcodes in our subset).
-func HasDest(opcode string) bool {
-	switch ClassOf(opcode) {
-	case ClassStore, ClassStoreShared, ClassBranch, ClassSync, ClassControl, ClassUnknown:
-		return false
-	}
-	return true
-}
+func HasDest(opcode string) bool { return hasDestClass(ClassOf(opcode)) }

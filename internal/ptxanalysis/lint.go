@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptx/cfg"
 )
 
 // Severity grades a diagnostic.
@@ -222,4 +223,41 @@ func Lint(m *ptx.Module) []Diag {
 		out = append(out, LintKernel(k)...)
 	}
 	return out
+}
+
+// LintErrors computes only the error-severity diagnostics of a kernel —
+// exactly Errors(LintKernel(k)) — without the warning-only analyses
+// (dominators, post-dominators, loops, register pressure, instruction
+// mix). The only error-severity rules are the structural CFG failure
+// (PTXA008) and use-before-def registers (PTXA001), which need just the
+// CFG and the liveness dataflow. The DCA gate calls this on every
+// distinct kernel of a program, where the full lint would dominate a
+// cold-cache analysis.
+func LintErrors(k *ptx.Kernel) []Diag {
+	if len(k.Body) == 0 {
+		return nil // the empty-kernel diagnostic is warning-severity
+	}
+	g, err := cfg.Build(k)
+	if err != nil {
+		return []Diag{{
+			Severity: SevError, Kernel: k.Name, Line: -1, Code: CodeMalformed,
+			Msg: fmt.Sprintf("ptxanalysis: %v", err),
+		}}
+	}
+	live := ComputeLiveness(k, g)
+	regs := make([]string, 0, len(live.UseBeforeDef))
+	for r := range live.UseBeforeDef {
+		regs = append(regs, r)
+	}
+	sort.Strings(regs)
+	diags := make([]Diag, 0, len(regs))
+	for _, r := range regs {
+		diags = append(diags, Diag{
+			Severity: SevError, Kernel: k.Name, Line: live.UseBeforeDef[r], Code: CodeUseBeforeDef,
+			Msg: fmt.Sprintf("register %s may be read before it is written", r),
+		})
+	}
+	// Match LintKernel's final ordering: within one severity, by line.
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Line < diags[j].Line })
+	return diags
 }

@@ -1,0 +1,59 @@
+package ptxanalysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxanalysis"
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+// TestLintErrorsMatchesFullLint requires the fast error-only gate to
+// return exactly the error-severity subset of the full lint — same
+// diagnostics, same order — on clean and broken kernels alike.
+func TestLintErrorsMatchesFullLint(t *testing.T) {
+	var kernels []*ptx.Kernel
+	for _, name := range []string{"alexnet", "mobilenetv2", "squeezenet"} {
+		prog, err := ptxgen.Compile(zoo.MustBuild(name), ptxgen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels = append(kernels, prog.Module.Kernels...)
+	}
+	// Crafted shapes: use-before-def (two registers), unresolved branch
+	// target, empty body, and a clean loop.
+	crafted := []string{
+		".version 6.0\n.target sm_61\n.address_size 64\n.visible .entry ubd(\n.param .u64 p\n)\n{\nadd.s32 %r1, %r2, %r3;\nsetp.lt.s32 %p1, %r1, 4;\n@%p1 bra L;\nL:\nret;\n}\n",
+		".version 6.0\n.target sm_61\n.address_size 64\n.visible .entry clean(\n.param .u64 p\n)\n{\nmov.u32 %r1, 0;\nL:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p1, %r1, 8;\n@%p1 bra L;\nret;\n}\n",
+	}
+	for _, src := range crafted {
+		m, err := ptx.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels = append(kernels, m.Kernels...)
+	}
+	for _, k := range kernels {
+		want := ptxanalysis.Errors(ptxanalysis.LintKernel(k))
+		got := ptxanalysis.LintErrors(k)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("kernel %s: LintErrors diverges from Errors(LintKernel)\ngot:  %v\nwant: %v", k.Name, got, want)
+		}
+	}
+}
+
+// TestLintErrorsMalformedCFG pins the structural-failure diagnostic.
+func TestLintErrorsMalformedCFG(t *testing.T) {
+	k := &ptx.Kernel{Name: "bad"}
+	k.Append(ptx.Instruction{Opcode: "bra", Operands: []string{"nowhere"}})
+	want := ptxanalysis.Errors(ptxanalysis.LintKernel(k))
+	got := ptxanalysis.LintErrors(k)
+	if len(got) != 1 || !reflect.DeepEqual(got, want) {
+		t.Errorf("LintErrors = %v, want %v", got, want)
+	}
+}
