@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,7 +34,6 @@ import (
 
 	"cnnperf"
 	"cnnperf/internal/core"
-	"cnnperf/internal/mlearn"
 	"cnnperf/internal/mlearn/dataset"
 	"cnnperf/internal/profiler"
 )
@@ -241,30 +241,24 @@ func runPredict(args []string, cfg cnnperf.Config) error {
 	if err != nil {
 		return err
 	}
-	// Train on every Table I CNN except the target (leave-one-out so the
-	// prediction is honest even for zoo models).
-	var trainModels []string
-	for _, n := range cnnperf.TableIModels() {
-		if n != model {
-			trainModels = append(trainModels, n)
-		}
-	}
-	ds, _, err := cnnperf.BuildDataset(trainModels, cnnperf.TrainingGPUs(), cfg)
+	// Shared with cnnperfd's /v1/predict: leave-one-out training (so
+	// the prediction is honest even for zoo models), analysis, and
+	// per-GPU scoring all go through the same core entry points, which
+	// is what keeps the CLI and the daemon byte-identical.
+	ctx := context.Background()
+	est, err := core.LeaveOneOutEstimatorContext(ctx, model, cfg)
 	if err != nil {
 		return err
 	}
-	est, err := cnnperf.TrainEstimator(ds, mlearn.NewDecisionTree())
+	a, err := core.AnalyzeCNNContext(ctx, model, cfg)
 	if err != nil {
 		return err
 	}
-	a, err := core.AnalyzeCNN(model, cfg)
+	preds, err := core.PredictAnalyzedContext(ctx, est, a, []string{gpuID})
 	if err != nil {
 		return err
 	}
-	ipc, err := est.Predict(a, spec)
-	if err != nil {
-		return err
-	}
+	ipc := preds[0].IPC
 	fmt.Printf("predicted IPC of %s on %s: %.1f (in %s)\n", model, spec.Name, ipc, est.LastPredictTime())
 	// Ground truth from the simulator for comparison.
 	sim, err := cnnperf.SimulateCNN(model, gpuID, cfg)
@@ -389,17 +383,7 @@ func runDSE(args []string, cfg cnnperf.Config) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	var trainModels []string
-	for _, n := range cnnperf.TableIModels() {
-		if n != model {
-			trainModels = append(trainModels, n)
-		}
-	}
-	ds, _, err := cnnperf.BuildDataset(trainModels, cnnperf.TrainingGPUs(), cfg)
-	if err != nil {
-		return err
-	}
-	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	est, err := core.LeaveOneOutEstimatorContext(context.Background(), model, cfg)
 	if err != nil {
 		return err
 	}

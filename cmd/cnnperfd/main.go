@@ -1,0 +1,73 @@
+// Command cnnperfd is the prediction serving daemon: a long-lived
+// HTTP/JSON front end over the performance-estimation pipeline that
+// amortizes analysis-cache and compiled-DCA work across requests.
+//
+// Endpoints:
+//
+//	POST /v1/predict  {"model":"vgg16","gpus":["gtx1080ti","v100s"]}
+//	                  or {"ptx":"...","trainable_params":N,"gpus":[...]}
+//	POST /v1/lint     {"model":"vgg16"} or {"ptx":"..."}
+//	GET  /healthz     liveness probe
+//	GET  /metrics     expvar-style JSON counters
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests
+// complete, late arrivals get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cnnperf/internal/profiler"
+	"cnnperf/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 0, "analysis cache capacity in entries (0 = unbounded)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent predictions into one batch")
+	maxBatch := flag.Int("max-batch", 16, "maximum requests coalesced into one analysis batch")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the daemon to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the daemon to this file")
+	flag.Parse()
+
+	stopProfiles, err := profiler.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatalf("cnnperfd: %v", err)
+	}
+
+	srv := server.New(server.Config{
+		Addr:         *addr,
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+		BatchWindow:  *batchWindow,
+		MaxBatch:     *maxBatch,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("cnnperfd: listening on %s (workers=%d cache-size=%d timeout=%s)",
+		*addr, *workers, *cacheSize, *timeout)
+	err = srv.ListenAndServe(ctx)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("cnnperfd: %v", err)
+	}
+	log.Printf("cnnperfd: drained and stopped; final cache stats: %s", srv.CacheStats())
+}

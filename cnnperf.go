@@ -142,6 +142,35 @@ func TrainEstimator(train *Dataset, reg Regressor) (*Estimator, error) {
 	return core.TrainEstimator(train, reg)
 }
 
+// Prediction is one per-GPU IPC estimate of a single-model prediction.
+type Prediction = core.Prediction
+
+// PTXOptions configures PredictPTX / core.AnalyzePTXContext for raw
+// PTX payloads (launch geometry and the trainable-params predictor).
+type PTXOptions = core.PTXOptions
+
+// LeaveOneOutEstimator trains the paper's Decision Tree on every
+// Table I model except exclude, on the two training GPUs — the exact
+// training path of `cnnperf predict` and the cnnperfd daemon.
+func LeaveOneOutEstimator(ctx context.Context, exclude string, cfg Config) (*Estimator, error) {
+	return core.LeaveOneOutEstimatorContext(ctx, exclude, cfg)
+}
+
+// PredictCNN estimates the IPC of one zoo model on each named GPU
+// without executing it: leave-one-out training, analysis and per-GPU
+// prediction in one call.
+func PredictCNN(ctx context.Context, model string, gpus []string, cfg Config) ([]Prediction, *ModelAnalysis, error) {
+	return core.PredictCNNContext(ctx, model, gpus, cfg)
+}
+
+// AnalyzePTX parses raw PTX assembly and runs the dynamic and static
+// analyses over it, returning a ModelAnalysis usable with
+// Estimator.Predict — prediction for kernels that never came from the
+// CNN zoo.
+func AnalyzePTX(ctx context.Context, src string, opt PTXOptions, cfg Config) (*ModelAnalysis, error) {
+	return core.AnalyzePTXContext(ctx, src, opt, cfg)
+}
+
 // NewDecisionTree returns the paper's winning regressor.
 func NewDecisionTree() Regressor { return mlearn.NewDecisionTree() }
 

@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats is a snapshot of the cache counters.
@@ -63,7 +64,11 @@ type Cache struct {
 	lru      *list.List // front = most recently used
 	inflight map[string]*call
 
-	hits, misses, evictions uint64
+	// The counters are atomics, not mu-guarded fields, so Stats() is a
+	// lock-free snapshot: a metrics endpoint polling a busy cache never
+	// contends with the lookup hot path.
+	hits, misses, evictions atomic.Uint64
+	resident                atomic.Int64
 }
 
 // New creates a cache bounded to capacity entries; capacity <= 0 means
@@ -82,11 +87,11 @@ func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		c.hits++
+		c.hits.Add(1)
 		c.lru.MoveToFront(el)
 		return el.Value.(*entry).val, true
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil, false
 }
 
@@ -106,11 +111,13 @@ func (c *Cache) put(key string, v any) {
 		return
 	}
 	c.entries[key] = c.lru.PushFront(&entry{key: key, val: v})
+	c.resident.Add(1)
 	for c.capacity > 0 && c.lru.Len() > c.capacity {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry).key)
-		c.evictions++
+		c.evictions.Add(1)
+		c.resident.Add(-1)
 	}
 }
 
@@ -121,19 +128,19 @@ func (c *Cache) put(key string, v any) {
 func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (v any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
-		c.hits++
+		c.hits.Add(1)
 		c.lru.MoveToFront(el)
 		v = el.Value.(*entry).val
 		c.mu.Unlock()
 		return v, true, nil
 	}
 	if cl, ok := c.inflight[key]; ok {
-		c.hits++
+		c.hits.Add(1)
 		c.mu.Unlock()
 		<-cl.done
 		return cl.val, true, cl.err
 	}
-	c.misses++
+	c.misses.Add(1)
 	cl := &call{done: make(chan struct{})}
 	c.inflight[key] = cl
 	c.mu.Unlock()
@@ -154,15 +161,16 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (v any, hi
 	return cl.val, false, cl.err
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The read is lock-free (each
+// counter is atomic), so stats polling never blocks behind — or slows
+// down — concurrent lookups; the counters in one snapshot may be
+// mutually skewed by in-flight operations.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   len(c.entries),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int(c.resident.Load()),
 	}
 }
 
@@ -174,5 +182,8 @@ func (c *Cache) Reset() {
 	c.entries = make(map[string]*list.Element)
 	c.lru = list.New()
 	c.inflight = make(map[string]*call)
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.resident.Store(0)
 }

@@ -1,0 +1,172 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolForEachRunsEveryItem(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran [50]atomic.Int32
+	err := p.ForEach(context.Background(), len(ran), func(_ context.Context, i int) error {
+		ran[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("item %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	var inflight, peak atomic.Int32
+	err := p.ForEach(context.Background(), 30, func(_ context.Context, i int) error {
+		cur := inflight.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inflight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", got, workers)
+	}
+}
+
+// TestPoolSharedAcrossCallers has several goroutines fan out on one pool
+// concurrently; the global peak must still respect the pool bound.
+func TestPoolSharedAcrossCallers(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	var inflight, peak atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.ForEach(context.Background(), 10, func(_ context.Context, i int) error {
+				cur := inflight.Add(1)
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inflight.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", got, workers)
+	}
+}
+
+func TestPoolFirstErrorCancels(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var started atomic.Int32
+	err := p.ForEach(context.Background(), 100, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 1 {
+			return fmt.Errorf("boom at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom at 1" {
+		t.Fatalf("want first error, got %v", err)
+	}
+	if n := started.Load(); n >= 100 {
+		t.Fatalf("error did not stop submissions: %d items started", n)
+	}
+}
+
+func TestPoolParentCancellation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- p.ForEach(ctx, 1000, func(ctx context.Context, i int) error {
+			started.Add(1)
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled ForEach returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not return after cancellation")
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatal("cancellation did not stop submissions")
+	}
+}
+
+func TestPoolCloseUnblocksForEach(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	go p.ForEach(context.Background(), 1, func(_ context.Context, _ int) error {
+		<-release
+		return nil
+	})
+	time.Sleep(5 * time.Millisecond) // let the blocker occupy the only worker
+	done := make(chan error, 1)
+	go func() {
+		done <- p.ForEach(context.Background(), 4, func(_ context.Context, _ int) error { return nil })
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	p.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach hung across Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolCloseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(8)
+	if err := p.ForEach(context.Background(), 16, func(_ context.Context, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked: %d before, %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

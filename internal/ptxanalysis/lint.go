@@ -1,6 +1,7 @@
 package ptxanalysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -35,6 +36,26 @@ func (s Severity) String() string {
 // MarshalJSON renders the severity as its name.
 func (s Severity) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// UnmarshalJSON parses a severity name, so diagnostics survive a JSON
+// round trip (the serving API returns them over the wire).
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = SevError
+	case "warning":
+		*s = SevWarning
+	case "info":
+		*s = SevInfo
+	default:
+		return fmt.Errorf("ptxanalysis: unknown severity %q", name)
+	}
+	return nil
 }
 
 // Diagnostic codes. The table is documented in DESIGN.md §Static

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cnnperf/internal/core"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxanalysis"
+	"cnnperf/internal/ptxgen"
+	"cnnperf/internal/zoo"
+)
+
+// PredictRequest is the /v1/predict input: exactly one of Model or PTX,
+// plus the target GPUs.
+type PredictRequest struct {
+	// Model is a zoo model name.
+	Model string `json:"model,omitempty"`
+	// PTX is raw PTX assembly (alternative to Model).
+	PTX string `json:"ptx,omitempty"`
+	// TrainableParams supplies the c-predictor for PTX payloads (the
+	// Static Analyzer extracts it from a topology; raw assembly has
+	// none).
+	TrainableParams int64 `json:"trainable_params,omitempty"`
+	// GridX and BlockX shape the synthetic launch of PTX kernels.
+	GridX  int `json:"grid_x,omitempty"`
+	BlockX int `json:"block_x,omitempty"`
+	// GPUs are the catalogue ids to predict for.
+	GPUs []string `json:"gpus"`
+}
+
+// GPUPrediction is one per-GPU estimate.
+type GPUPrediction struct {
+	GPU     string  `json:"gpu"`
+	GPUName string  `json:"gpu_name"`
+	IPC     float64 `json:"ipc"`
+}
+
+// PredictResponse is the /v1/predict output. It carries only
+// deterministic fields (no wall-clock timings), so identical requests
+// produce byte-identical responses; latency lives in /metrics.
+type PredictResponse struct {
+	Model                string          `json:"model"`
+	ExecutedInstructions int64           `json:"executed_instructions"`
+	TrainableParams      int64           `json:"trainable_params"`
+	Kernels              int             `json:"kernels"`
+	Predictions          []GPUPrediction `json:"predictions"`
+}
+
+// LintRequest is the /v1/lint input: exactly one of Model or PTX.
+type LintRequest struct {
+	Model string `json:"model,omitempty"`
+	PTX   string `json:"ptx,omitempty"`
+}
+
+// LintResponse is the /v1/lint output.
+type LintResponse struct {
+	Target      string             `json:"target"`
+	Diagnostics []ptxanalysis.Diag `json:"diagnostics"`
+	ErrorCount  int                `json:"error_count"`
+}
+
+// ErrorEnvelope is the structured error body every non-2xx response
+// carries.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the machine-readable error payload.
+type ErrorBody struct {
+	// Code is a stable machine-readable error class.
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// decodeJSON reads one JSON document from the bounded body, mapping
+// oversized bodies to 413 and malformed ones to 400.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeCtxError maps a context failure to its HTTP status.
+func writeCtxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
+		return
+	}
+	// Client went away; 499 is the de-facto status for that.
+	writeError(w, 499, "client_closed_request", "client cancelled the request")
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if (req.Model == "") == (req.PTX == "") {
+		writeError(w, http.StatusBadRequest, "bad_request", "exactly one of \"model\" and \"ptx\" is required")
+		return
+	}
+	if len(req.GPUs) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "\"gpus\" must name at least one device")
+		return
+	}
+	for _, id := range req.GPUs {
+		if _, err := gpu.Lookup(id); err != nil {
+			writeError(w, http.StatusNotFound, "unknown_gpu", err.Error())
+			return
+		}
+	}
+	var unit predictUnit
+	if req.Model != "" {
+		if !zooHas(req.Model) {
+			writeError(w, http.StatusNotFound, "unknown_model", fmt.Sprintf("zoo: unknown model %q", req.Model))
+			return
+		}
+		unit = modelUnit(req.Model)
+	} else {
+		if req.GridX < 0 || req.BlockX < 0 || req.GridX > 1024 || req.BlockX > 1024 {
+			writeError(w, http.StatusBadRequest, "bad_request", "grid_x and block_x must be in [0, 1024]")
+			return
+		}
+		if req.TrainableParams < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "trainable_params must be non-negative")
+			return
+		}
+		unit = ptxUnit(req.PTX, core.PTXOptions{
+			TrainableParams: req.TrainableParams,
+			GridX:           req.GridX,
+			BlockX:          req.BlockX,
+		})
+	}
+	res, err := s.batcher.submit(r.Context(), unit)
+	if err != nil {
+		writeCtxError(w, err)
+		return
+	}
+	if res.err != nil {
+		writeUnitError(w, res.err)
+		return
+	}
+	preds, err := core.PredictAnalyzedContext(r.Context(), res.est, res.a, req.GPUs)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "prediction_failed", err.Error())
+		return
+	}
+	out := make([]GPUPrediction, len(preds))
+	for i, p := range preds {
+		out[i] = GPUPrediction{GPU: p.GPU, GPUName: p.GPUName, IPC: p.IPC}
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Model:                res.a.Name,
+		ExecutedInstructions: res.a.Report.Executed,
+		TrainableParams:      res.a.Summary.TrainableParams,
+		Kernels:              len(res.a.Report.Kernels),
+		Predictions:          out,
+	})
+}
+
+// writeUnitError classifies an analysis failure: context failures keep
+// their timeout semantics, everything else is an unprocessable payload
+// (parse errors, lint gate rejections, runaway executions).
+func writeUnitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusGatewayTimeout, "timeout", "analysis deadline exceeded")
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "analysis_failed", err.Error())
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	var req LintRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if (req.Model == "") == (req.PTX == "") {
+		writeError(w, http.StatusBadRequest, "bad_request", "exactly one of \"model\" and \"ptx\" is required")
+		return
+	}
+	var (
+		target string
+		module *ptx.Module
+	)
+	if req.Model != "" {
+		m, err := zoo.Build(req.Model)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "unknown_model", err.Error())
+			return
+		}
+		prog, err := ptxgen.Compile(m, s.pipeline.PTX)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "compile_failed", err.Error())
+			return
+		}
+		target, module = req.Model, prog.Module
+	} else {
+		m, err := ptx.Parse(req.PTX)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "invalid_ptx", err.Error())
+			return
+		}
+		target, module = "ptx", m
+	}
+	diags := ptxanalysis.Lint(module)
+	if diags == nil {
+		diags = []ptxanalysis.Diag{}
+	}
+	errs := 0
+	for _, d := range diags {
+		if d.Severity == ptxanalysis.SevError {
+			errs++
+		}
+	}
+	writeJSON(w, http.StatusOK, LintResponse{Target: target, Diagnostics: diags, ErrorCount: errs})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": len(zoo.Names()),
+		"gpus":   len(gpu.IDs()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Stats()))
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	// A known path reached through the catch-all means the method was
+	// wrong (the typed mux patterns only match their own verb).
+	switch r.URL.Path {
+	case "/v1/predict", "/v1/lint":
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s requires POST", r.URL.Path))
+		return
+	case "/healthz", "/metrics":
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s requires GET", r.URL.Path))
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found",
+		fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
+}
+
+func zooHas(name string) bool {
+	for _, n := range zoo.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

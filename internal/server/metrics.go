@@ -1,0 +1,189 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cnnperf/internal/analysiscache"
+)
+
+// histogram is a fixed-bucket counting histogram with atomic counters:
+// observation is lock-free and a snapshot never blocks the hot path.
+type histogram struct {
+	bounds []float64      // inclusive upper bounds, ascending
+	counts []atomic.Int64 // len(bounds)+1; the last bucket is overflow
+	total  atomic.Int64
+	sum    atomic.Int64 // sum of observations scaled by sumScale
+}
+
+// sumScale keeps fractional observations (latency seconds) meaningful
+// in the integer sum: sums are stored in microunits.
+const sumScale = 1e6
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := len(h.bounds)
+	for b, bound := range h.bounds {
+		if v <= bound {
+			i = b
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.Add(int64(v * sumScale))
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Mean    float64          `json:"mean"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+type BucketSnapshot struct {
+	LE    float64 `json:"le"` // +Inf rendered as 0 upper bound omitted
+	Count int64   `json:"count"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.total.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(h.sum.Load()) / sumScale / float64(s.Count)
+	}
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, BucketSnapshot{LE: bound, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	s.Buckets = append(s.Buckets, BucketSnapshot{LE: -1, Count: cum}) // -1 = +Inf
+	return s
+}
+
+// endpointStats aggregates one route's counters.
+type endpointStats struct {
+	count    atomic.Int64
+	status2x atomic.Int64
+	status4x atomic.Int64
+	status5x atomic.Int64
+	latency  *histogram
+}
+
+var latencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+func newEndpointStats() *endpointStats {
+	return &endpointStats{latency: newHistogram(latencyBounds)}
+}
+
+func (e *endpointStats) record(status int, d time.Duration) {
+	e.count.Add(1)
+	switch {
+	case status >= 500:
+		e.status5x.Add(1)
+	case status >= 400:
+		e.status4x.Add(1)
+	default:
+		e.status2x.Add(1)
+	}
+	e.latency.observe(d.Seconds())
+}
+
+type EndpointSnapshot struct {
+	Count    int64             `json:"count"`
+	ByStatus map[string]int64  `json:"by_status"`
+	Latency  HistogramSnapshot `json:"latency_seconds"`
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	return EndpointSnapshot{
+		Count: e.count.Load(),
+		ByStatus: map[string]int64{
+			"2xx": e.status2x.Load(),
+			"4xx": e.status4x.Load(),
+			"5xx": e.status5x.Load(),
+		},
+		Latency: e.latency.snapshot(),
+	}
+}
+
+// metrics is the process-wide serving telemetry, exported as
+// expvar-style JSON on /metrics. Every counter is atomic; recording
+// adds no locks to the request path.
+type metrics struct {
+	start      time.Time
+	inFlight   atomic.Int64
+	panics     atomic.Int64
+	rejected   atomic.Int64 // requests refused while draining
+	endpoints  map[string]*endpointStats
+	batches    atomic.Int64
+	batchSizes *histogram
+}
+
+var batchBounds = []float64{1, 2, 4, 8, 16, 32}
+
+func newMetrics() *metrics {
+	eps := make(map[string]*endpointStats, 5)
+	for _, name := range []string{"predict", "lint", "healthz", "metrics", "other"} {
+		eps[name] = newEndpointStats()
+	}
+	return &metrics{start: time.Now(), endpoints: eps, batchSizes: newHistogram(batchBounds)}
+}
+
+func (m *metrics) endpoint(name string) *endpointStats {
+	if e, ok := m.endpoints[name]; ok {
+		return e
+	}
+	return m.endpoints["other"]
+}
+
+func (m *metrics) recordBatch(size int) {
+	m.batches.Add(1)
+	m.batchSizes.observe(float64(size))
+}
+
+// Snapshot is the /metrics JSON document.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	InFlight      int64                       `json:"in_flight"`
+	Panics        int64                       `json:"panics"`
+	Rejected      int64                       `json:"rejected_draining"`
+	Requests      map[string]EndpointSnapshot `json:"requests"`
+	Batches       int64                       `json:"batches"`
+	BatchSizes    HistogramSnapshot           `json:"batch_sizes"`
+	Cache         CacheSnapshot               `json:"cache"`
+}
+
+type CacheSnapshot struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func (m *metrics) snapshot(cs analysiscache.Stats) Snapshot {
+	reqs := make(map[string]EndpointSnapshot, len(m.endpoints))
+	for name, e := range m.endpoints {
+		reqs[name] = e.snapshot()
+	}
+	return Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.inFlight.Load(),
+		Panics:        m.panics.Load(),
+		Rejected:      m.rejected.Load(),
+		Requests:      reqs,
+		Batches:       m.batches.Load(),
+		BatchSizes:    m.batchSizes.snapshot(),
+		Cache: CacheSnapshot{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+			HitRate:   cs.HitRate(),
+		},
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package server_test
+
+// raceEnabled reports whether the test binary was built with the race
+// detector; the heaviest sweeps trim themselves under its ~10x
+// instrumentation overhead so `go test -race ./...` stays inside the
+// default package timeout.
+const raceEnabled = true

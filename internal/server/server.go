@@ -1,0 +1,323 @@
+// Package server implements cnnperfd, the long-lived prediction
+// serving daemon: an HTTP/JSON front end over the analysis pipeline
+// that amortizes the compiled-DCA and analysis-cache work of the CLI
+// across requests.
+//
+// Endpoints:
+//
+//	POST /v1/predict  CNN spec or raw PTX in, per-GPU IPC predictions out
+//	POST /v1/lint     PTXA static-analysis diagnostics
+//	GET  /healthz     liveness probe
+//	GET  /metrics     expvar-style JSON counters
+//
+// The server owns one process-wide analysis cache and one bounded
+// worker pool; concurrent predictions are coalesced into bounded
+// analysis batches (see batch.go). Every request gets a deadline, a
+// bounded body, and a structured error envelope; shutdown drains
+// in-flight requests while late arrivals get 503.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"cnnperf/internal/analysiscache"
+	"cnnperf/internal/core"
+	"cnnperf/internal/parallel"
+)
+
+// Config collects the daemon knobs.
+type Config struct {
+	// Addr is the listen address (default ":8077").
+	Addr string
+	// Workers sizes the shared analysis worker pool (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the analysis cache entry count (<= 0 means
+	// unbounded).
+	CacheSize int
+	// Timeout is the per-request (and per-batch) deadline (default 60s).
+	Timeout time.Duration
+	// MaxBodyBytes bounds the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// BatchWindow is how long the batcher waits to coalesce concurrent
+	// predictions into one analysis batch (default 2ms).
+	BatchWindow time.Duration
+	// MaxBatch bounds the number of requests coalesced into one batch
+	// (default 16).
+	MaxBatch int
+	// PTXMaxSteps bounds the abstract execution of each thread of a raw
+	// PTX payload, capping adversarial inputs (default 5M steps).
+	PTXMaxSteps int64
+	// Pipeline overrides the analysis pipeline configuration; nil
+	// selects core.DefaultConfig(). Workers and Cache are always
+	// overwritten with the server-owned pool size and cache.
+	Pipeline *core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8077"
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.PTXMaxSteps <= 0 {
+		c.PTXMaxSteps = 5_000_000
+	}
+	return c
+}
+
+// Server is the daemon state: one analysis cache, one worker pool, one
+// batcher, and the serving telemetry. Construct with New, serve its
+// Handler, and stop it with Drain then Close.
+type Server struct {
+	cfg      Config
+	pipeline core.Config
+	cache    *analysiscache.Cache
+	pool     *parallel.Pool
+	batcher  *batcher
+	metrics  *metrics
+	gate     *drainGate
+	handler  http.Handler
+
+	// baseCtx outlives any single request: batch analyses run under it
+	// so a departed client cannot cancel work that will be cached for
+	// the next caller. Close cancels it.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New builds a server from cfg (zero values select defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	pipeline := core.DefaultConfig()
+	if cfg.Pipeline != nil {
+		pipeline = *cfg.Pipeline
+	}
+	cache := analysiscache.New(cfg.CacheSize)
+	pipeline.Cache = cache
+	pipeline.Workers = 1 // the pool provides the fan-out; keep units serial inside
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		pipeline:   pipeline,
+		cache:      cache,
+		pool:       parallel.NewPool(cfg.Workers),
+		metrics:    newMetrics(),
+		gate:       newDrainGate(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.batcher = newBatcher(s, cfg.BatchWindow, cfg.MaxBatch)
+	s.handler = s.middleware(s.routes())
+	return s
+}
+
+// Handler returns the fully-wrapped HTTP handler (routing, draining,
+// body bounds, deadlines, metrics, panic recovery).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// CacheStats exposes the process-wide analysis-cache counters (the
+// same lock-free snapshot /metrics serves).
+func (s *Server) CacheStats() analysiscache.Stats { return s.cache.Stats() }
+
+// MetricsSnapshot returns the same telemetry document /metrics serves,
+// for in-process callers (tests, embedding programs).
+func (s *Server) MetricsSnapshot() Snapshot { return s.metrics.snapshot(s.cache.Stats()) }
+
+// ListenAndServe serves until ctx is cancelled, then drains: new
+// requests get 503 while in-flight ones finish (bounded by the request
+// timeout plus a grace second), and the listener shuts down cleanly.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	httpSrv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout+time.Second)
+	defer cancel()
+	derr := s.Drain(drainCtx)
+	serr := httpSrv.Shutdown(drainCtx)
+	s.Close()
+	if derr != nil {
+		return derr
+	}
+	return serr
+}
+
+// Drain stops admitting requests (they get 503) and waits until every
+// in-flight request has completed or ctx expires.
+func (s *Server) Drain(ctx context.Context) error { return s.gate.drain(ctx) }
+
+// Close releases the worker pool and cancels any in-flight batch work.
+// Call after Drain; requests arriving later are rejected by the gate.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.batcher.close()
+	s.pool.Close()
+}
+
+// drainGate admits requests until draining begins, then reports idle
+// once the in-flight count reaches zero. A plain mutex-and-channel
+// design (rather than a WaitGroup) keeps enter/drain free of the
+// Add-after-Wait race.
+type drainGate struct {
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{}
+}
+
+func newDrainGate() *drainGate {
+	return &drainGate{idle: make(chan struct{})}
+}
+
+// enter admits one request; false once draining has begun.
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.inflight++
+	return true
+}
+
+// exit retires one admitted request.
+func (g *drainGate) exit() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inflight--
+	if g.draining && g.inflight == 0 {
+		select {
+		case <-g.idle:
+		default:
+			close(g.idle)
+		}
+	}
+}
+
+// drain flips the gate shut and waits for in-flight requests.
+func (g *drainGate) drain(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	if g.inflight == 0 {
+		select {
+		case <-g.idle:
+		default:
+			close(g.idle)
+		}
+	}
+	g.mu.Unlock()
+	select {
+	case <-g.idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// statusWriter captures the response status for metrics and guards the
+// panic-recovery path against double WriteHeader.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote = true
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func endpointOf(path string) string {
+	switch path {
+	case "/v1/predict":
+		return "predict"
+	case "/v1/lint":
+		return "lint"
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+// middleware wraps the routes with the cross-cutting request policy:
+// drain gating, in-flight accounting, body bounds, per-request
+// deadline, latency/status metrics, and panic containment.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := endpointOf(r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		if !s.gate.enter() {
+			s.metrics.rejected.Add(1)
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusServiceUnavailable, "draining", "server is shutting down")
+			return
+		}
+		defer s.gate.exit()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", p))
+				}
+			}
+			s.metrics.endpoint(ep).record(sw.status, time.Since(start))
+		}()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/lint", s.handleLint)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/", s.handleNotFound)
+	return mux
+}
