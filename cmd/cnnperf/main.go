@@ -21,7 +21,9 @@
 //	cnnperf stats                       dataset feature statistics
 //
 // The global -cpuprofile and -memprofile flags (before the subcommand)
-// write pprof profiles of the pipeline itself.
+// write pprof profiles of the pipeline itself; -trace writes a Chrome
+// trace_event JSON of the pipeline spans (open in chrome://tracing or
+// Perfetto), and -trace-tree prints the span tree to stderr.
 package main
 
 import (
@@ -35,13 +37,20 @@ import (
 	"cnnperf"
 	"cnnperf/internal/core"
 	"cnnperf/internal/mlearn/dataset"
+	"cnnperf/internal/obs"
 	"cnnperf/internal/profiler"
 )
+
+// traceSpanLimit caps recorded spans so a zoo-wide dataset build cannot
+// balloon the trace without bound; dropped spans are reported.
+const traceSpanLimit = 200_000
 
 func main() {
 	log.SetFlags(0)
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline spans to this file")
+	traceTree := flag.Bool("trace-tree", false, "print the recorded span tree to stderr after the run")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -53,17 +62,57 @@ func main() {
 	if err != nil {
 		log.Fatalf("cnnperf: %v", err)
 	}
-	err = dispatch(args)
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" || *traceTree {
+		tracer = obs.NewTracer()
+		tracer.SetLimit(traceSpanLimit)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	err = dispatch(ctx, args)
 	if perr := stopProfiles(); err == nil {
 		err = perr
+	}
+	// The trace is written even when the run failed: a trace of the
+	// spans reached before the failure is exactly what debugging wants.
+	if terr := writeTrace(tracer, *traceOut, *traceTree); err == nil {
+		err = terr
 	}
 	if err != nil {
 		log.Fatalf("cnnperf: %v", err)
 	}
 }
 
-func dispatch(args []string) error {
+// writeTrace exports the recorded spans (no-op without a tracer).
+func writeTrace(tracer *obs.Tracer, out string, tree bool) error {
+	if tracer == nil {
+		return nil
+	}
+	if tree {
+		fmt.Fprint(os.Stderr, tracer.Tree())
+	}
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.SpanCount(), out)
+	return nil
+}
+
+func dispatch(ctx context.Context, args []string) error {
 	cfg := cnnperf.DefaultConfig()
+	ctx, span := obs.Start(ctx, "cnnperf."+args[0])
+	defer span.End()
 	switch args[0] {
 	case "models":
 		for _, n := range cnnperf.ModelNames() {
@@ -78,29 +127,29 @@ func dispatch(args []string) error {
 		}
 		return nil
 	case "analyze":
-		return runAnalyze(args[1:], cfg)
+		return runAnalyze(ctx, args[1:], cfg)
 	case "lint":
 		return runLint(args[1:], cfg)
 	case "dataset":
-		return runDataset(args[1:], cfg)
+		return runDataset(ctx, args[1:], cfg)
 	case "evaluate":
-		return runEvaluate(cfg)
+		return runEvaluate(ctx, cfg)
 	case "predict":
-		return runPredict(args[1:], cfg)
+		return runPredict(ctx, args[1:], cfg)
 	case "profile":
 		return runProfile(args[1:], cfg)
 	case "sweep":
 		return runSweep(args[1:], cfg)
 	case "crossval":
-		return runCrossval(args[1:], cfg)
+		return runCrossval(ctx, args[1:], cfg)
 	case "train":
-		return runTrain(args[1:], cfg)
+		return runTrain(ctx, args[1:], cfg)
 	case "dot":
 		return runDot(args[1:])
 	case "dse":
-		return runDSE(args[1:], cfg)
+		return runDSE(ctx, args[1:], cfg)
 	case "stats":
-		return runStats(cfg)
+		return runStats(ctx, cfg)
 	default:
 		usage()
 		os.Exit(2)
@@ -112,11 +161,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: cnnperf [-cpuprofile file] [-memprofile file] <models|gpus|analyze|lint|dataset|evaluate|predict|profile|sweep|crossval|train|dot|dse|stats> [args]")
 }
 
-func runAnalyze(args []string, cfg cnnperf.Config) error {
+func runAnalyze(ctx context.Context, args []string, cfg cnnperf.Config) error {
 	if len(args) != 1 {
 		return fmt.Errorf("analyze needs exactly one model name")
 	}
-	a, err := cnnperf.AnalyzeCNN(args[0], cfg)
+	a, err := core.AnalyzeCNNContext(ctx, args[0], cfg)
 	if err != nil {
 		return err
 	}
@@ -177,7 +226,7 @@ func runLint(args []string, cfg cnnperf.Config) error {
 	return nil
 }
 
-func runDataset(args []string, cfg cnnperf.Config) error {
+func runDataset(ctx context.Context, args []string, cfg cnnperf.Config) error {
 	fs := flag.NewFlagSet("dataset", flag.ContinueOnError)
 	out := fs.String("out", "dataset.csv", "output CSV path")
 	workers := fs.Int("workers", 0, "worker pool size for the per-model analyses (0 = GOMAXPROCS)")
@@ -188,7 +237,7 @@ func runDataset(args []string, cfg cnnperf.Config) error {
 	cfg.Workers = *workers
 	cache := cnnperf.NewAnalysisCache(0)
 	cfg.Cache = cache
-	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	ds, _, err := cnnperf.BuildDatasetContext(ctx, cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
 	if err != nil {
 		return err
 	}
@@ -207,8 +256,8 @@ func runDataset(args []string, cfg cnnperf.Config) error {
 	return nil
 }
 
-func runEvaluate(cfg cnnperf.Config) error {
-	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+func runEvaluate(ctx context.Context, cfg cnnperf.Config) error {
+	ds, _, err := cnnperf.BuildDatasetContext(ctx, cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
 	if err != nil {
 		return err
 	}
@@ -216,7 +265,7 @@ func runEvaluate(cfg cnnperf.Config) error {
 	if err != nil {
 		return err
 	}
-	evals, err := cnnperf.EvaluateRegressors(train, eval, cnnperf.DefaultRegressors(cfg.SplitSeed))
+	evals, err := core.EvaluateRegressorsContext(ctx, train, eval, cnnperf.DefaultRegressors(cfg.SplitSeed), 0)
 	if err != nil {
 		return err
 	}
@@ -232,7 +281,7 @@ func runEvaluate(cfg cnnperf.Config) error {
 	return nil
 }
 
-func runPredict(args []string, cfg cnnperf.Config) error {
+func runPredict(ctx context.Context, args []string, cfg cnnperf.Config) error {
 	if len(args) != 2 {
 		return fmt.Errorf("predict needs <model> <gpu>")
 	}
@@ -245,7 +294,6 @@ func runPredict(args []string, cfg cnnperf.Config) error {
 	// the prediction is honest even for zoo models), analysis, and
 	// per-GPU scoring all go through the same core entry points, which
 	// is what keeps the CLI and the daemon byte-identical.
-	ctx := context.Background()
 	est, err := core.LeaveOneOutEstimatorContext(ctx, model, cfg)
 	if err != nil {
 		return err
@@ -305,13 +353,13 @@ func runSweep(args []string, cfg cnnperf.Config) error {
 	return nil
 }
 
-func runCrossval(args []string, cfg cnnperf.Config) error {
+func runCrossval(ctx context.Context, args []string, cfg cnnperf.Config) error {
 	fs := flag.NewFlagSet("crossval", flag.ContinueOnError)
 	k := fs.Int("k", 5, "number of folds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	ds, _, err := cnnperf.BuildDatasetContext(ctx, cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
 	if err != nil {
 		return err
 	}
@@ -333,17 +381,17 @@ func runCrossval(args []string, cfg cnnperf.Config) error {
 	return nil
 }
 
-func runTrain(args []string, cfg cnnperf.Config) error {
+func runTrain(ctx context.Context, args []string, cfg cnnperf.Config) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	out := fs.String("out", "estimator.json", "output path for the trained estimator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+	ds, _, err := cnnperf.BuildDatasetContext(ctx, cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
 	if err != nil {
 		return err
 	}
-	est, err := cnnperf.TrainEstimator(ds, cnnperf.NewDecisionTree())
+	est, err := core.TrainEstimatorContext(ctx, ds, cnnperf.NewDecisionTree())
 	if err != nil {
 		return err
 	}
@@ -371,7 +419,7 @@ func runDot(args []string) error {
 	return nil
 }
 
-func runDSE(args []string, cfg cnnperf.Config) error {
+func runDSE(ctx context.Context, args []string, cfg cnnperf.Config) error {
 	if len(args) < 1 {
 		return fmt.Errorf("dse needs a model name")
 	}
@@ -383,11 +431,11 @@ func runDSE(args []string, cfg cnnperf.Config) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	est, err := core.LeaveOneOutEstimatorContext(context.Background(), model, cfg)
+	est, err := core.LeaveOneOutEstimatorContext(ctx, model, cfg)
 	if err != nil {
 		return err
 	}
-	a, err := cnnperf.AnalyzeCNN(model, cfg)
+	a, err := core.AnalyzeCNNContext(ctx, model, cfg)
 	if err != nil {
 		return err
 	}
@@ -404,8 +452,8 @@ func runDSE(args []string, cfg cnnperf.Config) error {
 	return nil
 }
 
-func runStats(cfg cnnperf.Config) error {
-	ds, _, err := cnnperf.BuildDataset(cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
+func runStats(ctx context.Context, cfg cnnperf.Config) error {
+	ds, _, err := cnnperf.BuildDatasetContext(ctx, cnnperf.TableIModels(), cnnperf.TrainingGPUs(), cfg)
 	if err != nil {
 		return err
 	}

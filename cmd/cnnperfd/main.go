@@ -8,29 +8,33 @@
 //	                  or {"ptx":"...","trainable_params":N,"gpus":[...]}
 //	POST /v1/lint     {"model":"vgg16"} or {"ptx":"..."}
 //	GET  /healthz     liveness probe
-//	GET  /metrics     expvar-style JSON counters
+//	GET  /metrics     JSON counters, or Prometheus text with
+//	                  Accept: text/plain (or ?format=prometheus)
+//	GET  /debug/pprof/*  live profiling (only with -pprof)
 //
-// SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests
-// complete, late arrivals get 503.
+// Logs are structured JSON lines on stderr, one per request, carrying
+// the request id echoed on X-Request-ID. SIGINT/SIGTERM triggers a
+// graceful shutdown: in-flight requests complete, late arrivals get
+// 503.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cnnperf/internal/obs"
 	"cnnperf/internal/profiler"
 	"cnnperf/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
 	addr := flag.String("addr", ":8077", "listen address")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 0, "analysis cache capacity in entries (0 = unbounded)")
@@ -38,13 +42,24 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent predictions into one batch")
 	maxBatch := flag.Int("max-batch", 16, "maximum requests coalesced into one analysis batch")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+	slowReq := flag.Duration("slow-request", 10*time.Second, "log completed requests slower than this at warn level (0 disables)")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (timeout-exempt)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the daemon to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the daemon to this file")
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cnnperfd: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
 	stopProfiles, err := profiler.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		log.Fatalf("cnnperfd: %v", err)
+		logger.Error("startup failed", obs.String("err", err.Error()))
+		os.Exit(1)
 	}
 
 	srv := server.New(server.Config{
@@ -55,19 +70,25 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		BatchWindow:  *batchWindow,
 		MaxBatch:     *maxBatch,
+		Logger:       logger,
+		SlowRequest:  *slowReq,
+		EnablePprof:  *enablePprof,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("cnnperfd: listening on %s (workers=%d cache-size=%d timeout=%s)",
-		*addr, *workers, *cacheSize, *timeout)
+	logger.Info("listening",
+		obs.String("addr", *addr), obs.Int("workers", *workers),
+		obs.Int("cache_size", *cacheSize), obs.Duration("timeout", *timeout),
+		obs.String("log_level", level.String()), obs.Bool("pprof", *enablePprof))
 	err = srv.ListenAndServe(ctx)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("cnnperfd: %v", err)
+		logger.Error("server failed", obs.String("err", err.Error()))
+		os.Exit(1)
 	}
-	log.Printf("cnnperfd: drained and stopped; final cache stats: %s", srv.CacheStats())
+	logger.Info("drained and stopped", obs.String("cache_stats", srv.CacheStats().String()))
 }

@@ -1,0 +1,101 @@
+// Command obscheck validates observability artifacts, so CI can assert
+// the daemon's Prometheus exposition and the CLI's Chrome traces are
+// well-formed without external tooling (promtool, Perfetto).
+//
+// Usage:
+//
+//	obscheck prom [file]                  validate Prometheus text exposition
+//	                                      (stdin when no file is given)
+//	obscheck trace file [span ...]        validate Chrome trace_event JSON and
+//	                                      require each named span to be present
+//
+// Exit status is non-zero when validation fails or a required span is
+// missing.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cnnperf/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "prom":
+		err = runProm(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: obscheck prom [file] | obscheck trace file [required-span ...]")
+}
+
+func runProm(args []string) error {
+	var (
+		r    io.Reader = os.Stdin
+		name           = "<stdin>"
+	)
+	if len(args) > 1 {
+		return fmt.Errorf("prom takes at most one file argument")
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, name = f, args[0]
+	}
+	n, err := obs.ValidatePrometheusText(r)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("%s: valid Prometheus exposition, %d samples\n", name, n)
+	return nil
+}
+
+func runTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("trace needs a file argument")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	names, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	seen := make(map[string]int, len(names))
+	for _, n := range names {
+		seen[n]++
+	}
+	missing := 0
+	for _, want := range args[1:] {
+		if seen[want] == 0 {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: required span %q not found\n", args[0], want)
+			missing++
+		}
+	}
+	if missing > 0 {
+		return fmt.Errorf("%d required spans missing (trace has %d spans)", missing, len(names))
+	}
+	fmt.Printf("%s: valid Chrome trace, %d spans, %d distinct names\n", args[0], len(names), len(seen))
+	return nil
+}

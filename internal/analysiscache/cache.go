@@ -23,6 +23,10 @@ type Stats struct {
 	Hits uint64
 	// Misses counts lookups that had to compute the value.
 	Misses uint64
+	// Waits counts the subset of Hits that blocked on an in-flight
+	// computation of the same key (singleflight sharing) rather than
+	// reading a resident entry.
+	Waits uint64
 	// Evictions counts entries dropped by the capacity bound.
 	Evictions uint64
 	// Entries is the current resident entry count.
@@ -68,6 +72,7 @@ type Cache struct {
 	// lock-free snapshot: a metrics endpoint polling a busy cache never
 	// contends with the lookup hot path.
 	hits, misses, evictions atomic.Uint64
+	waits                   atomic.Uint64
 	resident                atomic.Int64
 }
 
@@ -136,6 +141,7 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (v any, hi
 	}
 	if cl, ok := c.inflight[key]; ok {
 		c.hits.Add(1)
+		c.waits.Add(1)
 		c.mu.Unlock()
 		<-cl.done
 		return cl.val, true, cl.err
@@ -169,6 +175,7 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
+		Waits:     c.waits.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   int(c.resident.Load()),
 	}
@@ -184,6 +191,7 @@ func (c *Cache) Reset() {
 	c.inflight = make(map[string]*call)
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.waits.Store(0)
 	c.evictions.Store(0)
 	c.resident.Store(0)
 }

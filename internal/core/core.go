@@ -28,6 +28,7 @@ import (
 	"cnnperf/internal/mlearn"
 	"cnnperf/internal/mlearn/dataset"
 	"cnnperf/internal/mlearn/metrics"
+	"cnnperf/internal/obs"
 	"cnnperf/internal/parallel"
 	"cnnperf/internal/profiler"
 	"cnnperf/internal/ptxanalysis"
@@ -114,6 +115,16 @@ func (c Config) trainFrac() float64 {
 	return c.TrainFrac
 }
 
+// StageTiming attributes a slice of the analysis wall-clock to one
+// pipeline stage. The stage names match the span taxonomy of
+// internal/obs (DESIGN.md §10).
+type StageTiming struct {
+	// Stage is the span name of the pipeline stage.
+	Stage string `json:"stage"`
+	// Duration is the measured wall-clock of that stage.
+	Duration time.Duration `json:"duration_ns"`
+}
+
 // ModelAnalysis caches the per-CNN analysis shared by every GPU row: the
 // static summary and the dynamic code analysis report.
 type ModelAnalysis struct {
@@ -127,6 +138,9 @@ type ModelAnalysis struct {
 	Static *ptxanalysis.ModuleAnalysis
 	// DCATime is the measured wall-clock of compile+analysis (t_dca).
 	DCATime time.Duration
+	// Stages breaks DCATime down by pipeline stage, in execution order.
+	// Purely observational: predictions never read it.
+	Stages []StageTiming
 }
 
 // AnalyzeCNN runs the static analyzer and dynamic code analysis for one
@@ -151,31 +165,60 @@ func AnalyzeModel(m *cnn.Model, cfg Config) (*ModelAnalysis, error) {
 // memoized by kernel content.
 func AnalyzeModelContext(ctx context.Context, m *cnn.Model, cfg Config) (*ModelAnalysis, error) {
 	start := time.Now()
+	ctx, span := obs.Start(ctx, "model.analyze", obs.String("model", m.Name))
+	defer span.End()
+	// Each stage is timed unconditionally (a few clock reads per model)
+	// so the per-stage breakdown is available even without a tracer.
+	stages := make([]StageTiming, 0, 4)
+	stage := func(name string, t0 time.Time) {
+		stages = append(stages, StageTiming{Stage: name, Duration: time.Since(t0)})
+	}
+
+	t0 := time.Now()
+	_, s := obs.Start(ctx, "cnn.analyze")
 	summary, err := cnn.Analyze(m)
+	s.End()
+	stage("cnn.analyze", t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+
+	t0 = time.Now()
+	_, s = obs.Start(ctx, "ptx.codegen")
 	prog, err := ptxgen.Compile(m, cfg.PTX)
+	if err == nil {
+		s.SetAttr(obs.Int("kernels", len(prog.Module.Kernels)), obs.Int("launches", len(prog.Launches)))
+	}
+	s.End()
+	stage("ptx.codegen", t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rep, err := dca.AnalyzeProgram(prog, dca.Options{
+
+	t0 = time.Now()
+	rep, err := dca.AnalyzeProgramContext(ctx, prog, dca.Options{
 		Cache: cfg.Cache,
 		Exec:  dca.ExecOptions{Reference: cfg.ReferenceInterp},
 	})
+	stage("dca.analyze", t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+
+	t0 = time.Now()
+	_, s = obs.Start(ctx, "static.analysis")
 	static, err := ptxanalysis.AnalyzeModuleCached(prog.Module, cfg.Cache)
+	s.End()
+	stage("static.analysis", t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -185,6 +228,7 @@ func AnalyzeModelContext(ctx context.Context, m *cnn.Model, cfg Config) (*ModelA
 		Report:  rep,
 		Static:  static,
 		DCATime: time.Since(start),
+		Stages:  stages,
 	}, nil
 }
 
@@ -308,16 +352,21 @@ func BuildDatasetFromModelsContext(ctx context.Context, models []*cnn.Model, gpu
 	}
 	results := make([]modelResult, len(models))
 	pcfg := profConfig(cfg)
+	ctx, span := obs.Start(ctx, "dataset.build",
+		obs.Int("models", len(models)), obs.Int("gpus", len(gpus)), obs.Int("workers", cfg.workers()))
+	defer span.End()
 	err := parallel.ForEach(ctx, cfg.workers(), len(models), func(ctx context.Context, i int) error {
 		m := models[i]
 		a, err := AnalyzeModelContext(ctx, m, cfg)
 		if err != nil {
 			return err
 		}
+		_, profSpan := obs.Start(ctx, "profiler.run", obs.String("model", m.Name))
 		rows := make([]dataset.Row, 0, len(gpus))
 		for j, gid := range gpus {
 			prof, err := profiler.RunWithReport(a.Report, specs[j], pcfg)
 			if err != nil {
+				profSpan.End()
 				return err
 			}
 			rows = append(rows, dataset.Row{
@@ -326,6 +375,7 @@ func BuildDatasetFromModelsContext(ctx context.Context, models []*cnn.Model, gpu
 				Y:   prof.IPC,
 			})
 		}
+		profSpan.End()
 		results[i] = modelResult{analysis: a, rows: rows}
 		return nil
 	})
@@ -393,9 +443,15 @@ func EvaluateRegressorsContext(ctx context.Context, train, eval *dataset.Dataset
 	trX, trY := train.XY()
 	evX, evY := eval.XY()
 	out := make([]Evaluation, len(candidates))
-	err := parallel.ForEach(ctx, workers, len(candidates), func(_ context.Context, i int) error {
+	ctx, span := obs.Start(ctx, "mlearn.evaluate",
+		obs.Int("candidates", len(candidates)), obs.Int("train_rows", train.Len()), obs.Int("eval_rows", eval.Len()))
+	defer span.End()
+	err := parallel.ForEach(ctx, workers, len(candidates), func(ctx context.Context, i int) error {
 		reg := candidates[i]
-		if err := reg.Fit(trX, trY); err != nil {
+		_, fitSpan := obs.Start(ctx, "mlearn.fit", obs.String("regressor", reg.Name()))
+		err := reg.Fit(trX, trY)
+		fitSpan.End()
+		if err != nil {
 			return fmt.Errorf("core: fitting %s: %w", reg.Name(), err)
 		}
 		pred := mlearn.PredictAll(reg, evX)
@@ -451,6 +507,15 @@ type Estimator struct {
 
 // TrainEstimator fits the given regressor on the full training split.
 func TrainEstimator(train *dataset.Dataset, reg mlearn.Regressor) (*Estimator, error) {
+	return TrainEstimatorContext(context.Background(), train, reg)
+}
+
+// TrainEstimatorContext is TrainEstimator with the fit recorded as an
+// "mlearn.train" span when ctx carries a tracer.
+func TrainEstimatorContext(ctx context.Context, train *dataset.Dataset, reg mlearn.Regressor) (*Estimator, error) {
+	_, span := obs.Start(ctx, "mlearn.train",
+		obs.String("regressor", reg.Name()), obs.Int("rows", train.Len()))
+	defer span.End()
 	X, y := train.XY()
 	if err := reg.Fit(X, y); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -460,14 +525,27 @@ func TrainEstimator(train *dataset.Dataset, reg mlearn.Regressor) (*Estimator, e
 
 // Predict estimates the IPC of an analysed CNN on the given GPU.
 func (e *Estimator) Predict(a *ModelAnalysis, spec gpu.Spec) (float64, error) {
+	return e.PredictContext(context.Background(), a, spec)
+}
+
+// PredictContext is Predict with feature assembly and model inference
+// recorded as "features" and "predict" spans when ctx carries a tracer.
+// Tracing never changes the predicted value.
+func (e *Estimator) PredictContext(ctx context.Context, a *ModelAnalysis, spec gpu.Spec) (float64, error) {
 	if a == nil {
 		return 0, fmt.Errorf("core: nil analysis")
 	}
 	if err := spec.Validate(); err != nil {
 		return 0, fmt.Errorf("core: %w", err)
 	}
+	_, fs := obs.Start(ctx, "features", obs.String("model", a.Name), obs.String("gpu", spec.Name))
+	x := a.featuresFor(spec, len(e.Schema))
+	fs.End()
 	start := time.Now()
-	ipc := e.Regressor.Predict(a.featuresFor(spec, len(e.Schema)))
+	_, ps := obs.Start(ctx, "predict",
+		obs.String("model", a.Name), obs.String("gpu", spec.Name), obs.String("regressor", e.Regressor.Name()))
+	ipc := e.Regressor.Predict(x)
+	ps.End()
 	e.predictTimeNS.Store(int64(time.Since(start)))
 	if ipc <= 0 {
 		return 0, fmt.Errorf("core: regressor %s produced non-positive IPC %f", e.Regressor.Name(), ipc)

@@ -14,6 +14,7 @@ import (
 	"cnnperf/internal/core"
 	"cnnperf/internal/gpu"
 	"cnnperf/internal/gpusim"
+	"cnnperf/internal/obs"
 	"cnnperf/internal/zoo"
 )
 
@@ -239,4 +240,46 @@ func TestBuildDatasetPreCancelledContext(t *testing.T) {
 		t.Fatalf("error is not the cancellation: %v", err)
 	}
 	waitForGoroutines(t, before)
+}
+
+// TestTracingDeterminism proves span recording is an observer, not a
+// participant: the full predict path (leave-one-out training, analysis,
+// per-GPU scoring) returns byte-identical results under a live tracer
+// and under a bare context, and the traced run really recorded spans.
+func TestTracingDeterminism(t *testing.T) {
+	model := "alexnet"
+	gpus := []string{gpu.TrainingGPUs[0]}
+
+	run := func(ctx context.Context) string {
+		cfg := core.DefaultConfig()
+		cfg.Cache = analysiscache.New(0)
+		preds, a, err := core.PredictCNNContext(ctx, model, gpus, cfg)
+		if err != nil {
+			t.Fatalf("PredictCNNContext: %v", err)
+		}
+		blob, err := json.Marshal(struct {
+			Preds    []core.Prediction
+			Executed int64
+		}{preds, a.Report.Executed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+
+	bare := run(context.Background())
+	tracer := obs.NewTracer()
+	traced := run(obs.WithTracer(context.Background(), tracer))
+	if traced != bare {
+		t.Fatalf("tracing changed prediction output:\nbare:   %s\ntraced: %s", bare, traced)
+	}
+	if tracer.SpanCount() == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	totals := tracer.StageTotals()
+	for _, want := range []string{"model.analyze", "dca.analyze", "mlearn.train", "features", "predict"} {
+		if _, ok := totals[want]; !ok {
+			t.Errorf("traced run missing %q spans (have %v)", want, totals)
+		}
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"cnnperf/internal/dca"
 	"cnnperf/internal/gpu"
 	"cnnperf/internal/mlearn"
+	"cnnperf/internal/obs"
 	"cnnperf/internal/ptx"
 	"cnnperf/internal/ptxanalysis"
 	"cnnperf/internal/ptxgen"
@@ -53,7 +54,7 @@ func LeaveOneOutEstimatorContext(ctx context.Context, exclude string, cfg Config
 	if err != nil {
 		return nil, err
 	}
-	return TrainEstimator(ds, mlearn.NewDecisionTree())
+	return TrainEstimatorContext(ctx, ds, mlearn.NewDecisionTree())
 }
 
 // Prediction is one per-GPU IPC estimate of a single-model prediction.
@@ -81,7 +82,7 @@ func PredictAnalyzedContext(ctx context.Context, est *Estimator, a *ModelAnalysi
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		ipc, err := est.Predict(a, spec)
+		ipc, err := est.PredictContext(ctx, a, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +155,11 @@ func (o PTXOptions) grid() (gridX, blockX int) {
 // graph.
 func AnalyzePTXContext(ctx context.Context, src string, opt PTXOptions, cfg Config) (*ModelAnalysis, error) {
 	start := time.Now()
+	ctx, span := obs.Start(ctx, "model.analyze", obs.String("model", opt.name()))
+	defer span.End()
+	_, parseSpan := obs.Start(ctx, "ptx.parse", obs.Int("bytes", len(src)))
 	m, err := ptx.Parse(src)
+	parseSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -183,7 +188,7 @@ func AnalyzePTXContext(ctx context.Context, src string, opt PTXOptions, cfg Conf
 		})
 	}
 	prog := &ptxgen.Program{Model: opt.name(), Module: m, Launches: launches}
-	rep, err := dca.AnalyzeProgram(prog, dca.Options{
+	rep, err := dca.AnalyzeProgramContext(ctx, prog, dca.Options{
 		Cache: cfg.Cache,
 		Exec: dca.ExecOptions{
 			Reference: cfg.ReferenceInterp,

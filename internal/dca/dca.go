@@ -1,11 +1,13 @@
 package dca
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"cnnperf/internal/analysiscache"
+	"cnnperf/internal/obs"
 	"cnnperf/internal/ptx"
 	"cnnperf/internal/ptxanalysis"
 	"cnnperf/internal/ptxgen"
@@ -150,14 +152,22 @@ func prepareKernel(k *ptx.Kernel, opts Options) *kernelProgram {
 // analyzeKernelLaunch is AnalyzeKernelLaunch with an optional lazy
 // provider of prepared per-kernel artifacts (nil: build them inline).
 func analyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram) (KernelReport, error) {
+	kr, _, err := analyzeKernelLaunchHit(k, l, opts, prep)
+	return kr, err
+}
+
+// analyzeKernelLaunchHit additionally reports whether the result came
+// out of the analysis cache, for span attribution.
+func analyzeKernelLaunchHit(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram) (KernelReport, bool, error) {
 	if k == nil {
-		return KernelReport{}, fmt.Errorf("dca: nil kernel")
+		return KernelReport{}, false, fmt.Errorf("dca: nil kernel")
 	}
 	if opts.Cache == nil {
-		return analyzeKernelLaunchUncached(k, l, opts, prep)
+		kr, err := analyzeKernelLaunchUncached(k, l, opts, prep)
+		return kr, false, err
 	}
 	key := launchKey(k, l, opts)
-	v, _, err := opts.Cache.GetOrCompute(key, func() (any, error) {
+	v, hit, err := opts.Cache.GetOrCompute(key, func() (any, error) {
 		kr, err := analyzeKernelLaunchUncached(k, l, opts, prep)
 		if err != nil {
 			return nil, err
@@ -165,7 +175,7 @@ func analyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func
 		return &kr, nil
 	})
 	if err != nil {
-		return KernelReport{}, err
+		return KernelReport{}, hit, err
 	}
 	// The cached report may come from a content-identical kernel under a
 	// different name or launch identity; re-stamp the launch-specific
@@ -180,7 +190,7 @@ func analyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func
 		perClass[c] = n
 	}
 	kr.PerClass = perClass
-	return kr, nil
+	return kr, hit, nil
 }
 
 // launchKey derives the memoization key of one (kernel, launch) pair:
@@ -300,16 +310,28 @@ func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, p
 // AnalyzeProgram runs the dynamic code analysis over every launch of a
 // compiled CNN and aggregates the executed-instruction totals.
 func AnalyzeProgram(prog *ptxgen.Program, opts Options) (*Report, error) {
+	return AnalyzeProgramContext(context.Background(), prog, opts)
+}
+
+// AnalyzeProgramContext is AnalyzeProgram with span tracing: when ctx
+// carries an obs tracer (or span), the lint gate, each per-kernel
+// compile and each per-launch abstract execution are recorded as nested
+// spans. Tracing never changes the computed report.
+func AnalyzeProgramContext(ctx context.Context, prog *ptxgen.Program, opts Options) (*Report, error) {
 	if prog == nil {
 		return nil, fmt.Errorf("dca: nil program")
 	}
 	start := time.Now()
+	ctx, span := obs.Start(ctx, "dca.analyze",
+		obs.String("model", prog.Model), obs.Int("launches", len(prog.Launches)))
+	defer span.End()
 	rep := &Report{Model: prog.Model, PerClass: make(map[ptx.Class]int64)}
 	// Gate every distinct kernel once up front; the per-launch loop can
 	// then skip re-linting (a kernel may be launched many times). With a
 	// cache, the error-severity findings are memoized by content, so a
 	// kernel shape shared across models is linted exactly once.
 	if !opts.SkipLint {
+		_, lintSpan := obs.Start(ctx, "dca.lint")
 		linted := make(map[string]bool, len(prog.Launches))
 		for _, l := range prog.Launches {
 			if linted[l.Kernel] {
@@ -318,12 +340,16 @@ func AnalyzeProgram(prog *ptxgen.Program, opts Options) (*Report, error) {
 			linted[l.Kernel] = true
 			k := prog.Module.Kernel(l.Kernel)
 			if k == nil {
+				lintSpan.End()
 				return nil, fmt.Errorf("dca: launch references unknown kernel %q", l.Kernel)
 			}
 			if err := cachedLintGate(k, opts.Cache); err != nil {
+				lintSpan.End()
 				return nil, err
 			}
 		}
+		lintSpan.SetAttr(obs.Int("kernels", len(linted)))
+		lintSpan.End()
 		opts.SkipLint = true
 	}
 	// One kernel is launched many times with different parameters; its
@@ -336,17 +362,25 @@ func AnalyzeProgram(prog *ptxgen.Program, opts Options) (*Report, error) {
 		if k == nil {
 			return nil, fmt.Errorf("dca: launch references unknown kernel %q", l.Kernel)
 		}
-		kr, err := analyzeKernelLaunch(k, l, opts, func() *kernelProgram {
+		execCtx, execSpan := obs.Start(ctx, "dca.exec",
+			obs.String("kernel", k.Name), obs.String("node", l.Node))
+		kr, hit, err := analyzeKernelLaunchHit(k, l, opts, func() *kernelProgram {
 			kp := prepared[k.Name]
 			if kp == nil {
+				_, compileSpan := obs.Start(execCtx, "dca.compile", obs.String("kernel", k.Name))
 				kp = prepareKernel(k, opts)
+				compileSpan.End()
 				prepared[k.Name] = kp
 			}
 			return kp
 		})
 		if err != nil {
+			execSpan.End()
 			return nil, err
 		}
+		execSpan.SetAttr(obs.Bool("cache_hit", hit),
+			obs.Int64("executed", kr.Executed), obs.Int64("loop_iterations", kr.LoopIterations))
+		execSpan.End()
 		rep.Kernels = append(rep.Kernels, kr)
 		rep.Executed += kr.Executed
 		for c, v := range kr.PerClass {

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace_event export: the recorded span forest becomes a JSON
+// document loadable by chrome://tracing and Perfetto. Every span is a
+// complete ("X") event; concurrent siblings are spread across thread
+// lanes so each lane holds only properly nested or disjoint events.
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`            // microseconds since trace epoch
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the exported document shape.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorded spans as Chrome trace_event
+// JSON. Spans not yet ended are exported with zero duration and an
+// "unfinished" arg rather than being dropped.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "cnnperf"},
+	}}
+	lanes := &laneAllocator{}
+	roots := t.Roots()
+	sortByStart(roots)
+	for _, lane := range assignLanes(roots, lanes, -1) {
+		events = appendSpanEvents(events, lane.span, lane.tid, lanes, t.epoch)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// laneAllocator hands out process-wide thread-lane ids.
+type laneAllocator struct{ next int }
+
+func (a *laneAllocator) alloc() int {
+	id := a.next
+	a.next++
+	return id
+}
+
+type placedSpan struct {
+	span *Span
+	tid  int
+}
+
+// assignLanes partitions sibling spans into lanes so events in one
+// lane never partially overlap: the first non-overlapping sibling
+// reuses the parent's lane (parentTID), the rest open fresh lanes.
+// Chrome's viewer renders each lane as a nesting track, so this keeps
+// concurrent children visually side by side instead of garbled.
+func assignLanes(siblings []*Span, lanes *laneAllocator, parentTID int) []placedSpan {
+	type laneState struct {
+		tid int
+		end time.Time
+	}
+	var open []laneState
+	if parentTID >= 0 {
+		open = append(open, laneState{tid: parentTID})
+	}
+	out := make([]placedSpan, 0, len(siblings))
+	for _, s := range siblings {
+		_, _, dur, _ := s.snapshot()
+		end := s.start.Add(dur)
+		placed := false
+		for i := range open {
+			if !open[i].end.After(s.start) {
+				open[i].end = end
+				out = append(out, placedSpan{span: s, tid: open[i].tid})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			tid := lanes.alloc()
+			open = append(open, laneState{tid: tid, end: end})
+			out = append(out, placedSpan{span: s, tid: tid})
+		}
+	}
+	return out
+}
+
+func appendSpanEvents(events []chromeEvent, s *Span, tid int, lanes *laneAllocator, epoch time.Time) []chromeEvent {
+	attrs, children, dur, ended := s.snapshot()
+	ev := chromeEvent{
+		Name: s.name,
+		Ph:   "X",
+		PID:  1,
+		TID:  tid,
+		TS:   float64(s.start.Sub(epoch).Nanoseconds()) / 1e3,
+		Dur:  float64(dur.Nanoseconds()) / 1e3,
+	}
+	if len(attrs) > 0 || !ended {
+		ev.Args = make(map[string]any, len(attrs)+1)
+		for _, a := range attrs {
+			ev.Args[a.Key] = attrValue(a.Value)
+		}
+		if !ended {
+			ev.Args["unfinished"] = true
+		}
+	}
+	events = append(events, ev)
+	sortByStart(children)
+	for _, lane := range assignLanes(children, lanes, tid) {
+		events = appendSpanEvents(events, lane.span, lane.tid, lanes, epoch)
+	}
+	return events
+}
+
+// attrValue maps attribute values onto JSON-friendly types.
+func attrValue(v any) any {
+	switch x := v.(type) {
+	case time.Duration:
+		return x.String()
+	case error:
+		return x.Error()
+	default:
+		return v
+	}
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome
+// trace_event document: a JSON array of events or an object with a
+// traceEvents array, every event carrying a name, a known phase, and
+// non-negative timestamps, and events within one (pid, tid) lane
+// either disjoint or properly nested. It returns the "X" span names
+// seen, so callers can assert specific stages were traced.
+func ValidateChromeTrace(data []byte) (spanNames []string, err error) {
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		var arr []chromeEvent
+		if err2 := json.Unmarshal(data, &arr); err2 != nil {
+			return nil, fmt.Errorf("chrome trace: not a trace document: %w", err)
+		}
+		doc.TraceEvents = arr
+	}
+	if len(doc.TraceEvents) == 0 {
+		return nil, fmt.Errorf("chrome trace: no events")
+	}
+	type interval struct{ start, end float64 }
+	byLane := make(map[[2]int][]interval)
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return nil, fmt.Errorf("chrome trace: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X", "B", "E", "M", "i", "C":
+		default:
+			return nil, fmt.Errorf("chrome trace: event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			return nil, fmt.Errorf("chrome trace: event %d (%s) has negative time", i, ev.Name)
+		}
+		if ev.Ph == "X" {
+			spanNames = append(spanNames, ev.Name)
+			lane := [2]int{ev.PID, ev.TID}
+			byLane[lane] = append(byLane[lane], interval{start: ev.TS, end: ev.TS + ev.Dur})
+		}
+	}
+	// Within one lane, sorted events must form a valid nesting: each
+	// event either fits inside the enclosing open interval or starts
+	// after it ends.
+	const slack = 1e-3 // µs tolerance for float rounding
+	for lane, ivs := range byLane {
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].start != ivs[j].start {
+				return ivs[i].start < ivs[j].start
+			}
+			return ivs[i].end > ivs[j].end // container first
+		})
+		var stack []interval
+		for _, iv := range ivs {
+			for len(stack) > 0 && stack[len(stack)-1].end <= iv.start+slack {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && iv.end > stack[len(stack)-1].end+slack {
+				return nil, fmt.Errorf("chrome trace: lane %v has partially overlapping events ([%f,%f] vs [%f,%f])",
+					lane, iv.start, iv.end, stack[len(stack)-1].start, stack[len(stack)-1].end)
+			}
+			stack = append(stack, iv)
+		}
+	}
+	return spanNames, nil
+}

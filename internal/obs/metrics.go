@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry: counters, gauges and histograms, optionally
+// labelled, registered by name and exported in Prometheus text format.
+// Observation paths are lock-free (atomics); only series creation and
+// exposition take locks.
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by d (negative deltas are ignored —
+// counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add offsets the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket counting histogram with atomic counters.
+type Histogram struct {
+	bounds  []float64 // inclusive upper bounds, ascending
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogramInstrument(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := len(h.bounds)
+	for b, bound := range h.bounds {
+		if v <= bound {
+			i = b
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram with
+// cumulative bucket counts (Prometheus semantics). The final bucket is
+// the implicit +Inf bucket.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     float64
+	Bounds  []float64 // upper bounds, excluding +Inf
+	Buckets []int64   // cumulative counts, len(Bounds)+1 (last = +Inf = Count)
+}
+
+// Snapshot captures the histogram state. Counters may be mutually
+// skewed by in-flight observations; each is individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.bounds)+1),
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = cum
+	}
+	return s
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one registered metric name: its metadata and every
+// labelled series under it.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	buckets    []float64
+	fn         func() float64 // kindCounterFunc / kindGaugeFunc
+
+	mu     sync.Mutex
+	series map[string]any // label-values key -> *Counter | *Gauge | *Histogram
+	order  []string       // insertion order of series keys
+}
+
+const labelSep = "\xff"
+
+func (f *family) instrument(labelValues []string) any {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if inst, ok := f.series[key]; ok {
+		return inst
+	}
+	var inst any
+	switch f.kind {
+	case kindCounter:
+		inst = &Counter{}
+	case kindGauge:
+		inst = &Gauge{}
+	case kindHistogram:
+		inst = newHistogramInstrument(f.buckets)
+	default:
+		panic(fmt.Sprintf("obs: metric %s is a func metric; it has no settable series", f.name))
+	}
+	f.series[key] = inst
+	f.order = append(f.order, key)
+	return inst
+}
+
+// Registry holds the registered metric families. The zero value is not
+// usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+func (r *Registry) register(name, help string, kind metricKind, labelNames []string, buckets []float64, fn func() float64) *family {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, ln := range labelNames {
+		if !labelNameRE.MatchString(ln) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, ln))
+		}
+	}
+	if kind == kindHistogram {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("obs: metric %s: bucket bounds not ascending", name))
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+		fn:         fn,
+		series:     make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil, nil).instrument(nil).(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil, nil).instrument(nil).(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabelled histogram with the
+// given ascending bucket bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, nil, buckets, nil).instrument(nil).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for pre-existing atomic counters
+// (cache hits, pool task counts) that should not be double-counted.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounterFunc, nil, nil, fn)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc, nil, nil, fn)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labelNames, nil, nil)}
+}
+
+// With returns the counter for the given label values (created on
+// first use).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.instrument(labelValues).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labelNames, nil, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.instrument(labelValues).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labelNames, buckets, nil)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.instrument(labelValues).(*Histogram)
+}
+
+// sortedFamilies snapshots the families in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs processed")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("queue_depth", "pending jobs")
+	g.Set(3)
+	g.Add(2)
+	g.Add(-4)
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %v, want 1", g.Value())
+	}
+	// Re-registration returns the same instrument.
+	if r.Counter("jobs_total", "jobs processed").Value() != 5 {
+		t.Fatal("re-registered counter lost its value")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-56.05) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	wantCum := []int64{1, 3, 4, 5}
+	for i, w := range wantCum {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (buckets %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+}
+
+func TestVecSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("requests_total", "requests", "endpoint", "code")
+	v.With("predict", "2xx").Add(3)
+	v.With("predict", "4xx").Inc()
+	v.With("lint", "2xx").Inc()
+	if v.With("predict", "2xx").Value() != 3 {
+		t.Fatal("series not shared by label values")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label cardinality did not panic")
+		}
+	}()
+	v.With("just-one")
+}
+
+// TestPrometheusGolden locks the exposition format against a golden
+// file and runs the in-tree validator over it.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.CounterVec("cnnperfd_requests_total", "HTTP requests by endpoint and status class.", "endpoint", "code")
+	reqs.With("predict", "2xx").Add(7)
+	reqs.With("predict", "5xx").Add(1)
+	reqs.With("lint", "2xx").Add(2)
+	g := r.Gauge("cnnperfd_in_flight_requests", "Requests currently being served.")
+	g.Set(2)
+	r.GaugeFunc("cnnperfd_uptime_seconds", "Seconds since process start.", func() float64 { return 12.5 })
+	r.CounterFunc("cnnperfd_cache_hits_total", "Analysis cache hits.", func() float64 { return 42 })
+	h := r.Histogram("cnnperfd_request_duration_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	n, err := ValidatePrometheusText(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("golden exposition fails validation: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("validator saw no samples")
+	}
+}
+
+func TestValidatePrometheusTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad name":       "9metric 1\n",
+		"bad value":      "metric one\n",
+		"bad type":       "# TYPE m wobble\nm 1\n",
+		"type after use": "m 1\n# TYPE m counter\n",
+		"dup series":     "m{a=\"1\"} 1\nm{a=\"1\"} 2\n",
+		"unquoted label": "m{a=1} 2\n",
+		"hist no inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n",
+		"hist mismatch":  "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_count 2\nh_sum 1\n",
+		"hist decreasing": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ValidatePrometheusText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: validated:\n%s", name, doc)
+		}
+	}
+	// And a well-formed document with labels, timestamps and comments
+	// must pass.
+	good := `# a free-form comment
+# HELP m helpful
+# TYPE m counter
+m{path="/v1/predict",quote="a\"b"} 5 1700000000
+# TYPE g gauge
+g 1.5e-3
+`
+	if n, err := ValidatePrometheusText(strings.NewReader(good)); err != nil || n != 2 {
+		t.Fatalf("good doc rejected: n=%d err=%v", n, err)
+	}
+}
+
+func TestMetricsConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{1, 2, 3})
+	v := r.CounterVec("v_total", "", "w")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 5))
+				v.With("a").Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Snapshot().Count != 8000 || v.With("a").Value() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d v=%d", c.Value(), h.Snapshot().Count, v.With("a").Value())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidatePrometheusText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format, families sorted by name, series sorted by label
+// values. Func-backed metrics are evaluated at exposition time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind.promType())
+		switch f.kind {
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatPromValue(f.fn()))
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		series := make(map[string]any, len(keys))
+		for _, k := range keys {
+			series[k] = f.series[k]
+		}
+		f.mu.Unlock()
+		sort.Strings(keys)
+		for _, key := range keys {
+			labels := promLabels(f.labelNames, key)
+			switch inst := series[key].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labels, inst.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labels, formatPromValue(inst.Value()))
+			case *Histogram:
+				writePromHistogram(bw, f.name, f.labelNames, key, inst.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(w io.Writer, name string, labelNames []string, key string, s HistogramSnapshot) {
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			promLabelsExtra(labelNames, key, "le", formatPromValue(bound)), s.Buckets[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+		promLabelsExtra(labelNames, key, "le", "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(labelNames, key), formatPromValue(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(labelNames, key), s.Count)
+}
+
+func promLabels(names []string, key string) string {
+	return promLabelsExtra(names, key, "", "")
+}
+
+// promLabelsExtra renders a label set, optionally with one extra pair
+// (histograms append le).
+func promLabelsExtra(names []string, key, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	values := strings.Split(key, labelSep)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		// Go %q quoting matches the Prometheus escapes (\\, \", \n).
+		fmt.Fprintf(&b, "%s=%q", n, v)
+	}
+	if extraName != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(h)
+}
+
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidatePrometheusText is an in-tree, dependency-free replacement
+// for `promtool check metrics`: it checks that r holds a well-formed
+// Prometheus text exposition. Verified properties:
+//
+//   - comment lines are well-formed HELP/TYPE lines with valid metric
+//     names and known types, and TYPE precedes the family's samples;
+//   - sample lines parse (name, optional label set, float value) with
+//     valid metric and label names and balanced quoting;
+//   - no duplicate series (same name + label set);
+//   - histogram families have a +Inf bucket whose count equals _count,
+//     and cumulative bucket counts are non-decreasing.
+//
+// It returns the number of samples on success.
+func ValidatePrometheusText(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typeOf := make(map[string]string)
+	sampled := make(map[string]bool) // family -> samples seen
+	seen := make(map[string]bool)    // full series key
+	type histState struct {
+		buckets  []float64
+		counts   []int64
+		infCount int64
+		hasInf   bool
+		count    int64
+		hasCount bool
+		labels   string
+	}
+	hists := make(map[string]*histState) // family+labels(without le)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				if strings.HasPrefix(line, "# HELP") || strings.HasPrefix(line, "# TYPE") {
+					return 0, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+				}
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !metricNameRE.MatchString(name) {
+				return 0, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return 0, fmt.Errorf("line %d: TYPE line missing type", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := typeOf[name]; dup {
+					return 0, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return 0, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				typeOf[name] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+		family := histFamily(name, typeOf)
+		sampled[family] = true
+		serieKey := name + "\x00" + labels
+		if seen[serieKey] {
+			return 0, fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, name, labels)
+		}
+		seen[serieKey] = true
+		if typeOf[family] == "histogram" {
+			st := hists[family+"\x00"+stripLE(labels)]
+			if st == nil {
+				st = &histState{labels: labels}
+				hists[family+"\x00"+stripLE(labels)] = st
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return 0, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				if le == "+Inf" {
+					st.hasInf = true
+					st.infCount = int64(value)
+				} else {
+					bound, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						return 0, fmt.Errorf("line %d: bad le value %q", lineNo, le)
+					}
+					st.buckets = append(st.buckets, bound)
+					st.counts = append(st.counts, int64(value))
+				}
+			case strings.HasSuffix(name, "_count"):
+				st.hasCount = true
+				st.count = int64(value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	for fam, st := range hists {
+		name := strings.SplitN(fam, "\x00", 2)[0]
+		if !st.hasInf {
+			return 0, fmt.Errorf("histogram %s: no +Inf bucket", name)
+		}
+		if st.hasCount && st.infCount != st.count {
+			return 0, fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", name, st.infCount, st.count)
+		}
+		// Bucket lines were emitted in le order; enforce cumulative
+		// monotonicity over that order.
+		for i := 1; i < len(st.counts); i++ {
+			if st.buckets[i] <= st.buckets[i-1] {
+				return 0, fmt.Errorf("histogram %s: bucket bounds not ascending", name)
+			}
+			if st.counts[i] < st.counts[i-1] {
+				return 0, fmt.Errorf("histogram %s: cumulative bucket counts decrease", name)
+			}
+		}
+		if len(st.counts) > 0 && st.infCount < st.counts[len(st.counts)-1] {
+			return 0, fmt.Errorf("histogram %s: +Inf bucket below last bound bucket", name)
+		}
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	return samples, nil
+}
+
+// histFamily maps a sample name to its family name: _bucket/_sum/_count
+// suffixes belong to the base histogram family when one is declared.
+func histFamily(name string, typeOf map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if typeOf[base] == "histogram" || typeOf[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parsePromSample parses one sample line into name, canonical label
+// string and value.
+func parsePromSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !metricNameRE.MatchString(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, perr := parseLabelSet(rest)
+		if perr != nil {
+			return "", "", 0, perr
+		}
+		labels = rest[1 : end-1]
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 { // optional timestamp
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad sample timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabelSet scans a {name="value",...} block starting at s[0]=='{'
+// and returns the index just past the closing brace.
+func parseLabelSet(s string) (end int, err error) {
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) || !labelNameRE.MatchString(s[i:j]) {
+			return 0, fmt.Errorf("invalid label name in %q", s)
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++
+	}
+}
+
+// labelValue extracts one label's value from a canonical label string.
+func labelValue(labels, name string) (string, bool) {
+	rest := labels
+	for rest != "" {
+		rest = strings.TrimLeft(rest, ", ")
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", false
+		}
+		ln := rest[:eq]
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", false
+		}
+		// find closing quote honouring escapes
+		i := 1
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return "", false
+		}
+		val := rest[1:i]
+		rest = rest[i+1:]
+		if ln == name {
+			return val, true
+		}
+	}
+	return "", false
+}
+
+// stripLE removes the le label from a canonical label string so bucket
+// series of one histogram share a key.
+func stripLE(labels string) string {
+	var parts []string
+	rest := labels
+	for rest != "" {
+		rest = strings.TrimLeft(rest, ", ")
+		if rest == "" {
+			break
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			break
+		}
+		ln := rest[:eq]
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			break
+		}
+		i := 1
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(rest) {
+			break
+		}
+		pair := ln + "=" + rest[:i+1]
+		rest = rest[i+1:]
+		if ln != "le" {
+			parts = append(parts, pair)
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects a forest of spans. One tracer typically covers one
+// CLI invocation or one daemon request; it is safe for concurrent use
+// by the worker pool (children of one span may start and end on many
+// goroutines).
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	roots []*Span
+
+	// sampler decides per root span whether to record it (nil = always).
+	// Descendants of an unsampled root are suppressed with it.
+	sampler func(root string) bool
+	limit   atomic.Int64 // max recorded spans (0 = unlimited)
+
+	spans   atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewTracer returns an always-on tracer with no span limit.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// SetSampler installs a per-root sampling decision. The sampler sees
+// the root span name; returning false suppresses that root and every
+// descendant. Child spans always follow their root's decision, so a
+// sampled trace is never missing interior nodes.
+func (t *Tracer) SetSampler(f func(root string) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sampler = f
+}
+
+// SetLimit bounds the number of recorded spans (0 = unlimited). Spans
+// started beyond the limit are counted as dropped and not recorded;
+// their descendants attach to the nearest recorded ancestor.
+func (t *Tracer) SetLimit(n int) {
+	t.limit.Store(int64(n))
+}
+
+// NthSampler returns a deterministic sampler admitting every n-th root
+// span (n <= 1 admits all).
+func NthSampler(n int) func(string) bool {
+	if n <= 1 {
+		return func(string) bool { return true }
+	}
+	var c atomic.Int64
+	return func(string) bool { return (c.Add(1)-1)%int64(n) == 0 }
+}
+
+// SpanCount reports the number of recorded spans.
+func (t *Tracer) SpanCount() int { return int(t.spans.Load()) }
+
+// Dropped reports the number of spans suppressed by the span limit
+// (sampled-out roots are not counted; sampling is policy, not loss).
+func (t *Tracer) Dropped() int { return int(t.dropped.Load()) }
+
+// Roots returns the recorded root spans in start order.
+func (t *Tracer) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one timed region of the pipeline. Spans nest: a span started
+// under a context carrying another span becomes its child. All methods
+// are safe on a nil receiver, so instrumented code never checks
+// whether tracing is enabled.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	dur      time.Duration
+	ended    bool
+}
+
+// suppressed marks a context whose root span was sampled out: Start
+// under it records nothing, and deeper descendants stay suppressed.
+var suppressed = &Span{}
+
+// Start begins a span named name under ctx. The returned context
+// carries the new span, so nested Start calls build a tree; the
+// returned span may be nil (no tracer installed, sampled out, or over
+// the span limit) and is safe to use anyway.
+//
+// The caller must End the span; spans not ended by export time are
+// rendered with zero duration and an "unfinished" marker.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if parent, ok := ctx.Value(spanKey).(*Span); ok {
+		if parent == suppressed {
+			return ctx, nil
+		}
+		sp := parent.newChild(name, attrs)
+		if sp == nil {
+			return ctx, nil // over limit: descendants attach to parent
+		}
+		return context.WithValue(ctx, spanKey, sp), sp
+	}
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	sp := t.newRoot(name, attrs)
+	if sp == nil {
+		return context.WithValue(ctx, spanKey, suppressed), nil
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey).(*Span)
+	if sp == suppressed {
+		return nil
+	}
+	return sp
+}
+
+func (t *Tracer) newRoot(name string, attrs []Attr) *Span {
+	t.mu.Lock()
+	sampler := t.sampler
+	t.mu.Unlock()
+	if sampler != nil && !sampler(name) {
+		return nil
+	}
+	if limit := t.limit.Load(); limit > 0 && t.spans.Load() >= limit {
+		t.dropped.Add(1)
+		return nil
+	}
+	sp := &Span{tracer: t, name: name, start: time.Now(), attrs: attrs}
+	t.spans.Add(1)
+	t.mu.Lock()
+	t.roots = append(t.roots, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+func (s *Span) newChild(name string, attrs []Attr) *Span {
+	t := s.tracer
+	if limit := t.limit.Load(); limit > 0 && t.spans.Load() >= limit {
+		t.dropped.Add(1)
+		return nil
+	}
+	child := &Span{tracer: t, name: name, start: time.Now(), attrs: attrs}
+	t.spans.Add(1)
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End stops the span's clock. End is idempotent and nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr appends attributes to the span. Nil-safe.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span duration (zero until End, and on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Children returns a snapshot of the child spans in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// snapshot copies the mutable state under the span lock.
+func (s *Span) snapshot() (attrs []Attr, children []*Span, dur time.Duration, ended bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...), append([]*Span(nil), s.children...), s.dur, s.ended
+}
+
+// Tree renders the recorded spans as a human-readable indented tree
+// with durations and attributes.
+func (t *Tracer) Tree() string {
+	var b strings.Builder
+	for _, r := range t.Roots() {
+		writeTree(&b, r, 0)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(+%d spans dropped by limit)\n", d)
+	}
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, s *Span, depth int) {
+	attrs, children, dur, ended := s.snapshot()
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.name)
+	if ended {
+		fmt.Fprintf(b, " %s", dur.Round(time.Microsecond))
+	} else {
+		b.WriteString(" (unfinished)")
+	}
+	for _, a := range attrs {
+		fmt.Fprintf(b, " %s=%v", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	sortByStart(children)
+	for _, c := range children {
+		writeTree(b, c, depth+1)
+	}
+}
+
+func sortByStart(spans []*Span) {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start.Before(spans[j].start) })
+}
+
+// StageTotals aggregates the recorded spans by name: total duration
+// and count per span name, for coarse stage attribution of a whole
+// run. Unfinished spans contribute their count but no duration.
+func (t *Tracer) StageTotals() map[string]StageTotal {
+	out := make(map[string]StageTotal)
+	var walk func(*Span)
+	walk = func(s *Span) {
+		_, children, dur, ended := s.snapshot()
+		st := out[s.name]
+		st.Count++
+		if ended {
+			st.Total += dur
+		}
+		out[s.name] = st
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots() {
+		walk(r)
+	}
+	return out
+}
+
+// StageTotal is one row of StageTotals.
+type StageTotal struct {
+	// Count is the number of spans with this name.
+	Count int
+	// Total is the summed duration of the ended ones.
+	Total time.Duration
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartWithoutTracerIsNoop(t *testing.T) {
+	ctx, sp := Start(context.Background(), "stage")
+	if sp != nil {
+		t.Fatalf("Start without tracer returned a span")
+	}
+	// All span methods must be nil-safe.
+	sp.End()
+	sp.SetAttr(String("k", "v"))
+	if sp.Name() != "" || sp.Duration() != 0 || sp.Children() != nil {
+		t.Fatalf("nil span accessors not zero")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatalf("noop Start leaked a span into the context")
+	}
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "root", String("model", "alexnet"))
+	cctx, child := Start(ctx, "child")
+	_, grand := Start(cctx, "grandchild")
+	grand.End()
+	child.End()
+	_, sib := Start(ctx, "sibling")
+	sib.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "root" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 2 || kids[0].Name() != "child" || kids[1].Name() != "sibling" {
+		t.Fatalf("children of root: %v", kids)
+	}
+	gk := kids[0].Children()
+	if len(gk) != 1 || gk[0].Name() != "grandchild" {
+		t.Fatalf("grandchildren: %v", gk)
+	}
+	if tr.SpanCount() != 4 {
+		t.Fatalf("span count = %d, want 4", tr.SpanCount())
+	}
+	tree := tr.Tree()
+	for _, want := range []string{"root", "  child", "    grandchild", "  sibling", "model=alexnet"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("Tree() missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestConcurrentChildSpans exercises span creation from many
+// goroutines under one parent — the shape of the worker-pool fan-out —
+// and must pass under -race.
+func TestConcurrentChildSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+
+	const workers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cctx, child := Start(ctx, "child", Int("i", i))
+			_, g := Start(cctx, "grandchild")
+			g.End()
+			child.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != workers {
+		t.Fatalf("children = %d, want %d", len(kids), workers)
+	}
+	for _, k := range kids {
+		if k.Name() != "child" {
+			t.Fatalf("unexpected child %q", k.Name())
+		}
+		if g := k.Children(); len(g) != 1 || g[0].Name() != "grandchild" {
+			t.Fatalf("child %v has grandchildren %v", k, g)
+		}
+		if k.Duration() <= 0 {
+			t.Fatalf("child has no duration")
+		}
+	}
+	if tr.SpanCount() != 1+2*workers {
+		t.Fatalf("span count = %d, want %d", tr.SpanCount(), 1+2*workers)
+	}
+
+	// The export must be valid even with concurrent siblings (they are
+	// spread over lanes so no lane holds partially overlapping events).
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, buf.String())
+	}
+	if len(names) != 1+2*workers {
+		t.Fatalf("exported %d spans, want %d", len(names), 1+2*workers)
+	}
+}
+
+func TestSamplerSuppressesDescendants(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampler(NthSampler(2)) // admit roots 0, 2, 4, ...
+	base := WithTracer(context.Background(), tr)
+
+	for i := 0; i < 4; i++ {
+		ctx, root := Start(base, "root")
+		_, child := Start(ctx, "child")
+		child.End()
+		root.End()
+	}
+	if got := len(tr.Roots()); got != 2 {
+		t.Fatalf("recorded %d roots, want 2", got)
+	}
+	// Children of suppressed roots must not become new roots.
+	if tr.SpanCount() != 4 {
+		t.Fatalf("span count = %d, want 4 (2 roots + 2 children)", tr.SpanCount())
+	}
+}
+
+func TestSpanLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(2)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	_, a := Start(ctx, "a")
+	a.End()
+	bctx, b := Start(ctx, "b") // over limit: dropped
+	if b != nil {
+		t.Fatalf("span over limit not dropped")
+	}
+	// Descendants of a dropped span attach to the nearest recorded
+	// ancestor instead of vanishing silently... but they are over the
+	// limit too, so they are dropped as well.
+	_, c := Start(bctx, "c")
+	if c != nil {
+		t.Fatalf("descendant of dropped span recorded over limit")
+	}
+	root.End()
+	if tr.SpanCount() != 2 || tr.Dropped() != 2 {
+		t.Fatalf("count=%d dropped=%d, want 2/2", tr.SpanCount(), tr.Dropped())
+	}
+}
+
+func TestChromeTraceDurationsNest(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	_, a := Start(ctx, "stage.a")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	_, b := Start(ctx, "stage.b")
+	time.Sleep(1 * time.Millisecond)
+	b.End()
+	root.End()
+
+	if root.Duration() < a.Duration()+b.Duration() {
+		t.Fatalf("root %v shorter than children %v + %v", root.Duration(), a.Duration(), b.Duration())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("invalid trace: %v\n%s", err, buf.String())
+	}
+	want := map[string]bool{"root": true, "stage.a": true, "stage.b": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("trace missing spans %v", want)
+	}
+}
+
+func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `nope`,
+		"empty":         `{"traceEvents":[]}`,
+		"no name":       `{"traceEvents":[{"ph":"X","ts":1,"dur":1}]}`,
+		"bad phase":     `{"traceEvents":[{"name":"x","ph":"Z","ts":1}]}`,
+		"negative time": `{"traceEvents":[{"name":"x","ph":"X","ts":-1}]}`,
+		"partial overlap": `{"traceEvents":[
+			{"name":"a","ph":"X","pid":1,"tid":1,"ts":0,"dur":10},
+			{"name":"b","ph":"X","pid":1,"tid":1,"ts":5,"dur":10}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ValidateChromeTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestStageTotals(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	for i := 0; i < 3; i++ {
+		_, s := Start(ctx, "stage")
+		time.Sleep(time.Millisecond)
+		s.End()
+	}
+	root.End()
+	totals := tr.StageTotals()
+	if totals["stage"].Count != 3 || totals["stage"].Total <= 0 {
+		t.Fatalf("stage totals = %+v", totals["stage"])
+	}
+	if totals["root"].Count != 1 {
+		t.Fatalf("root totals = %+v", totals["root"])
+	}
+}

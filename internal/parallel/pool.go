@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a long-lived bounded worker pool: a fixed set of goroutines
@@ -19,6 +20,23 @@ type Pool struct {
 
 	closeOnce sync.Once
 	size      int
+
+	// Utilization counters for the metrics endpoint: how many workers
+	// are executing a task right now, and how many tasks have completed
+	// since the pool started. Lock-free so polling never contends with
+	// the dispatch path.
+	active    atomic.Int64
+	completed atomic.Int64
+}
+
+// PoolStats is a point-in-time snapshot of a pool's utilization.
+type PoolStats struct {
+	// Size is the fixed worker count.
+	Size int
+	// Active is the number of workers currently running a task.
+	Active int
+	// Completed is the number of tasks finished since the pool started.
+	Completed int64
 }
 
 // NewPool starts a pool of workers goroutines (<= 0 selects GOMAXPROCS).
@@ -39,7 +57,10 @@ func NewPool(workers int) *Pool {
 				case <-p.quit:
 					return
 				case fn := <-p.tasks:
+					p.active.Add(1)
 					fn()
+					p.active.Add(-1)
+					p.completed.Add(1)
 				}
 			}
 		}()
@@ -49,6 +70,15 @@ func NewPool(workers int) *Pool {
 
 // Size reports the number of pool workers.
 func (p *Pool) Size() int { return p.size }
+
+// Stats returns a lock-free utilization snapshot.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Size:      p.size,
+		Active:    int(p.active.Load()),
+		Completed: p.completed.Load(),
+	}
+}
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on the pool's shared
 // workers, with the same contract as the package-level ForEach: the

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"cnnperf/internal/core"
 	"cnnperf/internal/gpu"
+	"cnnperf/internal/obs"
 	"cnnperf/internal/ptx"
 	"cnnperf/internal/ptxanalysis"
 	"cnnperf/internal/ptxgen"
@@ -42,13 +44,33 @@ type GPUPrediction struct {
 
 // PredictResponse is the /v1/predict output. It carries only
 // deterministic fields (no wall-clock timings), so identical requests
-// produce byte-identical responses; latency lives in /metrics.
+// produce byte-identical responses; latency lives in /metrics. The
+// Debug block is the explicit opt-in exception (?debug=1).
 type PredictResponse struct {
 	Model                string          `json:"model"`
 	ExecutedInstructions int64           `json:"executed_instructions"`
 	TrainableParams      int64           `json:"trainable_params"`
 	Kernels              int             `json:"kernels"`
 	Predictions          []GPUPrediction `json:"predictions"`
+	// Debug is the per-stage analysis breakdown, present only when the
+	// request asked for it with ?debug=1. Deliberately excluded from the
+	// default response so byte-identity of predictions holds.
+	Debug *PredictDebug `json:"debug,omitempty"`
+}
+
+// PredictDebug is the ?debug=1 block: where the analysis time went.
+// The stage timings are measured when the analysis is computed; a
+// cache-served analysis reports the timings of that original run.
+type PredictDebug struct {
+	RequestID string       `json:"request_id,omitempty"`
+	AnalysisS float64      `json:"analysis_seconds"`
+	Stages    []StageDebug `json:"stages"`
+}
+
+// StageDebug is one pipeline stage of the debug breakdown.
+type StageDebug struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
 }
 
 // LintRequest is the /v1/lint input: exactly one of Model or PTX.
@@ -76,6 +98,9 @@ type ErrorBody struct {
 	Code string `json:"code"`
 	// Message is the human-readable description.
 	Message string `json:"message"`
+	// RequestID correlates the error with the access log line and the
+	// X-Request-ID response header.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -86,8 +111,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+func writeError(ctx context.Context, w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Code: code, Message: msg, RequestID: obs.RequestID(ctx),
+	}})
 }
 
 // decodeJSON reads one JSON document from the bounded body, mapping
@@ -97,59 +124,60 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			writeError(r.Context(), w, http.StatusRequestEntityTooLarge, "body_too_large",
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		writeError(r.Context(), w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
 		return false
 	}
 	return true
 }
 
 // writeCtxError maps a context failure to its HTTP status.
-func writeCtxError(w http.ResponseWriter, err error) {
+func writeCtxError(ctx context.Context, w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
+		writeError(ctx, w, http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
 		return
 	}
 	// Client went away; 499 is the de-facto status for that.
-	writeError(w, 499, "client_closed_request", "client cancelled the request")
+	writeError(ctx, w, 499, "client_closed_request", "client cancelled the request")
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	var req PredictRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if (req.Model == "") == (req.PTX == "") {
-		writeError(w, http.StatusBadRequest, "bad_request", "exactly one of \"model\" and \"ptx\" is required")
+		writeError(ctx, w, http.StatusBadRequest, "bad_request", "exactly one of \"model\" and \"ptx\" is required")
 		return
 	}
 	if len(req.GPUs) == 0 {
-		writeError(w, http.StatusBadRequest, "bad_request", "\"gpus\" must name at least one device")
+		writeError(ctx, w, http.StatusBadRequest, "bad_request", "\"gpus\" must name at least one device")
 		return
 	}
 	for _, id := range req.GPUs {
 		if _, err := gpu.Lookup(id); err != nil {
-			writeError(w, http.StatusNotFound, "unknown_gpu", err.Error())
+			writeError(ctx, w, http.StatusNotFound, "unknown_gpu", err.Error())
 			return
 		}
 	}
 	var unit predictUnit
 	if req.Model != "" {
 		if !zooHas(req.Model) {
-			writeError(w, http.StatusNotFound, "unknown_model", fmt.Sprintf("zoo: unknown model %q", req.Model))
+			writeError(ctx, w, http.StatusNotFound, "unknown_model", fmt.Sprintf("zoo: unknown model %q", req.Model))
 			return
 		}
 		unit = modelUnit(req.Model)
 	} else {
 		if req.GridX < 0 || req.BlockX < 0 || req.GridX > 1024 || req.BlockX > 1024 {
-			writeError(w, http.StatusBadRequest, "bad_request", "grid_x and block_x must be in [0, 1024]")
+			writeError(ctx, w, http.StatusBadRequest, "bad_request", "grid_x and block_x must be in [0, 1024]")
 			return
 		}
 		if req.TrainableParams < 0 {
-			writeError(w, http.StatusBadRequest, "bad_request", "trainable_params must be non-negative")
+			writeError(ctx, w, http.StatusBadRequest, "bad_request", "trainable_params must be non-negative")
 			return
 		}
 		unit = ptxUnit(req.PTX, core.PTXOptions{
@@ -158,46 +186,57 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			BlockX:          req.BlockX,
 		})
 	}
-	res, err := s.batcher.submit(r.Context(), unit)
+	res, err := s.batcher.submit(ctx, unit)
 	if err != nil {
-		writeCtxError(w, err)
+		writeCtxError(ctx, w, err)
 		return
 	}
 	if res.err != nil {
-		writeUnitError(w, res.err)
+		writeUnitError(ctx, w, res.err)
 		return
 	}
-	preds, err := core.PredictAnalyzedContext(r.Context(), res.est, res.a, req.GPUs)
+	preds, err := core.PredictAnalyzedContext(ctx, res.est, res.a, req.GPUs)
 	if err != nil {
-		if r.Context().Err() != nil {
-			writeCtxError(w, r.Context().Err())
+		if ctx.Err() != nil {
+			writeCtxError(ctx, w, ctx.Err())
 			return
 		}
-		writeError(w, http.StatusUnprocessableEntity, "prediction_failed", err.Error())
+		writeError(ctx, w, http.StatusUnprocessableEntity, "prediction_failed", err.Error())
 		return
 	}
 	out := make([]GPUPrediction, len(preds))
 	for i, p := range preds {
 		out[i] = GPUPrediction{GPU: p.GPU, GPUName: p.GPUName, IPC: p.IPC}
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{
+	resp := PredictResponse{
 		Model:                res.a.Name,
 		ExecutedInstructions: res.a.Report.Executed,
 		TrainableParams:      res.a.Summary.TrainableParams,
 		Kernels:              len(res.a.Report.Kernels),
 		Predictions:          out,
-	})
+	}
+	if r.URL.Query().Get("debug") == "1" {
+		dbg := &PredictDebug{
+			RequestID: obs.RequestID(ctx),
+			AnalysisS: res.a.DCATime.Seconds(),
+		}
+		for _, st := range res.a.Stages {
+			dbg.Stages = append(dbg.Stages, StageDebug{Stage: st.Stage, Seconds: st.Duration.Seconds()})
+		}
+		resp.Debug = dbg
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeUnitError classifies an analysis failure: context failures keep
 // their timeout semantics, everything else is an unprocessable payload
 // (parse errors, lint gate rejections, runaway executions).
-func writeUnitError(w http.ResponseWriter, err error) {
+func writeUnitError(ctx context.Context, w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		writeError(w, http.StatusGatewayTimeout, "timeout", "analysis deadline exceeded")
+		writeError(ctx, w, http.StatusGatewayTimeout, "timeout", "analysis deadline exceeded")
 		return
 	}
-	writeError(w, http.StatusUnprocessableEntity, "analysis_failed", err.Error())
+	writeError(ctx, w, http.StatusUnprocessableEntity, "analysis_failed", err.Error())
 }
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
@@ -206,7 +245,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if (req.Model == "") == (req.PTX == "") {
-		writeError(w, http.StatusBadRequest, "bad_request", "exactly one of \"model\" and \"ptx\" is required")
+		writeError(r.Context(), w, http.StatusBadRequest, "bad_request", "exactly one of \"model\" and \"ptx\" is required")
 		return
 	}
 	var (
@@ -216,19 +255,19 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if req.Model != "" {
 		m, err := zoo.Build(req.Model)
 		if err != nil {
-			writeError(w, http.StatusNotFound, "unknown_model", err.Error())
+			writeError(r.Context(), w, http.StatusNotFound, "unknown_model", err.Error())
 			return
 		}
 		prog, err := ptxgen.Compile(m, s.pipeline.PTX)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "compile_failed", err.Error())
+			writeError(r.Context(), w, http.StatusUnprocessableEntity, "compile_failed", err.Error())
 			return
 		}
 		target, module = req.Model, prog.Module
 	} else {
 		m, err := ptx.Parse(req.PTX)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "invalid_ptx", err.Error())
+			writeError(r.Context(), w, http.StatusUnprocessableEntity, "invalid_ptx", err.Error())
 			return
 		}
 		target, module = "ptx", m
@@ -254,8 +293,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics content-negotiates the telemetry document: Prometheus
+// text exposition when the client asks for it (?format=prometheus, or
+// an Accept header naming text/plain or openmetrics), the legacy JSON
+// snapshot otherwise. Both views read the same instrument registry.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = s.metrics.writePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Stats()))
+}
+
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
@@ -264,16 +324,16 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/v1/predict", "/v1/lint":
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		writeError(r.Context(), w, http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Sprintf("%s requires POST", r.URL.Path))
 		return
 	case "/healthz", "/metrics":
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		writeError(r.Context(), w, http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Sprintf("%s requires GET", r.URL.Path))
 		return
 	}
-	writeError(w, http.StatusNotFound, "not_found",
+	writeError(r.Context(), w, http.StatusNotFound, "not_found",
 		fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
 }
 

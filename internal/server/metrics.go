@@ -1,40 +1,123 @@
 package server
 
 import (
-	"sync/atomic"
+	"io"
 	"time"
 
 	"cnnperf/internal/analysiscache"
+	"cnnperf/internal/obs"
+	"cnnperf/internal/parallel"
 )
 
-// histogram is a fixed-bucket counting histogram with atomic counters:
-// observation is lock-free and a snapshot never blocks the hot path.
-type histogram struct {
-	bounds []float64      // inclusive upper bounds, ascending
-	counts []atomic.Int64 // len(bounds)+1; the last bucket is overflow
-	total  atomic.Int64
-	sum    atomic.Int64 // sum of observations scaled by sumScale
+// The serving telemetry is a thin façade over an obs.Registry: every
+// counter the daemon records lives in one instrument registry that can
+// render itself both as the legacy /metrics JSON document (Snapshot)
+// and as Prometheus text exposition. Recording stays lock-free; the
+// cache and pool counters are bridged in as func metrics evaluated at
+// scrape time.
+
+// endpointNames are the pre-registered route labels, so /metrics shows
+// every endpoint with zero counts before its first request.
+var endpointNames = []string{"predict", "lint", "healthz", "metrics", "pprof", "other"}
+
+// statusClasses are the response status classes recorded per endpoint.
+var statusClasses = []string{"2xx", "4xx", "5xx"}
+
+var latencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+var batchBounds = []float64{1, 2, 4, 8, 16, 32}
+
+// metrics is the process-wide serving telemetry, exported as
+// expvar-style JSON and Prometheus text on /metrics.
+type metrics struct {
+	start time.Time
+	reg   *obs.Registry
+
+	requests   *obs.CounterVec   // by endpoint and status class
+	latency    *obs.HistogramVec // by endpoint, seconds
+	inFlight   *obs.Gauge
+	panics     *obs.Counter
+	rejected   *obs.Counter // requests refused while draining
+	slow       *obs.Counter // requests over the slow-request threshold
+	batches    *obs.Counter
+	batchSizes *obs.Histogram
 }
 
-// sumScale keeps fractional observations (latency seconds) meaningful
-// in the integer sum: sums are stored in microunits.
-const sumScale = 1e6
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	i := len(h.bounds)
-	for b, bound := range h.bounds {
-		if v <= bound {
-			i = b
-			break
-		}
+func newMetrics(cache *analysiscache.Cache, pool *parallel.Pool) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		start: time.Now(),
+		reg:   reg,
+		requests: reg.CounterVec("cnnperfd_requests_total",
+			"HTTP requests by endpoint and status class.", "endpoint", "code"),
+		latency: reg.HistogramVec("cnnperfd_request_duration_seconds",
+			"Request latency by endpoint.", latencyBounds, "endpoint"),
+		inFlight: reg.Gauge("cnnperfd_in_flight_requests",
+			"Requests currently being served."),
+		panics: reg.Counter("cnnperfd_panics_total",
+			"Handler panics contained by the recovery middleware."),
+		rejected: reg.Counter("cnnperfd_rejected_total",
+			"Requests refused while the server was draining."),
+		slow: reg.Counter("cnnperfd_slow_requests_total",
+			"Requests slower than the configured slow-request threshold."),
+		batches: reg.Counter("cnnperfd_batches_total",
+			"Coalesced analysis batches executed."),
+		batchSizes: reg.Histogram("cnnperfd_batch_size",
+			"Number of deduplicated analysis units per batch.", batchBounds),
 	}
-	h.counts[i].Add(1)
-	h.total.Add(1)
-	h.sum.Add(int64(v * sumScale))
+	// Pre-register every endpoint series so zero counts are visible.
+	for _, ep := range endpointNames {
+		for _, class := range statusClasses {
+			m.requests.With(ep, class)
+		}
+		m.latency.With(ep)
+	}
+	reg.GaugeFunc("cnnperfd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	// The analysis cache and worker pool keep their own lock-free
+	// counters; bridge them as func metrics read at scrape time.
+	reg.CounterFunc("cnnperfd_cache_hits_total", "Analysis cache hits.",
+		func() float64 { return float64(cache.Stats().Hits) })
+	reg.CounterFunc("cnnperfd_cache_misses_total", "Analysis cache misses.",
+		func() float64 { return float64(cache.Stats().Misses) })
+	reg.CounterFunc("cnnperfd_cache_waits_total",
+		"Cache hits that waited on an in-flight computation (singleflight).",
+		func() float64 { return float64(cache.Stats().Waits) })
+	reg.CounterFunc("cnnperfd_cache_evictions_total", "Analysis cache evictions.",
+		func() float64 { return float64(cache.Stats().Evictions) })
+	reg.GaugeFunc("cnnperfd_cache_entries", "Resident analysis cache entries.",
+		func() float64 { return float64(cache.Stats().Entries) })
+	reg.GaugeFunc("cnnperfd_pool_workers", "Analysis worker pool size.",
+		func() float64 { return float64(pool.Size()) })
+	reg.GaugeFunc("cnnperfd_pool_active_workers", "Workers currently running a task.",
+		func() float64 { return float64(pool.Stats().Active) })
+	reg.CounterFunc("cnnperfd_pool_tasks_completed_total", "Pool tasks completed.",
+		func() float64 { return float64(pool.Stats().Completed) })
+	return m
+}
+
+// record counts one served request.
+func (m *metrics) record(endpoint string, status int, d time.Duration) {
+	class := "2xx"
+	switch {
+	case status >= 500:
+		class = "5xx"
+	case status >= 400:
+		class = "4xx"
+	}
+	m.requests.With(endpoint, class).Inc()
+	m.latency.With(endpoint).Observe(d.Seconds())
+}
+
+func (m *metrics) recordBatch(size int) {
+	m.batches.Inc()
+	m.batchSizes.Observe(float64(size))
+}
+
+// writePrometheus renders the registry in Prometheus text exposition
+// format 0.0.4.
+func (m *metrics) writePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
 }
 
 // HistogramSnapshot is the JSON form of a histogram.
@@ -45,104 +128,28 @@ type HistogramSnapshot struct {
 }
 
 type BucketSnapshot struct {
-	LE    float64 `json:"le"` // +Inf rendered as 0 upper bound omitted
+	LE    float64 `json:"le"` // +Inf rendered as -1
 	Count int64   `json:"count"`
 }
 
-func (h *histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.total.Load()}
+// jsonHistogram converts an obs histogram snapshot (cumulative buckets,
+// last = +Inf) to the legacy JSON shape.
+func jsonHistogram(s obs.HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count}
 	if s.Count > 0 {
-		s.Mean = float64(h.sum.Load()) / sumScale / float64(s.Count)
+		out.Mean = s.Sum / float64(s.Count)
 	}
-	cum := int64(0)
-	for i, bound := range h.bounds {
-		cum += h.counts[i].Load()
-		s.Buckets = append(s.Buckets, BucketSnapshot{LE: bound, Count: cum})
+	for i, bound := range s.Bounds {
+		out.Buckets = append(out.Buckets, BucketSnapshot{LE: bound, Count: s.Buckets[i]})
 	}
-	cum += h.counts[len(h.bounds)].Load()
-	s.Buckets = append(s.Buckets, BucketSnapshot{LE: -1, Count: cum}) // -1 = +Inf
-	return s
-}
-
-// endpointStats aggregates one route's counters.
-type endpointStats struct {
-	count    atomic.Int64
-	status2x atomic.Int64
-	status4x atomic.Int64
-	status5x atomic.Int64
-	latency  *histogram
-}
-
-var latencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-
-func newEndpointStats() *endpointStats {
-	return &endpointStats{latency: newHistogram(latencyBounds)}
-}
-
-func (e *endpointStats) record(status int, d time.Duration) {
-	e.count.Add(1)
-	switch {
-	case status >= 500:
-		e.status5x.Add(1)
-	case status >= 400:
-		e.status4x.Add(1)
-	default:
-		e.status2x.Add(1)
-	}
-	e.latency.observe(d.Seconds())
+	out.Buckets = append(out.Buckets, BucketSnapshot{LE: -1, Count: s.Count}) // -1 = +Inf
+	return out
 }
 
 type EndpointSnapshot struct {
 	Count    int64             `json:"count"`
 	ByStatus map[string]int64  `json:"by_status"`
 	Latency  HistogramSnapshot `json:"latency_seconds"`
-}
-
-func (e *endpointStats) snapshot() EndpointSnapshot {
-	return EndpointSnapshot{
-		Count: e.count.Load(),
-		ByStatus: map[string]int64{
-			"2xx": e.status2x.Load(),
-			"4xx": e.status4x.Load(),
-			"5xx": e.status5x.Load(),
-		},
-		Latency: e.latency.snapshot(),
-	}
-}
-
-// metrics is the process-wide serving telemetry, exported as
-// expvar-style JSON on /metrics. Every counter is atomic; recording
-// adds no locks to the request path.
-type metrics struct {
-	start      time.Time
-	inFlight   atomic.Int64
-	panics     atomic.Int64
-	rejected   atomic.Int64 // requests refused while draining
-	endpoints  map[string]*endpointStats
-	batches    atomic.Int64
-	batchSizes *histogram
-}
-
-var batchBounds = []float64{1, 2, 4, 8, 16, 32}
-
-func newMetrics() *metrics {
-	eps := make(map[string]*endpointStats, 5)
-	for _, name := range []string{"predict", "lint", "healthz", "metrics", "other"} {
-		eps[name] = newEndpointStats()
-	}
-	return &metrics{start: time.Now(), endpoints: eps, batchSizes: newHistogram(batchBounds)}
-}
-
-func (m *metrics) endpoint(name string) *endpointStats {
-	if e, ok := m.endpoints[name]; ok {
-		return e
-	}
-	return m.endpoints["other"]
-}
-
-func (m *metrics) recordBatch(size int) {
-	m.batches.Add(1)
-	m.batchSizes.observe(float64(size))
 }
 
 // Snapshot is the /metrics JSON document.
@@ -160,27 +167,40 @@ type Snapshot struct {
 type CacheSnapshot struct {
 	Hits      uint64  `json:"hits"`
 	Misses    uint64  `json:"misses"`
+	Waits     uint64  `json:"waits"`
 	Evictions uint64  `json:"evictions"`
 	Entries   int     `json:"entries"`
 	HitRate   float64 `json:"hit_rate"`
 }
 
 func (m *metrics) snapshot(cs analysiscache.Stats) Snapshot {
-	reqs := make(map[string]EndpointSnapshot, len(m.endpoints))
-	for name, e := range m.endpoints {
-		reqs[name] = e.snapshot()
+	reqs := make(map[string]EndpointSnapshot, len(endpointNames))
+	for _, ep := range endpointNames {
+		by := make(map[string]int64, len(statusClasses))
+		total := int64(0)
+		for _, class := range statusClasses {
+			n := m.requests.With(ep, class).Value()
+			by[class] = n
+			total += n
+		}
+		reqs[ep] = EndpointSnapshot{
+			Count:    total,
+			ByStatus: by,
+			Latency:  jsonHistogram(m.latency.With(ep).Snapshot()),
+		}
 	}
 	return Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
-		InFlight:      m.inFlight.Load(),
-		Panics:        m.panics.Load(),
-		Rejected:      m.rejected.Load(),
+		InFlight:      int64(m.inFlight.Value()),
+		Panics:        m.panics.Value(),
+		Rejected:      m.rejected.Value(),
 		Requests:      reqs,
-		Batches:       m.batches.Load(),
-		BatchSizes:    m.batchSizes.snapshot(),
+		Batches:       m.batches.Value(),
+		BatchSizes:    jsonHistogram(m.batchSizes.Snapshot()),
 		Cache: CacheSnapshot{
 			Hits:      cs.Hits,
 			Misses:    cs.Misses,
+			Waits:     cs.Waits,
 			Evictions: cs.Evictions,
 			Entries:   cs.Entries,
 			HitRate:   cs.HitRate(),

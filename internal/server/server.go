@@ -21,11 +21,14 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 
 	"cnnperf/internal/analysiscache"
 	"cnnperf/internal/core"
+	"cnnperf/internal/obs"
 	"cnnperf/internal/parallel"
 )
 
@@ -56,6 +59,16 @@ type Config struct {
 	// selects core.DefaultConfig(). Workers and Cache are always
 	// overwritten with the server-owned pool size and cache.
 	Pipeline *core.Config
+	// Logger receives structured access and error logs; nil disables
+	// logging (every log call is a no-op).
+	Logger *obs.Logger
+	// SlowRequest is the latency above which a completed request is
+	// logged at warn level (and counted); <= 0 disables the check.
+	SlowRequest time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Profile
+	// captures are exempt from the request timeout (a 30s CPU profile
+	// must outlive a 10s deadline) but still gated by draining.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -111,12 +124,13 @@ func New(cfg Config) *Server {
 	pipeline.Cache = cache
 	pipeline.Workers = 1 // the pool provides the fan-out; keep units serial inside
 	ctx, cancel := context.WithCancel(context.Background())
+	pool := parallel.NewPool(cfg.Workers)
 	s := &Server{
 		cfg:        cfg,
 		pipeline:   pipeline,
 		cache:      cache,
-		pool:       parallel.NewPool(cfg.Workers),
-		metrics:    newMetrics(),
+		pool:       pool,
+		metrics:    newMetrics(cache, pool),
 		gate:       newDrainGate(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -272,22 +286,57 @@ func endpointOf(path string) string {
 		return "healthz"
 	case "/metrics":
 		return "metrics"
-	default:
-		return "other"
 	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "pprof"
+	}
+	return "other"
+}
+
+// requestID resolves the request id: an inbound X-Request-ID is
+// honoured when it is a reasonable token, otherwise a fresh id is
+// generated. The id is echoed on the response either way.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); validRequestID(id) {
+		return id
+	}
+	return obs.NewRequestID()
+}
+
+// validRequestID bounds inbound ids so a hostile header cannot inject
+// log or header content: 1-64 chars of [A-Za-z0-9._-].
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // middleware wraps the routes with the cross-cutting request policy:
-// drain gating, in-flight accounting, body bounds, per-request
-// deadline, latency/status metrics, and panic containment.
+// drain gating, request-id propagation, in-flight accounting, body
+// bounds, per-request deadline, latency/status metrics, access and
+// slow-request logging, and panic containment.
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ep := endpointOf(r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w}
+		rid := requestID(r)
+		sw.Header().Set("X-Request-ID", rid)
+		ctx := obs.WithRequestID(r.Context(), rid)
+		r = r.WithContext(ctx)
 		if !s.gate.enter() {
-			s.metrics.rejected.Add(1)
+			s.metrics.rejected.Inc()
 			sw.Header().Set("Retry-After", "1")
-			writeError(sw, http.StatusServiceUnavailable, "draining", "server is shutting down")
+			writeError(ctx, sw, http.StatusServiceUnavailable, "draining", "server is shutting down")
 			return
 		}
 		defer s.gate.exit()
@@ -296,19 +345,41 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
-				s.metrics.panics.Add(1)
+				s.metrics.panics.Inc()
+				s.cfg.Logger.ErrorCtx(ctx, "handler panic",
+					obs.String("endpoint", ep), obs.String("path", r.URL.Path),
+					obs.String("panic", fmt.Sprint(p)))
 				if !sw.wrote {
-					writeError(sw, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", p))
+					writeError(ctx, sw, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", p))
 				}
 			}
-			s.metrics.endpoint(ep).record(sw.status, time.Since(start))
+			dur := time.Since(start)
+			s.metrics.record(ep, sw.status, dur)
+			s.cfg.Logger.InfoCtx(ctx, "request",
+				obs.String("method", r.Method), obs.String("path", r.URL.Path),
+				obs.String("endpoint", ep), obs.Int("status", sw.status),
+				obs.Duration("dur", dur.Round(time.Microsecond)))
+			if s.cfg.SlowRequest > 0 && dur > s.cfg.SlowRequest {
+				s.metrics.slow.Inc()
+				s.cfg.Logger.WarnCtx(ctx, "slow request",
+					obs.String("method", r.Method), obs.String("path", r.URL.Path),
+					obs.Int("status", sw.status),
+					obs.Duration("dur", dur.Round(time.Microsecond)),
+					obs.Duration("threshold", s.cfg.SlowRequest))
+			}
 		}()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
-		defer cancel()
-		next.ServeHTTP(sw, r.WithContext(ctx))
+		// pprof captures run as long as their ?seconds= argument asks;
+		// the request timeout would truncate them, so they are exempt.
+		if ep != "pprof" {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(r.Context(), s.cfg.Timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(sw, r)
 	})
 }
 
@@ -318,6 +389,13 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/lint", s.handleLint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/", s.handleNotFound)
 	return mux
 }
