@@ -7,6 +7,8 @@
 //	cnnperf gpus                        list the GPU catalogue
 //	cnnperf analyze <model>             static + dynamic analysis of one CNN
 //	cnnperf lint [-json] <model|file>   static-analysis diagnostics of generated or on-disk PTX
+//	                                    (exit 0 clean/info, 1 warnings, 2 errors; output is
+//	                                    sorted by kernel, line, code)
 //	cnnperf dataset [-out file.csv] [-workers n] [-cachestats]
 //	                                    build the phase-1 training dataset
 //	cnnperf evaluate                    compare the five regressors (Table II)
@@ -29,6 +31,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -79,7 +82,14 @@ func main() {
 		err = terr
 	}
 	if err != nil {
-		log.Fatalf("cnnperf: %v", err)
+		// The lint sentinels carry the documented exit-code contract:
+		// 2 for error-severity findings, 1 for warning-severity ones
+		// (matching every other failure).
+		log.Printf("cnnperf: %v", err)
+		if errors.Is(err, errLintErrors) {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
 }
 
@@ -220,11 +230,25 @@ func runLint(args []string, cfg cnnperf.Config) error {
 		}
 		fmt.Printf("%d diagnostics\n", len(diags))
 	}
+	// Exit-code contract: 2 on error-severity findings, 1 on warnings,
+	// 0 when clean (info-only diagnostics count as clean).
 	if cnnperf.HasLintErrors(diags) {
-		return fmt.Errorf("lint found error-severity diagnostics")
+		return errLintErrors
+	}
+	for _, d := range diags {
+		if d.Severity == cnnperf.SevWarning {
+			return errLintWarnings
+		}
 	}
 	return nil
 }
+
+// errLintErrors and errLintWarnings are the lint verdict sentinels main
+// maps onto the documented exit codes (2 and 1 respectively).
+var (
+	errLintErrors   = errors.New("lint found error-severity diagnostics")
+	errLintWarnings = errors.New("lint found warning-severity diagnostics")
+)
 
 func runDataset(ctx context.Context, args []string, cfg cnnperf.Config) error {
 	fs := flag.NewFlagSet("dataset", flag.ContinueOnError)

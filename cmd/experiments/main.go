@@ -128,6 +128,11 @@ func main() {
 			fatalf("static feature study: %v", err)
 		}
 		fmt.Println(text)
+		_, _, text, err = suite.BBFeatureStudy()
+		if err != nil {
+			fatalf("bb feature study: %v", err)
+		}
+		fmt.Println(text)
 		_, _, text, err = suite.DatasetSizeStudy()
 		if err != nil {
 			fatalf("dataset-size study: %v", err)

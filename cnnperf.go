@@ -347,8 +347,24 @@ var ExtendedFeatureNames = core.ExtendedFeatureNames
 // Config.StaticFeatures).
 var StaticFeatureNames = core.StaticFeatureNames
 
-// Diag is one static-analysis lint finding (code PTXA001-PTXA008).
+// BBFeatureNames are the per-basic-block predictors — abstract-
+// interpretation block features (divergence, coalescing, stride, live
+// registers) weighted by the DCA's per-block execution counts — that
+// Config.BBFeatures appends to whichever base schema is selected.
+var BBFeatureNames = core.BBFeatureNames
+
+// Diag is one static-analysis lint finding (code PTXA001-PTXA014).
 type Diag = ptxanalysis.Diag
+
+// Severity grades a lint diagnostic.
+type Severity = ptxanalysis.Severity
+
+// Severity levels of lint diagnostics.
+const (
+	SevInfo    = ptxanalysis.SevInfo
+	SevWarning = ptxanalysis.SevWarning
+	SevError   = ptxanalysis.SevError
+)
 
 // StaticAnalysis is the per-module static-analysis summary attached to
 // every ModelAnalysis.

@@ -32,6 +32,7 @@ import (
 	"cnnperf/internal/parallel"
 	"cnnperf/internal/profiler"
 	"cnnperf/internal/ptxanalysis"
+	"cnnperf/internal/ptxanalysis/absint"
 	"cnnperf/internal/ptxgen"
 	"cnnperf/internal/zoo"
 )
@@ -52,6 +53,22 @@ var StaticFeatureNames = append(append([]string{}, FeatureNames...), ptxanalysis
 // FullFeatureNames combines the extended and static predictor sets.
 var FullFeatureNames = append(append([]string{}, ExtendedFeatureNames...), ptxanalysis.FeatureNames...)
 
+// BBFeatureNames are the per-basic-block predictors: static block
+// features of the abstract interpreter (divergence class, coalescing
+// class, stride, live registers) joined with the dynamic per-block
+// execution counts of the DCA and aggregated execution-weighted over
+// the whole model. Appended to any base schema by Config.BBFeatures;
+// its length keeps every schema-width combination pairwise distinct.
+var BBFeatureNames = []string{
+	"bb_count",
+	"bb_exec_divergent_frac",
+	"bb_exec_uniform_branch_frac",
+	"bb_exec_coalesced_frac",
+	"bb_exec_uncoalesced_frac",
+	"bb_mean_stride_bytes",
+	"bb_mean_live_regs",
+}
+
 // Config collects the knobs of the whole pipeline.
 type Config struct {
 	// PTX configures code generation.
@@ -70,6 +87,12 @@ type Config struct {
 	// StaticFeatures adds the ptxanalysis predictors to the schema, so
 	// experiments can A/B the base vector against the static-augmented one.
 	StaticFeatures bool
+	// BBFeatures appends the BBFeatureNames predictors: the DCA records
+	// per-basic-block execution counts (dca.Options.BlockCounts) and the
+	// per-block static features are aggregated execution-weighted. Off
+	// by default; with it off the pipeline output is byte-identical to
+	// the seed (the determinism harness enforces it).
+	BBFeatures bool
 	// Workers bounds the analysis parallelism: models, regressors and
 	// sweep points fan out over a pool of this many goroutines. Zero or
 	// negative selects runtime.GOMAXPROCS(0). Results are assembled in
@@ -203,8 +226,9 @@ func AnalyzeModelContext(ctx context.Context, m *cnn.Model, cfg Config) (*ModelA
 
 	t0 = time.Now()
 	rep, err := dca.AnalyzeProgramContext(ctx, prog, dca.Options{
-		Cache: cfg.Cache,
-		Exec:  dca.ExecOptions{Reference: cfg.ReferenceInterp},
+		Cache:       cfg.Cache,
+		Exec:        dca.ExecOptions{Reference: cfg.ReferenceInterp},
+		BlockCounts: cfg.BBFeatures,
 	})
 	stage("dca.analyze", t0)
 	if err != nil {
@@ -215,8 +239,8 @@ func AnalyzeModelContext(ctx context.Context, m *cnn.Model, cfg Config) (*ModelA
 	}
 
 	t0 = time.Now()
-	_, s = obs.Start(ctx, "static.analysis")
-	static, err := ptxanalysis.AnalyzeModuleCached(prog.Module, cfg.Cache)
+	sctx, s := obs.Start(ctx, "static.analysis")
+	static, err := ptxanalysis.AnalyzeModuleCachedContext(sctx, prog.Module, cfg.Cache)
 	s.End()
 	stage("static.analysis", t0)
 	if err != nil {
@@ -263,17 +287,89 @@ func (a *ModelAnalysis) StaticFeatures(spec gpu.Spec) []float64 {
 	return append(a.Features(spec), a.staticVec()...)
 }
 
-// featuresFor picks the vector variant matching a schema width. The four
-// schemas have pairwise-distinct lengths, so the width identifies the
-// variant.
+// bbVec aggregates the per-basic-block static features of every kernel
+// into the BBFeatureNames vector, weighting each block by its total
+// execution count from the DCA (dca.KernelReport.BlockVisits). A launch
+// without a visit profile — the control slice did not compile to
+// bytecode — falls back to weight 1 per block; a missing analysis
+// yields zeros (deserialised legacy results).
+func (a *ModelAnalysis) bbVec() []float64 {
+	out := make([]float64, len(BBFeatureNames))
+	if a.Static == nil || a.Report == nil {
+		return out
+	}
+	byKernel := make(map[string]*ptxanalysis.KernelAnalysis, len(a.Static.Kernels))
+	var blockCount float64
+	for _, ka := range a.Static.Kernels {
+		byKernel[ka.Kernel] = ka
+		blockCount += float64(len(ka.Blocks))
+	}
+	var wTotal, wDiv, wUni float64
+	var wGlobal, wCoal, wStrided, wKnown, wStrideSum, wLive float64
+	for i := range a.Report.Kernels {
+		kr := &a.Report.Kernels[i]
+		ka := byKernel[kr.Kernel]
+		if ka == nil || len(ka.Blocks) == 0 {
+			continue
+		}
+		for bi := range ka.Blocks {
+			bf := &ka.Blocks[bi]
+			w := 1.0
+			if len(kr.BlockVisits) == len(ka.Blocks) {
+				w = float64(kr.BlockVisits[bi])
+			}
+			wTotal += w
+			switch bf.Branch {
+			case absint.BranchDivergent:
+				wDiv += w
+			case absint.BranchUniform:
+				wUni += w
+			}
+			wGlobal += w * float64(bf.GlobalAccesses)
+			wCoal += w * float64(bf.CoalescedGlobal)
+			wStrided += w * float64(bf.StridedGlobal)
+			wKnown += w * float64(bf.KnownStrideGlobal)
+			wStrideSum += w * float64(bf.SumAbsStrideBytes)
+			wLive += w * float64(bf.LiveIn)
+		}
+	}
+	out[0] = blockCount
+	if wTotal > 0 {
+		out[1] = wDiv / wTotal
+		out[2] = wUni / wTotal
+		out[6] = wLive / wTotal
+	}
+	if wGlobal > 0 {
+		out[3] = wCoal / wGlobal
+		out[4] = wStrided / wGlobal
+	}
+	if wKnown > 0 {
+		out[5] = wStrideSum / wKnown
+	}
+	return out
+}
+
+// featuresFor picks the vector variant matching a schema width. The
+// four base schemas have pairwise-distinct lengths, and appending the
+// BB block keeps all eight combinations pairwise distinct, so the width
+// identifies the variant.
 func (a *ModelAnalysis) featuresFor(spec gpu.Spec, schemaLen int) []float64 {
+	nBB := len(BBFeatureNames)
 	switch schemaLen {
+	case len(FullFeatureNames) + nBB:
+		return append(append(a.ExtendedFeatures(spec), a.staticVec()...), a.bbVec()...)
 	case len(FullFeatureNames):
 		return append(a.ExtendedFeatures(spec), a.staticVec()...)
+	case len(StaticFeatureNames) + nBB:
+		return append(a.StaticFeatures(spec), a.bbVec()...)
 	case len(StaticFeatureNames):
 		return a.StaticFeatures(spec)
+	case len(ExtendedFeatureNames) + nBB:
+		return append(a.ExtendedFeatures(spec), a.bbVec()...)
 	case len(ExtendedFeatureNames):
 		return a.ExtendedFeatures(spec)
+	case len(FeatureNames) + nBB:
+		return append(a.Features(spec), a.bbVec()...)
 	default:
 		return a.Features(spec)
 	}
@@ -327,6 +423,9 @@ func BuildDatasetFromModelsContext(ctx context.Context, models []*cnn.Model, gpu
 		schema = ExtendedFeatureNames
 	case cfg.StaticFeatures:
 		schema = StaticFeatureNames
+	}
+	if cfg.BBFeatures {
+		schema = append(append([]string(nil), schema...), BBFeatureNames...)
 	}
 	// Resolve every GPU and reject duplicate models before spawning any
 	// work, so these errors are deterministic and cheap.

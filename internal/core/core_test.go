@@ -443,6 +443,72 @@ func TestStaticFeatures(t *testing.T) {
 	}
 }
 
+func TestBBFeatures(t *testing.T) {
+	// All eight schema combinations (4 bases x with/without the BB
+	// block) must keep pairwise-distinct widths: featuresFor dispatches
+	// on length.
+	widths := map[int]bool{}
+	for _, s := range [][]string{FeatureNames, ExtendedFeatureNames, StaticFeatureNames, FullFeatureNames} {
+		for _, n := range []int{len(s), len(s) + len(BBFeatureNames)} {
+			if widths[n] {
+				t.Fatalf("duplicate schema width %d", n)
+			}
+			widths[n] = true
+		}
+	}
+
+	cfg := fastConfig()
+	cfg.BBFeatures = true
+	models := []string{"alexnet", "mobilenet", "mobilenetv2"}
+	ds, analyses, err := BuildDataset(models, gpu.TrainingGPUs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(FeatureNames) + len(BBFeatureNames)
+	if len(ds.FeatureNames) != want {
+		t.Fatalf("schema width %d, want %d", len(ds.FeatureNames), want)
+	}
+	if tail := ds.FeatureNames[len(ds.FeatureNames)-1]; tail != "bb_mean_live_regs" {
+		t.Errorf("schema tail = %q", tail)
+	}
+	a := analyses["alexnet"]
+	for i := range a.Report.Kernels {
+		if a.Report.Kernels[i].BlockVisits == nil {
+			t.Errorf("launch %d (%s): BlockVisits not recorded", i, a.Report.Kernels[i].Kernel)
+		}
+	}
+	// The BB block sits at the vector tail; bb_count and the live-
+	// register mean are structurally positive for any real kernel.
+	row := ds.Rows[0]
+	bb := row.X[len(row.X)-len(BBFeatureNames):]
+	if bb[0] <= 0 {
+		t.Errorf("bb_count = %f, want > 0", bb[0])
+	}
+	if bb[6] <= 0 {
+		t.Errorf("bb_mean_live_regs = %f, want > 0", bb[6])
+	}
+	est, err := TrainEstimator(ds, mlearn.NewDecisionTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc, err := est.Predict(a, gpu.MustLookup("t4"))
+	if err != nil {
+		t.Fatalf("bb predict: %v", err)
+	}
+	if ipc <= 0 {
+		t.Errorf("IPC = %f", ipc)
+	}
+	// Composes with the static block: static schema + BB tail.
+	cfg.StaticFeatures = true
+	ds2, _, err := BuildDataset([]string{"alexnet"}, gpu.TrainingGPUs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(ds2.FeatureNames), len(StaticFeatureNames)+len(BBFeatureNames); got != want {
+		t.Errorf("static+bb schema width %d, want %d", got, want)
+	}
+}
+
 func TestEstimatorSaveLoad(t *testing.T) {
 	models := []string{"alexnet", "mobilenet", "mobilenetv2", "squeezenet"}
 	ds, analyses, err := BuildDataset(models, gpu.TrainingGPUs, fastConfig())

@@ -41,6 +41,13 @@ type KernelReport struct {
 	WorkingSetBytes int64
 	// Threads is the number of in-bounds threads.
 	Threads int64
+	// BlockVisits is the launch-total execution count per CFG basic
+	// block (cfg.Build block order, shared with ptxanalysis), scaled by
+	// thread population like Executed. Populated only under
+	// Options.BlockCounts, and nil when the kernel's control slice
+	// cannot be compiled to bytecode — consumers must fall back to
+	// unweighted static block features.
+	BlockVisits []int64
 }
 
 // Report aggregates the dynamic code analysis over a whole program (one
@@ -76,6 +83,11 @@ type Options struct {
 	// kernels — within one model or across the whole zoo — are sliced
 	// and abstractly executed exactly once. Nil disables memoization.
 	Cache *analysiscache.Cache
+	// BlockCounts additionally records per-basic-block execution counts
+	// in KernelReport.BlockVisits (the dynamic weights of the per-block
+	// static features). Off by default: the visit profile costs one
+	// counter array per representative thread.
+	BlockCounts bool
 }
 
 // lintGate rejects kernels whose static analysis reports error-severity
@@ -190,6 +202,9 @@ func analyzeKernelLaunchHit(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep f
 		perClass[c] = n
 	}
 	kr.PerClass = perClass
+	if kr.BlockVisits != nil {
+		kr.BlockVisits = append([]int64(nil), kr.BlockVisits...)
+	}
 	return kr, hit, nil
 }
 
@@ -204,8 +219,8 @@ func launchKey(k *ptx.Kernel, l ptxgen.Launch, opts Options) string {
 		fmt.Fprintf(&params, "%d=%d;", i, l.Params[p.Name])
 	}
 	return analysiscache.KernelKey("dca", k,
-		fmt.Sprintf("grid=%d;block=%d;threads=%d;full=%t;maxsteps=%d;lint=%t;ref=%t",
-			l.GridX, l.BlockX, l.Threads, opts.Exec.Full, opts.Exec.MaxSteps, opts.SkipLint, opts.Exec.Reference),
+		fmt.Sprintf("grid=%d;block=%d;threads=%d;full=%t;maxsteps=%d;lint=%t;ref=%t;bb=%t",
+			l.GridX, l.BlockX, l.Threads, opts.Exec.Full, opts.Exec.MaxSteps, opts.SkipLint, opts.Exec.Reference, opts.BlockCounts),
 		params.String())
 }
 
@@ -250,16 +265,34 @@ func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, p
 	}
 	slice := kp.slice
 
+	// Block-count instrumentation: only the bytecode engine carries the
+	// per-instruction visit counters. Under Reference mode (or after a
+	// compiler bailout) the bytecode is compiled on the side purely for
+	// the profile — the engines are differentially verified identical,
+	// so the replay cannot change the report — and a kernel the
+	// compiler rejects simply reports nil BlockVisits.
+	vck := kp.ck
+	if opts.BlockCounts && vck == nil {
+		vck = compiledKernel(k, slice, opts)
+	}
+	visitsOK := true
+
 	// Engine selection: the compiled register-slot bytecode is the
 	// default; opts.Exec.Reference (or a compiler bailout) runs the
 	// reference tree-walking interpreter instead. Both produce
 	// identical results — the differential fuzz target and the
 	// zoo-wide equivalence tests enforce it.
-	exec := func(tc ThreadCtx) (ExecResult, error) {
+	exec := func(tc ThreadCtx, visits []int64) (ExecResult, error) {
 		if kp.ck != nil {
-			return kp.ck.Execute(k, l.Params, tc)
+			return kp.ck.execute(k, l.Params, tc, visits)
 		}
-		return ExecuteThread(k, slice, l.Params, tc, opts.Exec)
+		res, err := ExecuteThread(k, slice, l.Params, tc, opts.Exec)
+		if err == nil && visits != nil {
+			if _, verr := vck.execute(k, l.Params, tc, visits); verr != nil {
+				visitsOK = false
+			}
+		}
+		return res, err
 	}
 
 	rep := KernelReport{
@@ -274,8 +307,12 @@ func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, p
 		Threads:         l.Threads,
 	}
 
+	var inVisits, oobVisits []int64
+	if opts.BlockCounts && vck != nil {
+		inVisits = make([]int64, len(k.Body))
+	}
 	inCtx := ThreadCtx{CtaID: 0, Tid: 0, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
-	inRes, err := exec(inCtx)
+	inRes, err := exec(inCtx, inVisits)
 	if err != nil {
 		return rep, fmt.Errorf("dca: kernel %s: %w", k.Name, err)
 	}
@@ -294,14 +331,32 @@ func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, p
 		rep.PerClass[c] += active * v
 	}
 	if oob > 0 {
+		if inVisits != nil {
+			oobVisits = make([]int64, len(k.Body))
+		}
 		oobCtx := ThreadCtx{CtaID: int64(l.GridX) - 1, Tid: int64(l.BlockX) - 1, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
-		oobRes, err := exec(oobCtx)
+		oobRes, err := exec(oobCtx, oobVisits)
 		if err != nil {
 			return rep, fmt.Errorf("dca: kernel %s (oob thread): %w", k.Name, err)
 		}
 		rep.Executed += oob * oobRes.Steps
 		for c, v := range oobRes.PerClass {
 			rep.PerClass[c] += oob * v
+		}
+	}
+	if inVisits != nil && visitsOK {
+		// Collapse the per-instruction profile to per-block launch
+		// totals: a block's visit count is its first instruction's (an
+		// early thread exit can starve a block's tail, never its head).
+		if g, cerr := BuildCFG(k); cerr == nil {
+			rep.BlockVisits = make([]int64, len(g.Blocks))
+			for bi, b := range g.Blocks {
+				v := active * inVisits[b.Start]
+				if oobVisits != nil {
+					v += oob * oobVisits[b.Start]
+				}
+				rep.BlockVisits[bi] = v
+			}
 		}
 	}
 	return rep, nil

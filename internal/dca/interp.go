@@ -15,7 +15,16 @@ import (
 // compiled code may be shared by several content-identical kernels, so
 // k supplies the identity of the one actually launched. The frame is a
 // flat int64 array; the steady-state loop performs no allocations.
-func (c *CompiledKernel) Execute(k *ptx.Kernel, params map[string]int64, ctx ThreadCtx) (res ExecResult, err error) {
+func (c *CompiledKernel) Execute(k *ptx.Kernel, params map[string]int64, ctx ThreadCtx) (ExecResult, error) {
+	return c.execute(k, params, ctx, nil)
+}
+
+// execute is Execute with an optional per-instruction visit profile:
+// when visits is non-nil (length len(code)), visits[pc] accumulates how
+// many times pc executed, including counted-but-not-interpreted
+// stretches and closed-form loop iterations. A nil visits costs the hot
+// loop one predictable branch per instruction.
+func (c *CompiledKernel) execute(k *ptx.Kernel, params map[string]int64, ctx ThreadCtx, visits []int64) (res ExecResult, err error) {
 	var perClass [ptx.NumClasses]int64
 	defer func() { res.PerClass = perClassMap(&perClass) }()
 	frame := make([]int64, c.slots)
@@ -62,7 +71,7 @@ func (c *CompiledKernel) Execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 		// affine loop whose entry state is resolvable, charge all n
 		// iterations at once and jump past the loop.
 		if al := c.loops[pc]; al != nil {
-			done, lerr := c.runLoop(al, k, frame, written, &sreg, &res, &perClass)
+			done, lerr := c.runLoop(al, k, frame, written, &sreg, &res, &perClass, visits)
 			if lerr != nil {
 				return res, lerr
 			}
@@ -85,6 +94,11 @@ func (c *CompiledKernel) Execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 			for cl := 0; cl < ptx.NumClasses; cl++ {
 				perClass[cl] += c.classPrefix[top+cl] - c.classPrefix[base+cl]
 			}
+			if visits != nil {
+				for i := pc; i < q; i++ {
+					visits[i]++
+				}
+			}
 			pc = q
 			continue
 		}
@@ -92,6 +106,9 @@ func (c *CompiledKernel) Execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 		res.Steps++
 		perClass[c.class[pc]]++
 		res.Interpreted++
+		if visits != nil {
+			visits[pc]++
+		}
 
 		taken := true
 		if ci.pred >= 0 {
@@ -282,7 +299,7 @@ func (c *CompiledKernel) Execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 // entry state cannot be resolved — the caller interprets the loop
 // normally, which reproduces the reference behavior including its
 // errors and MaxSteps abort.
-func (c *CompiledKernel) runLoop(al *affineLoop, k *ptx.Kernel, frame []int64, written []bool, sreg *[4]int64, res *ExecResult, perClass *[ptx.NumClasses]int64) (done bool, err error) {
+func (c *CompiledKernel) runLoop(al *affineLoop, k *ptx.Kernel, frame []int64, written []bool, sreg *[4]int64, res *ExecResult, perClass *[ptx.NumClasses]int64, visits []int64) (done bool, err error) {
 	if !written[al.ind] {
 		return false, nil // slow path fails at the add, as the reference does
 	}
@@ -323,6 +340,11 @@ func (c *CompiledKernel) runLoop(al *affineLoop, k *ptx.Kernel, frame []int64, w
 	res.BackBranches += n - 1
 	for cl := 0; cl < ptx.NumClasses; cl++ {
 		perClass[cl] += n * al.hist[cl]
+	}
+	if visits != nil {
+		for i := al.start; i < al.end; i++ {
+			visits[i] += n
+		}
 	}
 	frame[al.ind] = v0 + n*al.step
 	exitPred := int64(0)

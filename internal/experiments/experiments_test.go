@@ -262,6 +262,41 @@ func TestStaticFeatureStudyExtension(t *testing.T) {
 	}
 }
 
+func TestBBFeatureStudyExtension(t *testing.T) {
+	s := getSuite(t)
+	base, bb, text, err := s.BBFeatureStudy()
+	if err != nil {
+		t.Fatalf("bb feature study: %v", err)
+	}
+	if !strings.Contains(text, "bb_exec_divergent_frac") || !strings.Contains(text, "decision_tree") {
+		t.Errorf("text malformed:\n%s", text)
+	}
+	byName := func(evals []core.Evaluation, name string) *core.Evaluation {
+		for i := range evals {
+			if evals[i].Name == name {
+				return &evals[i]
+			}
+		}
+		return nil
+	}
+	lb, lbb := byName(base, "linear_regression"), byName(bb, "linear_regression")
+	if lb == nil || lbb == nil {
+		t.Fatalf("missing linear_regression row: base %v bb %v", base, bb)
+	}
+	// The recorded finding (EXPERIMENTS.md): the execution-weighted block
+	// aggregates carry real signal — they roughly halve the linear
+	// model's error — while the greedy tree learners, already near their
+	// floor, pick up variance from the seven extra columns. Pin the
+	// signal half so a regression in the aggregation (e.g. weights
+	// silently collapsing to 1) shows up as a lost improvement.
+	if lbb.MAPE >= lb.MAPE {
+		t.Errorf("bb features no longer help linear regression: %.2f%% -> %.2f%%", lb.MAPE, lbb.MAPE)
+	}
+	if lbb.R2 <= lb.R2 {
+		t.Errorf("bb features no longer lift linear R2: %.3f -> %.3f", lb.R2, lbb.R2)
+	}
+}
+
 func TestDatasetSizeStudyExtension(t *testing.T) {
 	s := getSuite(t)
 	base, enlarged, text, err := s.DatasetSizeStudy()

@@ -222,6 +222,51 @@ func (s *Suite) StaticFeatureStudy() (base, static []core.Evaluation, text strin
 	return base, static, b.String(), nil
 }
 
+// BBFeatureStudy A/Bs the paper's feature vector against the schema
+// with the per-basic-block aggregates appended (abstract-interpretation
+// block features execution-weighted by the DCA per-block visit counts),
+// with the same models, GPUs and split seed, and reports the eval
+// metrics side by side per regressor.
+func (s *Suite) BBFeatureStudy() (base, bb []core.Evaluation, text string, err error) {
+	cfg := s.Cfg
+	cfg.BBFeatures = true
+	ds, _, err := core.BuildDataset(zoo.TableIOrder, gpu.TrainingGPUs, cfg)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	frac := cfg.TrainFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.7
+	}
+	train, eval, err := ds.Split(frac, cfg.SplitSeed)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	bb, err = core.EvaluateRegressors(train, eval, core.DefaultRegressors(cfg.SplitSeed))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	base, err = core.EvaluateRegressors(s.Train, s.Eval, core.DefaultRegressors(cfg.SplitSeed))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	baseBy := map[string]core.Evaluation{}
+	for _, e := range base {
+		baseBy[e.Name] = e
+	}
+	var b strings.Builder
+	b.WriteString("Extension: basic-block feature study (paper set vs +absint block aggregates)\n")
+	fmt.Fprintf(&b, "%-20s %12s %8s %14s %10s\n",
+		"Regression Model", "MAPE (base)", "R2", "MAPE (+bb)", "R2")
+	for _, e := range bb {
+		be := baseBy[e.Name]
+		fmt.Fprintf(&b, "%-20s %11.2f%% %8.3f %13.2f%% %10.3f\n",
+			e.Name, be.MAPE, be.R2, e.MAPE, e.R2)
+	}
+	fmt.Fprintf(&b, "(bb predictors: %s)\n", strings.Join(core.BBFeatureNames, ", "))
+	return base, bb, b.String(), nil
+}
+
 // ExtendedFeatureStudy compares the paper's feature set against the
 // future-work schema with FLOPs and MACs added, using the same split
 // seed.

@@ -1,0 +1,179 @@
+package absint
+
+import (
+	"fmt"
+	"math"
+)
+
+// The interval component of the lattice. Bounds saturate at the int64
+// limits, which double as -inf/+inf; every operation is conservative
+// (the result interval contains every concretely reachable value).
+
+// NegInf and PosInf are the saturated bounds standing in for the
+// unbounded ends of an interval.
+const (
+	NegInf = math.MinInt64
+	PosInf = math.MaxInt64
+)
+
+// Interval is the inclusive range [Lo, Hi] of an abstract integer.
+// Lo > Hi never occurs in a normalized interval.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Top is the unbounded interval.
+func Top() Interval { return Interval{NegInf, PosInf} }
+
+// Const is the singleton interval [v, v].
+func Const(v int64) Interval { return Interval{v, v} }
+
+// IsTop reports whether the interval is unbounded on both ends.
+func (iv Interval) IsTop() bool { return iv.Lo == NegInf && iv.Hi == PosInf }
+
+// IsConst reports whether the interval is a singleton, returning its value.
+func (iv Interval) IsConst() (int64, bool) { return iv.Lo, iv.Lo == iv.Hi }
+
+// Eq reports exact structural equality.
+func (iv Interval) Eq(o Interval) bool { return iv.Lo == o.Lo && iv.Hi == o.Hi }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v int64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Join is the least upper bound (interval hull).
+func (iv Interval) Join(o Interval) Interval {
+	return Interval{minI(iv.Lo, o.Lo), maxI(iv.Hi, o.Hi)}
+}
+
+// Widen escapes any bound that grew since prev to infinity, guaranteeing
+// the ascending chain stabilizes.
+func (iv Interval) Widen(next Interval) Interval {
+	w := next
+	if next.Lo < iv.Lo {
+		w.Lo = NegInf
+	}
+	if next.Hi > iv.Hi {
+		w.Hi = PosInf
+	}
+	return w
+}
+
+func (iv Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != NegInf {
+		lo = fmt.Sprint(iv.Lo)
+	}
+	if iv.Hi != PosInf {
+		hi = fmt.Sprint(iv.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// satAdd adds with saturation; an infinite operand dominates.
+func satAdd(a, b int64) int64 {
+	if a == PosInf || b == PosInf {
+		return PosInf
+	}
+	if a == NegInf || b == NegInf {
+		return NegInf
+	}
+	s := a + b
+	// Overflow iff the operands share a sign the sum lost.
+	if a > 0 && b > 0 && s < 0 {
+		return PosInf
+	}
+	if a < 0 && b < 0 && s >= 0 {
+		return NegInf
+	}
+	return s
+}
+
+// satMul multiplies with saturation, treating the infinities by sign
+// (0 * inf saturates conservatively rather than being 0: the infinity
+// arose from widening, so the concrete factor is unknown).
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		if a == NegInf || a == PosInf || b == NegInf || b == PosInf {
+			return 0 // exact zero annihilates even a widened bound
+		}
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	if a == NegInf || a == PosInf || b == NegInf || b == PosInf {
+		if neg {
+			return NegInf
+		}
+		return PosInf
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) {
+		if neg {
+			return NegInf
+		}
+		return PosInf
+	}
+	return p
+}
+
+// Add returns the interval sum.
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{satAdd(iv.Lo, o.Lo), satAdd(iv.Hi, o.Hi)}
+}
+
+// Sub returns the interval difference.
+func (iv Interval) Sub(o Interval) Interval {
+	return Interval{satAdd(iv.Lo, satNeg(o.Hi)), satAdd(iv.Hi, satNeg(o.Lo))}
+}
+
+// Neg returns the negated interval.
+func (iv Interval) Neg() Interval {
+	return Interval{satNeg(iv.Hi), satNeg(iv.Lo)}
+}
+
+func satNeg(a int64) int64 {
+	switch a {
+	case NegInf:
+		return PosInf
+	case PosInf:
+		return NegInf
+	default:
+		return -a
+	}
+}
+
+// Mul returns the interval product (hull of the corner products).
+func (iv Interval) Mul(o Interval) Interval {
+	c := [4]int64{
+		satMul(iv.Lo, o.Lo), satMul(iv.Lo, o.Hi),
+		satMul(iv.Hi, o.Lo), satMul(iv.Hi, o.Hi),
+	}
+	out := Interval{c[0], c[0]}
+	for _, v := range c[1:] {
+		out.Lo = minI(out.Lo, v)
+		out.Hi = maxI(out.Hi, v)
+	}
+	return out
+}
+
+// MinI / MaxI are the interval min and max.
+func (iv Interval) MinI(o Interval) Interval {
+	return Interval{minI(iv.Lo, o.Lo), minI(iv.Hi, o.Hi)}
+}
+
+func (iv Interval) MaxI(o Interval) Interval {
+	return Interval{maxI(iv.Lo, o.Lo), maxI(iv.Hi, o.Hi)}
+}

@@ -9,11 +9,14 @@
 package ptxanalysis
 
 import (
+	"context"
 	"fmt"
 
 	"cnnperf/internal/analysiscache"
+	"cnnperf/internal/obs"
 	"cnnperf/internal/ptx"
 	"cnnperf/internal/ptx/cfg"
+	"cnnperf/internal/ptxanalysis/absint"
 )
 
 // KernelAnalysis bundles every static-analysis result of one kernel.
@@ -39,6 +42,13 @@ type KernelAnalysis struct {
 	Pressure Pressure
 	// Mix is the static instruction-mix profile.
 	Mix Mix
+	// Abs is the abstract-interpretation fixpoint (nil for empty
+	// kernels): per-block value states, branch divergence classes and
+	// memory-access coalescing classes.
+	Abs *absint.Result
+	// Blocks are the per-basic-block static feature vectors (nil for
+	// empty kernels), parallel to CFG.Blocks.
+	Blocks []BlockFeatures
 	// Diags are the lint findings, errors first.
 	Diags []Diag
 }
@@ -48,6 +58,15 @@ type KernelAnalysis struct {
 // empty-kernel diagnostic; structurally broken bodies (branches to
 // unresolved labels) return an error.
 func AnalyzeKernel(k *ptx.Kernel) (*KernelAnalysis, error) {
+	return AnalyzeKernelContext(context.Background(), k)
+}
+
+// AnalyzeKernelContext is AnalyzeKernel recording the abstract
+// interpretation as an "absint" span when ctx carries a tracer; the
+// fixpoint iteration count additionally feeds the absint_iterations
+// histogram when a metrics registry is wired in (RegisterMetrics).
+// Tracing never changes the computed analysis.
+func AnalyzeKernelContext(ctx context.Context, k *ptx.Kernel) (*KernelAnalysis, error) {
 	if k == nil {
 		return nil, fmt.Errorf("ptxanalysis: nil kernel")
 	}
@@ -76,6 +95,13 @@ func AnalyzeKernel(k *ptx.Kernel) (*KernelAnalysis, error) {
 	a.Live = ComputeLiveness(k, g)
 	a.Pressure = ComputePressure(k, g, a.Live)
 	a.Mix = ComputeMix(k)
+	_, span := obs.Start(ctx, "absint", obs.String("kernel", k.Name))
+	a.Abs = absint.Analyze(k, g)
+	span.SetAttr(obs.Int("iterations", a.Abs.Iterations), obs.Int("facts", a.Abs.Facts()),
+		obs.Int("widenings", a.Abs.Widenings))
+	span.End()
+	observeAbsintIterations(a.Abs.Iterations)
+	a.Blocks = computeBlockFeatures(k, g, a.Live, a.Abs)
 	a.Diags = a.lint(k)
 	return a, nil
 }
@@ -114,13 +140,19 @@ func AnalyzeModule(m *ptx.Module) (*ModuleAnalysis, error) {
 // under any name, in any module — is not re-analysed. A nil cache
 // disables memoization.
 func AnalyzeModuleCached(m *ptx.Module, c *analysiscache.Cache) (*ModuleAnalysis, error) {
+	return AnalyzeModuleCachedContext(context.Background(), m, c)
+}
+
+// AnalyzeModuleCachedContext is AnalyzeModuleCached with span tracing
+// of the per-kernel abstract interpretation.
+func AnalyzeModuleCachedContext(ctx context.Context, m *ptx.Module, c *analysiscache.Cache) (*ModuleAnalysis, error) {
 	if m == nil {
 		return nil, fmt.Errorf("ptxanalysis: nil module")
 	}
 	out := &ModuleAnalysis{}
 	var wBranch, wFP, wMem, wShared, wCoal float64
 	for _, k := range m.Kernels {
-		a, err := analyzeKernelCached(k, c)
+		a, err := analyzeKernelCached(ctx, k, c)
 		if err != nil {
 			return nil, err
 		}
@@ -157,13 +189,15 @@ func AnalyzeModuleCached(m *ptx.Module, c *analysiscache.Cache) (*ModuleAnalysis
 // analyzeKernelCached memoizes AnalyzeKernel by kernel content. On a hit
 // from a content-identical kernel under a different name, the analysis
 // is shallow-copied with its identity re-stamped; the heavyweight
-// structures (CFG, dominator trees, liveness) are shared read-only.
-func analyzeKernelCached(k *ptx.Kernel, c *analysiscache.Cache) (*KernelAnalysis, error) {
+// structures (CFG, dominator trees, liveness, the absint fixpoint and
+// the block features — none of which carry the kernel name) are shared
+// read-only.
+func analyzeKernelCached(ctx context.Context, k *ptx.Kernel, c *analysiscache.Cache) (*KernelAnalysis, error) {
 	if c == nil {
-		return AnalyzeKernel(k)
+		return AnalyzeKernelContext(ctx, k)
 	}
 	v, _, err := c.GetOrCompute(analysiscache.KernelKey("ptxa", k), func() (any, error) {
-		return AnalyzeKernel(k)
+		return AnalyzeKernelContext(ctx, k)
 	})
 	if err != nil {
 		return nil, err

@@ -80,6 +80,29 @@ const (
 	// CodeMalformed: the kernel is structurally broken (e.g. a branch to
 	// an unresolved label) and could not be analysed at all.
 	CodeMalformed = "PTXA008"
+
+	// The PTXA009-PTXA014 codes are derived from the abstract
+	// interpreter (internal/ptxanalysis/absint). They are never
+	// error-severity: the DCA gate and the default pipeline outputs are
+	// unaffected by their presence.
+
+	// CodeConstBranch: a branch guard the value analysis proves constant.
+	CodeConstBranch = "PTXA009"
+	// CodeUncoalescedAccess: a global access with a proven per-thread
+	// stride of a full memory sector or more.
+	CodeUncoalescedAccess = "PTXA010"
+	// CodeDivergentBarrier: a barrier control-dependent on a proven
+	// thread-dependent branch condition.
+	CodeDivergentBarrier = "PTXA011"
+	// CodeLoopInvariantLoad: a load whose address never changes inside
+	// its loop (hoistable).
+	CodeLoopInvariantLoad = "PTXA012"
+	// CodeUnreachableByValue: a structurally reachable block no
+	// parameter or thread assignment can reach (constant guards).
+	CodeUnreachableByValue = "PTXA013"
+	// CodeBankConflict: a shared-memory access with a provably
+	// conflicting bank stride.
+	CodeBankConflict = "PTXA014"
 )
 
 // Diag is one lint diagnostic anchored to an instruction.
@@ -207,6 +230,9 @@ func (a *KernelAnalysis) lint(k *ptx.Kernel) []Diag {
 		}
 	}
 
+	// PTXA009-PTXA014: the abstract-interpretation findings.
+	a.lintAbsint(k, add)
+
 	// PTXA007 irreducible back edges (no natural loop).
 	for _, e := range a.CFG.BackEdges() {
 		if !a.Dom.Dominates(e[1], e[0]) {
@@ -236,14 +262,32 @@ func LintKernel(k *ptx.Kernel) []Diag {
 	return a.Diags
 }
 
-// Lint analyses every kernel of a module and concatenates the
-// diagnostics.
+// Lint analyses every kernel of a module and returns the diagnostics
+// in the stable reporting order: sorted by (kernel, line, code). The
+// per-kernel Diags fields keep their severity-first order; this module
+// view is the deterministic contract CLI and serving output rely on.
 func Lint(m *ptx.Module) []Diag {
 	var out []Diag
 	for _, k := range m.Kernels {
 		out = append(out, LintKernel(k)...)
 	}
+	SortDiags(out)
 	return out
+}
+
+// SortDiags orders diagnostics by (kernel, line, code) — the stable
+// reporting contract of `cnnperf lint` and /v1/lint.
+func SortDiags(diags []Diag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Code < b.Code
+	})
 }
 
 // LintErrors computes only the error-severity diagnostics of a kernel —

@@ -1,0 +1,142 @@
+package ptxanalysis
+
+import (
+	"cnnperf/internal/ptx"
+	"cnnperf/internal/ptxanalysis/absint"
+)
+
+// The second-generation lint checks, PTXA009-PTXA014, derived from the
+// abstract-interpretation facts. All of them are warning- or
+// info-severity: they never feed the DCA gate, so enabling them cannot
+// change which kernels the pipeline accepts.
+
+// lintAbsint appends the dataflow-derived diagnostics of one kernel.
+// Assumes a.Abs, a.CFG, a.PostDom and a.Loops are populated.
+func (a *KernelAnalysis) lintAbsint(k *ptx.Kernel, add func(sev Severity, line int, code, format string, args ...any)) {
+	abs := a.Abs
+
+	// PTXA009: a branch whose guard the value analysis decides — the
+	// condition is constant for every parameter and thread assignment.
+	for _, br := range abs.Branch {
+		if !br.Const {
+			continue
+		}
+		dir := "never"
+		if br.Taken {
+			dir = "always"
+		}
+		add(SevWarning, br.Line, CodeConstBranch,
+			"branch guard %s is provably constant: the branch is %s taken", k.Body[br.Line].Pred, dir)
+	}
+
+	// PTXA010: a global access with a proven per-thread stride at or
+	// past a full 32-byte sector — every lane of a warp pays its own
+	// memory transaction. PTXA014: a shared access whose stride lands
+	// multiple lanes on one bank.
+	for _, acc := range abs.Accesses {
+		switch acc.Space {
+		case absint.SpaceGlobal:
+			s := acc.StrideBytes
+			if s < 0 {
+				s = -s
+			}
+			if acc.Class == absint.CoalStrided && s >= absint.UncoalescedStrideBytes {
+				add(SevWarning, acc.Line, CodeUncoalescedAccess,
+					"global access stride is %d bytes per thread (>= %d): provably uncoalesced",
+					acc.StrideBytes, absint.UncoalescedStrideBytes)
+			}
+		case absint.SpaceShared:
+			if acc.ConflictWays >= 2 {
+				add(SevWarning, acc.Line, CodeBankConflict,
+					"shared-memory access stride of %d bytes per thread causes a %d-way bank conflict",
+					acc.StrideBytes, acc.ConflictWays)
+			}
+		}
+	}
+
+	// PTXA011: a barrier control-dependent on a thread-dependent
+	// branch — threads of one block can disagree on reaching it, the
+	// classic data-dependent-divergence hang. (PTXA005 flags the
+	// structural form; this one proves the controlling condition is
+	// actually thread-dependent.)
+	for i, in := range k.Body {
+		if !ptx.IsBarrier(in.Opcode) {
+			continue
+		}
+		bb := a.CFG.BlockOf(i)
+		for ci, br := range abs.Branch {
+			if br.Class != absint.BranchDivergent {
+				continue
+			}
+			if a.PostDom.Dominates(bb, ci) {
+				continue // the barrier is reached whichever way ci goes
+			}
+			ctrl := false
+			for _, s := range a.CFG.Blocks[ci].Succs {
+				if a.PostDom.Dominates(bb, s) {
+					ctrl = true
+					break
+				}
+			}
+			if ctrl {
+				add(SevWarning, i, CodeDivergentBarrier,
+					"%s is control-dependent on the thread-dependent branch at line %d (divergence hang hazard)",
+					in.Opcode, br.Line)
+				break // one finding per barrier
+			}
+		}
+	}
+
+	// PTXA012: an unguarded load inside a natural loop whose address
+	// register is never written in the loop — the same location is
+	// re-read every iteration and the load is hoistable. A load inside
+	// nested loops is reported once.
+	flagged := make(map[int]bool)
+	for _, l := range a.Loops {
+		inLoop := make(map[int]bool, len(l.Blocks))
+		for _, bi := range l.Blocks {
+			inLoop[bi] = true
+		}
+		definedInLoop := make(map[string]bool)
+		for _, bi := range l.Blocks {
+			b := a.CFG.Blocks[bi]
+			for i := b.Start; i < b.End; i++ {
+				if d := k.Body[i].Dest(); d != "" {
+					definedInLoop[d] = true
+				}
+			}
+		}
+		for _, bi := range l.Blocks {
+			b := a.CFG.Blocks[bi]
+			for i := b.Start; i < b.End; i++ {
+				in := k.Body[i]
+				c := in.Class()
+				if (c != ptx.ClassLoad && c != ptx.ClassLoadShared) || in.Pred != "" {
+					continue
+				}
+				if absint.AccessSpaceOf(in.Opcode) == absint.SpaceParam {
+					continue
+				}
+				r := absint.AddrRegOf(&in)
+				if r == "" || definedInLoop[r] || flagged[i] {
+					continue
+				}
+				flagged[i] = true
+				add(SevInfo, i, CodeLoopInvariantLoad,
+					"load address %s is invariant in the loop at depth %d: the load is hoistable", r, l.Depth)
+			}
+		}
+	}
+
+	// PTXA013: a block every structural path can reach but no value
+	// assignment does — the constant-guard pruning of the abstract
+	// interpreter proved all its incoming edges infeasible.
+	reach := a.CFG.Reachable()
+	for bi, structurally := range reach {
+		if structurally && !abs.Reached[bi] {
+			add(SevWarning, a.CFG.Blocks[bi].Start, CodeUnreachableByValue,
+				"basic block %d (instructions %d-%d) is unreachable for every parameter and thread assignment",
+				bi, a.CFG.Blocks[bi].Start, a.CFG.Blocks[bi].End-1)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package ptxanalysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cnnperf/internal/ptx"
+)
+
+// fixtureModule exercises every abstract-interpretation lint code on one
+// crafted kernel per code. Kernel names sort in the order the module-
+// level contract must emit them.
+const fixtureModule = `
+.version 6.0
+.target sm_61
+.address_size 64
+
+.visible .entry bank()
+{
+	mov.u32 %r1, %tid.x;
+	mul.wide.s32 %rd1, %r1, 8;
+	ld.shared.f32 %f1, [%rd1];
+	st.global.f32 [%rd1], %f1;
+	ret;
+}
+
+.visible .entry constbr()
+{
+	mov.u32 %r1, 5;
+	setp.lt.s32 %p1, %r1, 3;
+	@%p1 bra DEAD;
+	ret;
+DEAD:
+	mov.u32 %r2, 1;
+	ret;
+}
+
+.visible .entry divbar()
+{
+	mov.u32 %r1, %tid.x;
+	setp.lt.s32 %p1, %r1, 16;
+	@%p1 bra SKIP;
+	bar.sync 0;
+SKIP:
+	ret;
+}
+
+.visible .entry hoist(
+.param .u64 p0
+)
+{
+	ld.param.u64 %rd1, [p0];
+	mov.u32 %r1, 0;
+L:
+	ld.global.f32 %f1, [%rd1];
+	st.global.f32 [%rd1], %f1;
+	add.s32 %r1, %r1, 1;
+	setp.lt.s32 %p1, %r1, 16;
+	@%p1 bra L;
+	ret;
+}
+
+.visible .entry strided(
+.param .u64 p0
+)
+{
+	ld.param.u64 %rd1, [p0];
+	mov.u32 %r1, %tid.x;
+	mul.wide.s32 %rd2, %r1, 64;
+	add.s64 %rd3, %rd1, %rd2;
+	ld.global.f32 %f1, [%rd3];
+	st.global.f32 [%rd3], %f1;
+	ret;
+}
+`
+
+func lintFixture(t *testing.T) []Diag {
+	t.Helper()
+	m, err := ptx.Parse(fixtureModule)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return Lint(m)
+}
+
+// TestAbsintLintCodes checks each PTXA009-PTXA014 code fires on its
+// crafted kernel (and only there).
+func TestAbsintLintCodes(t *testing.T) {
+	diags := lintFixture(t)
+	got := make(map[string]map[string]int) // code -> kernel -> count
+	for _, d := range diags {
+		if got[d.Code] == nil {
+			got[d.Code] = make(map[string]int)
+		}
+		got[d.Code][d.Kernel]++
+	}
+	want := map[string]map[string]int{
+		CodeConstBranch:        {"constbr": 1},
+		CodeUncoalescedAccess:  {"strided": 2}, // load and store
+		CodeDivergentBarrier:   {"divbar": 1},
+		CodeLoopInvariantLoad:  {"hoist": 1},
+		CodeUnreachableByValue: {"constbr": 1},
+		CodeBankConflict:       {"bank": 1},
+	}
+	for code, kernels := range want {
+		for kernel, n := range kernels {
+			if got[code][kernel] != n {
+				t.Errorf("%s on %s: %d findings, want %d", code, kernel, got[code][kernel], n)
+			}
+		}
+		for kernel := range got[code] {
+			if kernels[kernel] == 0 {
+				t.Errorf("%s unexpectedly fired on kernel %s", code, kernel)
+			}
+		}
+	}
+	// The sub-threshold global stride in "bank" (8 bytes/thread) must
+	// not trip PTXA010: the code is for proven full-sector strides.
+	if got[CodeUncoalescedAccess]["bank"] != 0 {
+		t.Error("PTXA010 fired on an 8-byte stride")
+	}
+	// None of the absint codes may be error-severity: they must never
+	// move the DCA gate.
+	for _, d := range diags {
+		switch d.Code {
+		case CodeConstBranch, CodeUncoalescedAccess, CodeDivergentBarrier,
+			CodeLoopInvariantLoad, CodeUnreachableByValue, CodeBankConflict:
+			if d.Severity == SevError {
+				t.Errorf("%s is error-severity: %s", d.Code, d)
+			}
+		}
+	}
+	if HasErrors(diags) {
+		t.Errorf("fixture module must carry no error-severity findings")
+	}
+}
+
+// TestLintDeterministicOrder: the module-level contract orders
+// diagnostics by (kernel, line, code), and repeated runs are identical.
+func TestLintDeterministicOrder(t *testing.T) {
+	diags := lintFixture(t)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		inOrder := a.Kernel < b.Kernel ||
+			(a.Kernel == b.Kernel && (a.Line < b.Line ||
+				(a.Line == b.Line && a.Code <= b.Code)))
+		if !inOrder {
+			t.Errorf("diags[%d] %v sorts after diags[%d] %v", i-1, a, i, b)
+		}
+	}
+	again := lintFixture(t)
+	if len(again) != len(diags) {
+		t.Fatalf("second run: %d diagnostics, first: %d", len(again), len(diags))
+	}
+	for i := range diags {
+		if diags[i] != again[i] {
+			t.Errorf("run-to-run mismatch at %d: %v vs %v", i, diags[i], again[i])
+		}
+	}
+}
+
+// TestLintGoldenJSON pins the machine-readable diagnostic schema: the
+// JSON encoding of the fixture module's diagnostics must match the
+// checked-in golden byte for byte. Regenerate with
+// UPDATE_LINT_GOLDEN=1 go test ./internal/ptxanalysis -run TestLintGoldenJSON
+func TestLintGoldenJSON(t *testing.T) {
+	diags := lintFixture(t)
+	got, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "lint_golden.json")
+	if os.Getenv("UPDATE_LINT_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_LINT_GOLDEN=1): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("diagnostic JSON drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// The JSON round trip must preserve every field, including the
+	// named severity encoding.
+	var back []Diag
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	for i := range diags {
+		if back[i] != diags[i] {
+			t.Errorf("round trip changed diags[%d]: %v vs %v", i, back[i], diags[i])
+		}
+	}
+}

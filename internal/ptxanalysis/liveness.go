@@ -73,7 +73,11 @@ func ComputeLiveness(k *ptx.Kernel, g *cfg.Graph) *Liveness {
 					u[r] = true
 				}
 			}
-			if r := def(in); r != "" {
+			// A guarded definition is a may-def: when the predicate is
+			// false the old value flows through, so it must not kill
+			// liveness (else an upstream use-before-def is masked and an
+			// upstream store is wrongly declared dead).
+			if r := def(in); r != "" && in.Pred == "" {
 				d[r] = true
 			}
 		}
@@ -174,7 +178,11 @@ func ComputeLiveness(k *ptx.Kernel, g *cfg.Graph) *Liveness {
 				if !live[r] && in.Pred == "" {
 					lv.DeadDefs = append(lv.DeadDefs, i)
 				}
-				delete(live, r)
+				// Only an unguarded definition kills the value flowing
+				// from above; a may-def leaves it observable.
+				if in.Pred == "" {
+					delete(live, r)
+				}
 			}
 			for _, r := range uses(in) {
 				live[r] = true
@@ -255,7 +263,10 @@ func ComputePressure(k *ptx.Kernel, g *cfg.Graph, lv *Liveness) Pressure {
 		measure(live)
 		for i := b.End - 1; i >= b.Start; i-- {
 			in := k.Body[i]
-			if r := def(in); r != "" {
+			// Mirror the liveness kill rule: a guarded definition may
+			// preserve the incoming value, which therefore stays live
+			// (and counted) across it.
+			if r := def(in); r != "" && in.Pred == "" {
 				delete(live, r)
 			}
 			for _, r := range uses(in) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cnnperf/internal/ptx/cfg"
+	"cnnperf/internal/ptxanalysis/absint"
 )
 
 // Fixture 1 — straight-line kernel, hand-computed liveness walk:
@@ -140,5 +141,109 @@ func TestLivenessDiamond(t *testing.T) {
 	}
 	if p.ByType[".b64"] != 1 || p.ByType[".b32"] != 2 || p.ByType[".pred"] != 1 {
 		t.Errorf("pressure by type = %v, want .b64:1 .b32:2 .pred:1", p.ByType)
+	}
+}
+
+// Predicated definitions are may-defs: when the guard is false the old
+// value flows through. The two regression tests below pin the corrected
+// kill rule from both directions.
+
+// TestPredicatedDefNoFalseDeadStore: an unconditional store whose value
+// a later predicated definition may overwrite is still observable on
+// the guard-false path — it must not be reported dead (PTXA002 FP).
+func TestPredicatedDefNoFalseDeadStore(t *testing.T) {
+	k := parseKernel(t, `
+	mov.u32 %r1, 1;
+	mov.u32 %r2, %tid.x;
+	setp.lt.s32 %p1, %r2, 4;
+	@%p1 mov.u32 %r1, 2;
+	st.global.u32 [%r2], %r1;
+	ret;
+`)
+	g, err := cfg.Build(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	lv := ComputeLiveness(k, g)
+	if len(lv.DeadDefs) != 0 {
+		t.Errorf("dead defs = %v, want none: the may-def at i3 does not kill i0", lv.DeadDefs)
+	}
+	a, err := AnalyzeKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range a.Diags {
+		if d.Code == CodeDeadStore {
+			t.Errorf("false-positive dead store: %s", d)
+		}
+	}
+}
+
+// TestPredicatedDefKeepsUseBeforeDef: a register defined only under a
+// predicate may still be read undefined on the guard-false path — the
+// may-def must not mask the use-before-def (PTXA001 FN).
+func TestPredicatedDefKeepsUseBeforeDef(t *testing.T) {
+	k := parseKernel(t, `
+	mov.u32 %r2, %tid.x;
+	setp.lt.s32 %p1, %r2, 4;
+	@%p1 mov.u32 %r1, 2;
+	add.s32 %r3, %r1, 1;
+	st.global.u32 [%r2], %r3;
+	ret;
+`)
+	g, err := cfg.Build(k)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	lv := ComputeLiveness(k, g)
+	if at, ok := lv.UseBeforeDef["%r1"]; !ok || at != 3 {
+		t.Errorf("UseBeforeDef[%%r1] = %d,%t, want 3,true: the may-def must not mask it", at, ok)
+	}
+	diags := LintKernel(k)
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeUseBeforeDef && d.Line == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PTXA001 missing for the guard-false path, got %v", diags)
+	}
+	// The pressure walk mirrors the same kill rule: %r1 stays live (and
+	// counted) across its may-def, so at i3 {%r2,%p1,%r1} are live.
+	p := ComputePressure(k, g, lv)
+	if p.ByType[".b32"] < 2 {
+		t.Errorf(".b32 pressure = %d, want >= 2 (may-def keeps %%r1 live)", p.ByType[".b32"])
+	}
+}
+
+// TestUndefUseAudit differentially audits the liveness-based PTXA001
+// against the abstract interpreter's flow-sensitive undef tracking:
+// every register the value analysis sees read while possibly undefined
+// must also be flagged by the (more conservative, flow-insensitive)
+// liveness dataflow.
+func TestUndefUseAudit(t *testing.T) {
+	bodies := []string{
+		// Plain use-before-def.
+		"\tadd.s32 %r1, %r2, 1;\n\tst.global.u32 [%r1], %r1;\n\tret;\n",
+		// May-def only.
+		"\tmov.u32 %r2, %tid.x;\n\tsetp.lt.s32 %p1, %r2, 4;\n\t@%p1 mov.u32 %r1, 2;\n\tadd.s32 %r3, %r1, 1;\n\tst.global.u32 [%r2], %r3;\n\tret;\n",
+		// Defined on every path: clean.
+		diamondBody,
+	}
+	for i, body := range bodies {
+		k := parseKernel(t, body)
+		g, err := cfg.Build(k)
+		if err != nil {
+			t.Fatalf("kernel %d cfg: %v", i, err)
+		}
+		lv := ComputeLiveness(k, g)
+		abs := absint.Analyze(k, g)
+		for _, uu := range abs.UndefUses {
+			if _, ok := lv.UseBeforeDef[uu.Reg]; !ok {
+				t.Errorf("kernel %d: absint sees %s read undefined at line %d but liveness PTXA001 misses it",
+					i, uu.Reg, uu.Line)
+			}
+		}
 	}
 }

@@ -1,0 +1,38 @@
+package ptxanalysis
+
+import (
+	"sync/atomic"
+
+	"cnnperf/internal/obs"
+)
+
+// The package publishes one instrument: a histogram of abstract-
+// interpretation fixpoint iterations per analysed kernel. Analysis
+// code runs in contexts with and without a serving-metrics registry,
+// so the wiring is a process-wide atomic hook: RegisterMetrics installs
+// the histogram (the daemon does this at startup) and every
+// AnalyzeKernel observes into it when present. Without registration
+// the observation is a single atomic load — effectively free.
+
+// absintIterationBuckets grade kernels by fixpoint cost: straight-line
+// kernels settle in a handful of block transfers, loopy ones in tens.
+var absintIterationBuckets = []float64{2, 4, 8, 16, 32, 64, 128, 256}
+
+var absintHist atomic.Pointer[obs.Histogram]
+
+// RegisterMetrics installs the package's instruments into the given
+// registry. Call once at process startup (the serving daemon does);
+// later calls swap the target registry.
+func RegisterMetrics(reg *obs.Registry) {
+	absintHist.Store(reg.Histogram("cnnperfd_absint_iterations",
+		"Abstract-interpretation fixpoint iterations per analysed kernel.",
+		absintIterationBuckets))
+}
+
+// observeAbsintIterations records one kernel's fixpoint iteration count
+// when a metrics registry is wired in.
+func observeAbsintIterations(iters int) {
+	if h := absintHist.Load(); h != nil {
+		h.Observe(float64(iters))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"cnnperf/internal/analysiscache"
 	"cnnperf/internal/obs"
 	"cnnperf/internal/parallel"
+	"cnnperf/internal/ptxanalysis"
 )
 
 // The serving telemetry is a thin façade over an obs.Registry: every
@@ -93,6 +94,9 @@ func newMetrics(cache *analysiscache.Cache, pool *parallel.Pool) *metrics {
 		func() float64 { return float64(pool.Stats().Active) })
 	reg.CounterFunc("cnnperfd_pool_tasks_completed_total", "Pool tasks completed.",
 		func() float64 { return float64(pool.Stats().Completed) })
+	// Analysis-side instruments (the absint fixpoint-iterations
+	// histogram) publish through the same registry.
+	ptxanalysis.RegisterMetrics(reg)
 	return m
 }
 

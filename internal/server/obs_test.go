@@ -158,6 +158,7 @@ func TestMetricsContentNegotiation(t *testing.T) {
 			for _, want := range []string{
 				"cnnperfd_requests_total", "cnnperfd_request_duration_seconds_bucket",
 				"cnnperfd_cache_hits_total", "cnnperfd_pool_workers", "cnnperfd_uptime_seconds",
+				"cnnperfd_absint_iterations",
 			} {
 				if !strings.Contains(string(raw), want) {
 					t.Errorf("exposition missing %s", want)

@@ -1,0 +1,106 @@
+package cnnperf_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"cnnperf"
+)
+
+// TestZooLintRatchet is the zoo-wide lint ratchet: every model's
+// diagnostic counts per code are pinned in testdata/lint_baseline.json.
+// Error-severity findings fail outright (the zoo must stay executable),
+// and any count above the baseline fails — a change may only introduce
+// new warnings deliberately, by regenerating the baseline with
+//
+//	UPDATE_LINT_BASELINE=1 go test -run TestZooLintRatchet .
+//
+// Counts below the baseline only log, so fixes land without churn.
+func TestZooLintRatchet(t *testing.T) {
+	cfg := cnnperf.DefaultConfig()
+	cfg.Cache = cnnperf.NewAnalysisCache(0)
+	models := cnnperf.ModelNames()
+
+	counts := make(map[string]map[string]int, len(models))
+	var mu sync.Mutex
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, name := range models {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			diags, err := cnnperf.LintCNN(name, cfg)
+			if err != nil {
+				t.Errorf("lint %s: %v", name, err)
+				return
+			}
+			byCode := make(map[string]int)
+			for _, d := range diags {
+				if d.Severity == cnnperf.SevError {
+					t.Errorf("zoo model %s has an error-severity finding: %s", name, d)
+				}
+				byCode[d.Code]++
+			}
+			mu.Lock()
+			counts[name] = byCode
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	baselinePath := filepath.Join("testdata", "lint_baseline.json")
+	if os.Getenv("UPDATE_LINT_BASELINE") != "" {
+		buf, err := json.MarshalIndent(counts, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(baselinePath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("read baseline (regenerate with UPDATE_LINT_BASELINE=1): %v", err)
+	}
+	baseline := make(map[string]map[string]int)
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+
+	for _, name := range models {
+		base := baseline[name] // missing model: all-zero, any finding ratchets
+		codes := make([]string, 0, len(counts[name])+len(base))
+		seen := make(map[string]bool)
+		for c := range counts[name] {
+			codes = append(codes, c)
+			seen[c] = true
+		}
+		for c := range base {
+			if !seen[c] {
+				codes = append(codes, c)
+			}
+		}
+		sort.Strings(codes)
+		for _, code := range codes {
+			got, want := counts[name][code], base[code]
+			switch {
+			case got > want:
+				t.Errorf("ratchet: %s %s count %d > baseline %d — fix the regression or regenerate the baseline deliberately",
+					name, code, got, want)
+			case got < want:
+				t.Logf("ratchet improvement: %s %s count %d < baseline %d (baseline can be tightened)",
+					name, code, got, want)
+			}
+		}
+	}
+}
