@@ -21,6 +21,9 @@
 //	cnnperf dse <model> [-power W] [-latency s] [-eff]
 //	                                    rank candidate GPUs under constraints
 //	cnnperf stats                       dataset feature statistics
+//	cnnperf store <warm|export|import|verify|gc>
+//	                                    manage the persistent artifact store
+//	                                    (see store.go; feeds cnnperfd warm boots)
 //
 // The global -cpuprofile and -memprofile flags (before the subcommand)
 // write pprof profiles of the pipeline itself; -trace writes a Chrome
@@ -160,6 +163,8 @@ func dispatch(ctx context.Context, args []string) error {
 		return runDSE(ctx, args[1:], cfg)
 	case "stats":
 		return runStats(ctx, cfg)
+	case "store":
+		return runStore(ctx, args[1:], cfg)
 	default:
 		usage()
 		os.Exit(2)
@@ -168,7 +173,7 @@ func dispatch(ctx context.Context, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cnnperf [-cpuprofile file] [-memprofile file] <models|gpus|analyze|lint|dataset|evaluate|predict|profile|sweep|crossval|train|dot|dse|stats> [args]")
+	fmt.Fprintln(os.Stderr, "usage: cnnperf [-cpuprofile file] [-memprofile file] <models|gpus|analyze|lint|dataset|evaluate|predict|profile|sweep|crossval|train|dot|dse|stats|store> [args]")
 }
 
 func runAnalyze(ctx context.Context, args []string, cfg cnnperf.Config) error {

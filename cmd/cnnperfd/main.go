@@ -45,6 +45,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 	slowReq := flag.Duration("slow-request", 10*time.Second, "log completed requests slower than this at warn level (0 disables)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (timeout-exempt)")
+	storeDir := flag.String("store", "", "persistent artifact store directory (write-through disk tier under the cache)")
+	snapshot := flag.String("snapshot", "", "warm-boot from a `cnnperf store export` snapshot file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the daemon to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the daemon to this file")
 	flag.Parse()
@@ -62,7 +64,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.NewWithStore(server.Config{
 		Addr:         *addr,
 		Workers:      *workers,
 		CacheSize:    *cacheSize,
@@ -73,7 +75,13 @@ func main() {
 		Logger:       logger,
 		SlowRequest:  *slowReq,
 		EnablePprof:  *enablePprof,
+		StoreDir:     *storeDir,
+		SnapshotFile: *snapshot,
 	})
+	if err != nil {
+		logger.Error("startup failed", obs.String("err", err.Error()))
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -81,7 +89,8 @@ func main() {
 	logger.Info("listening",
 		obs.String("addr", *addr), obs.Int("workers", *workers),
 		obs.Int("cache_size", *cacheSize), obs.Duration("timeout", *timeout),
-		obs.String("log_level", level.String()), obs.Bool("pprof", *enablePprof))
+		obs.String("log_level", level.String()), obs.Bool("pprof", *enablePprof),
+		obs.String("store", *storeDir), obs.String("snapshot", *snapshot))
 	err = srv.ListenAndServe(ctx)
 	if perr := stopProfiles(); err == nil {
 		err = perr

@@ -31,6 +31,9 @@ type Stats struct {
 	Evictions uint64
 	// Entries is the current resident entry count.
 	Entries int
+	// DiskHits counts the subset of Misses answered by the second tier
+	// instead of running the compute function.
+	DiskHits uint64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -59,6 +62,17 @@ type call struct {
 	err  error
 }
 
+// SecondTier is a persistent layer probed between a memory miss and the
+// compute function, and written through on computed values. Get returns
+// the decoded value, or ok=false for any miss (absent, corrupt, or
+// undecodable — the tier decides; the cache just recomputes). Both
+// methods must be safe for concurrent use; the cache calls them outside
+// its lock, at most once per key per singleflight.
+type SecondTier interface {
+	Get(key string) (any, bool)
+	Put(key string, v any)
+}
+
 // Cache is a concurrency-safe, content-addressed memo store with LRU
 // eviction. The zero value is not usable; construct with New.
 type Cache struct {
@@ -72,8 +86,11 @@ type Cache struct {
 	// lock-free snapshot: a metrics endpoint polling a busy cache never
 	// contends with the lookup hot path.
 	hits, misses, evictions atomic.Uint64
-	waits                   atomic.Uint64
+	waits, diskHits         atomic.Uint64
 	resident                atomic.Int64
+
+	// second is the optional persistent tier, swappable at runtime.
+	second atomic.Pointer[SecondTier]
 }
 
 // New creates a cache bounded to capacity entries; capacity <= 0 means
@@ -85,6 +102,16 @@ func New(capacity int) *Cache {
 		lru:      list.New(),
 		inflight: make(map[string]*call),
 	}
+}
+
+// SetSecondTier installs (or, with nil, removes) the persistent tier.
+// Only GetOrCompute consults it: Get stays a memory-only probe.
+func (c *Cache) SetSecondTier(t SecondTier) {
+	if t == nil {
+		c.second.Store(nil)
+		return
+	}
+	c.second.Store(&t)
 }
 
 // Get returns the cached value for key, counting a hit or miss.
@@ -130,6 +157,12 @@ func (c *Cache) put(key string, v any) {
 // it on a miss. Concurrent callers for the same key share one
 // computation: the first runs compute, the rest wait and count as hits.
 // Errors are propagated to every sharing caller and never cached.
+//
+// With a second tier installed, a memory miss probes the tier before
+// computing and writes freshly computed values through to it. Both the
+// probe and the write-through happen inside the singleflight, so a slow
+// disk never runs more than one I/O per key and concurrent callers
+// still coalesce.
 func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (v any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -151,7 +184,7 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (v any, hi
 	c.inflight[key] = cl
 	c.mu.Unlock()
 
-	cl.val, cl.err = compute()
+	cl.val, cl.err = c.computeThrough(key, compute)
 	close(cl.done)
 
 	c.mu.Lock()
@@ -167,6 +200,24 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (v any, hi
 	return cl.val, false, cl.err
 }
 
+// computeThrough runs the miss path under an active singleflight slot:
+// probe the second tier, fall back to compute, write computed values
+// through. Runs outside c.mu.
+func (c *Cache) computeThrough(key string, compute func() (any, error)) (any, error) {
+	tier := c.second.Load()
+	if tier != nil {
+		if v, ok := (*tier).Get(key); ok {
+			c.diskHits.Add(1)
+			return v, nil
+		}
+	}
+	v, err := compute()
+	if err == nil && tier != nil {
+		(*tier).Put(key, v)
+	}
+	return v, err
+}
+
 // Stats returns a snapshot of the counters. The read is lock-free (each
 // counter is atomic), so stats polling never blocks behind — or slows
 // down — concurrent lookups; the counters in one snapshot may be
@@ -178,6 +229,7 @@ func (c *Cache) Stats() Stats {
 		Waits:     c.waits.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   int(c.resident.Load()),
+		DiskHits:  c.diskHits.Load(),
 	}
 }
 
@@ -194,4 +246,5 @@ func (c *Cache) Reset() {
 	c.waits.Store(0)
 	c.evictions.Store(0)
 	c.resident.Store(0)
+	c.diskHits.Store(0)
 }

@@ -1,0 +1,150 @@
+package artifactstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The on-disk record framing. Every artifact — whether it lives as one
+// file in the sharded store layout or as one entry of a snapshot
+// stream — is a self-delimiting, CRC-guarded record:
+//
+//	magic      [4]byte  "CPAR"
+//	version    uint16   recordVersion (big endian, like all integers)
+//	nsLen      uint16   namespace length
+//	keyLen     uint32   key length
+//	payloadLen uint32   payload length
+//	ns         []byte
+//	key        []byte
+//	payload    []byte
+//	crc        uint32   CRC-32 (IEEE) of everything above
+//
+// The namespace and full cache key are stored inside the record, not
+// only in the file path, so a read can verify it got the artifact it
+// asked for: a hash collision, a renamed file or a tampered record all
+// fail the key check or the CRC and are treated as corruption.
+
+const (
+	recordVersion = 1
+	recordHeader  = 4 + 2 + 2 + 4 + 4 // magic + version + lengths
+
+	// Decoder sanity caps: no legitimate record exceeds these, so a
+	// corrupted length field cannot drive a multi-gigabyte allocation.
+	maxNamespaceLen = 128
+	maxKeyLen       = 4 << 10
+	maxPayloadLen   = 1 << 30
+)
+
+var recordMagic = [4]byte{'C', 'P', 'A', 'R'}
+
+// encodeRecord frames one artifact.
+func encodeRecord(ns, key string, payload []byte) ([]byte, error) {
+	if len(ns) == 0 || len(ns) > maxNamespaceLen {
+		return nil, fmt.Errorf("artifactstore: namespace length %d out of range [1,%d]", len(ns), maxNamespaceLen)
+	}
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return nil, fmt.Errorf("artifactstore: key length %d out of range [1,%d]", len(key), maxKeyLen)
+	}
+	if len(payload) > maxPayloadLen {
+		return nil, fmt.Errorf("artifactstore: payload length %d exceeds %d", len(payload), maxPayloadLen)
+	}
+	b := make([]byte, 0, recordHeader+len(ns)+len(key)+len(payload)+4)
+	b = append(b, recordMagic[:]...)
+	b = binary.BigEndian.AppendUint16(b, recordVersion)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ns)))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(key)))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, ns...)
+	b = append(b, key...)
+	b = append(b, payload...)
+	b = binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b, nil
+}
+
+// decodeRecord parses and verifies one framed artifact held entirely in
+// b. Trailing bytes after the record are rejected (a store file holds
+// exactly one record).
+func decodeRecord(b []byte) (ns, key string, payload []byte, err error) {
+	ns, key, payload, n, err := decodeRecordPrefix(b)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if n != len(b) {
+		return "", "", nil, fmt.Errorf("artifactstore: %d trailing bytes after record", len(b)-n)
+	}
+	return ns, key, payload, nil
+}
+
+// decodeRecordPrefix parses one record from the front of b, returning
+// how many bytes it consumed.
+func decodeRecordPrefix(b []byte) (ns, key string, payload []byte, n int, err error) {
+	if len(b) < recordHeader {
+		return "", "", nil, 0, fmt.Errorf("artifactstore: truncated record header (%d bytes)", len(b))
+	}
+	if [4]byte(b[:4]) != recordMagic {
+		return "", "", nil, 0, fmt.Errorf("artifactstore: bad record magic %q", b[:4])
+	}
+	if v := binary.BigEndian.Uint16(b[4:6]); v != recordVersion {
+		return "", "", nil, 0, fmt.Errorf("artifactstore: unsupported record version %d (want %d)", v, recordVersion)
+	}
+	nsLen := int(binary.BigEndian.Uint16(b[6:8]))
+	keyLen := int(binary.BigEndian.Uint32(b[8:12]))
+	payloadLen := int(binary.BigEndian.Uint32(b[12:16]))
+	if nsLen == 0 || nsLen > maxNamespaceLen || keyLen == 0 || keyLen > maxKeyLen || payloadLen > maxPayloadLen {
+		return "", "", nil, 0, fmt.Errorf("artifactstore: implausible record lengths ns=%d key=%d payload=%d", nsLen, keyLen, payloadLen)
+	}
+	total := recordHeader + nsLen + keyLen + payloadLen + 4
+	if len(b) < total {
+		return "", "", nil, 0, fmt.Errorf("artifactstore: truncated record: have %d of %d bytes", len(b), total)
+	}
+	body := b[:total-4]
+	want := binary.BigEndian.Uint32(b[total-4 : total])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return "", "", nil, 0, fmt.Errorf("artifactstore: record CRC mismatch: computed %08x, stored %08x", got, want)
+	}
+	off := recordHeader
+	ns = string(b[off : off+nsLen])
+	off += nsLen
+	key = string(b[off : off+keyLen])
+	off += keyLen
+	payload = append([]byte(nil), b[off:off+payloadLen]...)
+	return ns, key, payload, total, nil
+}
+
+// readRecord reads one framed artifact from a stream. io.EOF is
+// returned untouched when the stream ends cleanly before the magic;
+// any mid-record truncation becomes an explicit error.
+func readRecord(r *bufio.Reader) (ns, key string, payload []byte, raw []byte, err error) {
+	head := make([]byte, recordHeader)
+	if _, err := io.ReadFull(r, head[:1]); err != nil {
+		if err == io.EOF {
+			return "", "", nil, nil, io.EOF
+		}
+		return "", "", nil, nil, fmt.Errorf("artifactstore: reading record: %w", err)
+	}
+	if _, err := io.ReadFull(r, head[1:]); err != nil {
+		return "", "", nil, nil, fmt.Errorf("artifactstore: truncated record header: %w", err)
+	}
+	if [4]byte(head[:4]) != recordMagic {
+		return "", "", nil, nil, fmt.Errorf("artifactstore: bad record magic %q", head[:4])
+	}
+	nsLen := int(binary.BigEndian.Uint16(head[6:8]))
+	keyLen := int(binary.BigEndian.Uint32(head[8:12]))
+	payloadLen := int(binary.BigEndian.Uint32(head[12:16]))
+	if nsLen == 0 || nsLen > maxNamespaceLen || keyLen == 0 || keyLen > maxKeyLen || payloadLen > maxPayloadLen {
+		return "", "", nil, nil, fmt.Errorf("artifactstore: implausible record lengths ns=%d key=%d payload=%d", nsLen, keyLen, payloadLen)
+	}
+	rest := make([]byte, nsLen+keyLen+payloadLen+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return "", "", nil, nil, fmt.Errorf("artifactstore: truncated record body: %w", err)
+	}
+	raw = append(head, rest...)
+	ns, key, payload, err = decodeRecord(raw)
+	if err != nil {
+		return "", "", nil, nil, err
+	}
+	return ns, key, payload, raw, nil
+}

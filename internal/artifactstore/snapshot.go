@@ -1,0 +1,162 @@
+package artifactstore
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"cnnperf/internal/obs"
+)
+
+// A snapshot is the whole store as one file: a header, a stream of the
+// same self-delimiting records the store keeps on disk, and a trailer
+// carrying a record count and a running CRC so truncation at any point
+// is detected.
+//
+//	header:  "CPSH" + version uint16
+//	records: zero or more framed records (see record.go)
+//	trailer: "CPST" + count uint64 + crc uint32 over all record bytes
+//
+// Export writes records in deterministic order (sorted namespaces, then
+// sorted content hashes), so exporting the same store twice yields
+// byte-identical snapshots.
+
+const snapshotVersion = 1
+
+var (
+	snapshotMagic = [4]byte{'C', 'P', 'S', 'H'}
+	trailerMagic  = [4]byte{'C', 'P', 'S', 'T'}
+)
+
+// Export streams every record in the store to w as a snapshot.
+func (s *Store) Export(ctx context.Context, w io.Writer) (int, error) {
+	_, span := obs.Start(ctx, "store.snapshot")
+	defer span.End()
+	bw := bufio.NewWriter(w)
+	head := make([]byte, 0, 6)
+	head = append(head, snapshotMagic[:]...)
+	head = binary.BigEndian.AppendUint16(head, snapshotVersion)
+	if _, err := bw.Write(head); err != nil {
+		return 0, fmt.Errorf("artifactstore: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	count := uint64(0)
+	err := s.walkRecords(func(ns, path string) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("artifactstore: %w", err)
+		}
+		// A corrupt record must not poison the snapshot: verify before
+		// including, quarantine on failure, like Get.
+		gotNS, _, _, derr := decodeRecord(b)
+		if derr == nil && gotNS != ns {
+			derr = fmt.Errorf("artifactstore: namespace mismatch")
+		}
+		if derr != nil {
+			s.quarantine(path)
+			s.corrupt.Add(1)
+			return nil
+		}
+		if _, err := bw.Write(b); err != nil {
+			return fmt.Errorf("artifactstore: %w", err)
+		}
+		crc.Write(b)
+		count++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	tail := make([]byte, 0, 16)
+	tail = append(tail, trailerMagic[:]...)
+	tail = binary.BigEndian.AppendUint64(tail, count)
+	tail = binary.BigEndian.AppendUint32(tail, crc.Sum32())
+	if _, err := bw.Write(tail); err != nil {
+		return 0, fmt.Errorf("artifactstore: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, fmt.Errorf("artifactstore: %w", err)
+	}
+	span.SetAttr(obs.Int("records", int(count)))
+	return int(count), nil
+}
+
+// ReadSnapshot parses a snapshot stream, calling fn for each verified
+// record. The whole stream is validated: header, per-record CRCs, and
+// the trailer's count and running CRC must all check out, so a
+// truncated or bit-flipped snapshot is rejected rather than partially
+// applied.
+func ReadSnapshot(r io.Reader, fn func(ns, key string, payload []byte) error) (int, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 6)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, fmt.Errorf("artifactstore: reading snapshot header: %w", err)
+	}
+	if [4]byte(head[:4]) != snapshotMagic {
+		return 0, fmt.Errorf("artifactstore: bad snapshot magic %q", head[:4])
+	}
+	if v := binary.BigEndian.Uint16(head[4:6]); v != snapshotVersion {
+		return 0, fmt.Errorf("artifactstore: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	crc := crc32.NewIEEE()
+	count := uint64(0)
+	for {
+		// Peek for the trailer magic before attempting a record read:
+		// both records and the trailer start at this position.
+		peek, err := br.Peek(4)
+		if err != nil {
+			return 0, fmt.Errorf("artifactstore: truncated snapshot (no trailer): %w", err)
+		}
+		if [4]byte(peek) == trailerMagic {
+			break
+		}
+		ns, key, payload, raw, err := readRecord(br)
+		if err != nil {
+			return 0, fmt.Errorf("artifactstore: snapshot record %d: %w", count, err)
+		}
+		crc.Write(raw)
+		count++
+		if fn != nil {
+			if err := fn(ns, key, payload); err != nil {
+				return 0, err
+			}
+		}
+	}
+	tail := make([]byte, 16)
+	if _, err := io.ReadFull(br, tail); err != nil {
+		return 0, fmt.Errorf("artifactstore: truncated snapshot trailer: %w", err)
+	}
+	if wantCount := binary.BigEndian.Uint64(tail[4:12]); wantCount != count {
+		return 0, fmt.Errorf("artifactstore: snapshot trailer claims %d records, read %d", wantCount, count)
+	}
+	if wantCRC := binary.BigEndian.Uint32(tail[12:16]); wantCRC != crc.Sum32() {
+		return 0, fmt.Errorf("artifactstore: snapshot CRC mismatch: computed %08x, stored %08x", crc.Sum32(), wantCRC)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return 0, fmt.Errorf("artifactstore: trailing data after snapshot trailer")
+	}
+	return int(count), nil
+}
+
+// Import loads every record of a snapshot into the store. The stream is
+// validated end-to-end before this returns nil; records are written as
+// they arrive (each individually verified), so a truncated snapshot can
+// leave some records imported — all of them valid.
+func (s *Store) Import(ctx context.Context, r io.Reader) (int, error) {
+	return ReadSnapshot(r, func(ns, key string, payload []byte) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !validNamespace(ns) {
+			return fmt.Errorf("artifactstore: snapshot record has invalid namespace %q", ns)
+		}
+		return s.Put(ctx, ns, key, payload)
+	})
+}

@@ -1,0 +1,538 @@
+package artifactstore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []struct {
+		ns, key string
+		payload []byte
+	}{
+		{"dca", "dca:00ff", []byte("hello")},
+		{"est", "est:" + strings.Repeat("ab", 32), []byte{}},
+		{"ptxa", "ptxa:x", bytes.Repeat([]byte{0, 1, 2, 255}, 1000)},
+	}
+	for _, c := range cases {
+		rec, err := encodeRecord(c.ns, c.key, c.payload)
+		if err != nil {
+			t.Fatalf("encodeRecord(%q, %q): %v", c.ns, c.key, err)
+		}
+		ns, key, payload, err := decodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decodeRecord: %v", err)
+		}
+		if ns != c.ns || key != c.key || !bytes.Equal(payload, c.payload) {
+			t.Errorf("round trip of (%q, %q) got (%q, %q)", c.ns, c.key, ns, key)
+		}
+		// Re-encoding is byte-identical.
+		rec2, err := encodeRecord(ns, key, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec, rec2) {
+			t.Errorf("re-encoding (%q, %q) is not byte-identical", c.ns, c.key)
+		}
+	}
+}
+
+func TestRecordRejections(t *testing.T) {
+	if _, err := encodeRecord("", "k", nil); err == nil {
+		t.Error("empty namespace accepted")
+	}
+	if _, err := encodeRecord("ns", "", nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := encodeRecord("ns", strings.Repeat("k", maxKeyLen+1), nil); err == nil {
+		t.Error("oversized key accepted")
+	}
+
+	rec, err := encodeRecord("ns", "key", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte corruption must be rejected (CRC or framing).
+	for i := range rec {
+		bad := append([]byte(nil), rec...)
+		bad[i] ^= 0x01
+		if _, _, _, err := decodeRecord(bad); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", i)
+		}
+	}
+	// Every truncation must be rejected.
+	for n := 0; n < len(rec); n++ {
+		if _, _, _, err := decodeRecord(rec[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, _, _, err := decodeRecord(append(append([]byte(nil), rec...), 'x')); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	ctx := context.Background()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(ctx, "ns", "ns:missing"); err != nil || ok {
+		t.Fatalf("Get on empty store: ok=%v err=%v", ok, err)
+	}
+	payload := []byte(`{"v":1}`)
+	if err := s.Put(ctx, "ns", "ns:key1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(ctx, "ns", "ns:key1")
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get returned %q, want %q", got, payload)
+	}
+	// Overwrite.
+	payload2 := []byte(`{"v":2}`)
+	if err := s.Put(ctx, "ns", "ns:key1", payload2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := s.Get(ctx, "ns", "ns:key1"); !bytes.Equal(got, payload2) {
+		t.Fatalf("Get after overwrite returned %q", got)
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 2 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss, 2 puts, 0 corrupt", st)
+	}
+}
+
+// TestStoreQuarantine corrupts a record on disk and checks it is
+// detected, quarantined, never served, and recoverable by re-Put.
+func TestStoreQuarantine(t *testing.T) {
+	ctx := context.Background()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "ns", "ns:key1", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.recordPath("ns", "ns:key1")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff // break the CRC
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(ctx, "ns", "ns:key1"); err != nil || ok {
+		t.Fatalf("corrupt record served: ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt count = %d, want 1", st.Corrupt)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt record not quarantined: %v", err)
+	}
+	// The slot is free again: recompute-and-Put repairs it.
+	if err := s.Put(ctx, "ns", "ns:key1", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s.Get(ctx, "ns", "ns:key1"); !ok || !bytes.Equal(got, []byte("data")) {
+		t.Fatalf("repaired record not served: ok=%v got=%q", ok, got)
+	}
+	// GC removes the quarantined file.
+	res, err := s.GC(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 1 {
+		t.Errorf("GC removed %d files, want 1", res.Removed)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err == nil {
+		t.Error("quarantined file survived GC")
+	}
+}
+
+// TestStoreIdentityMismatch plants a valid record under the wrong path
+// (simulating a hash collision or a renamed file) and checks the key
+// check inside the record catches it.
+func TestStoreIdentityMismatch(t *testing.T) {
+	ctx := context.Background()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "ns", "ns:key1", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Move key1's record file to where key2's should live.
+	p2 := s.recordPath("ns", "ns:key2")
+	if err := os.MkdirAll(filepath.Dir(p2), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.recordPath("ns", "ns:key1"), p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(ctx, "ns", "ns:key2"); err != nil || ok {
+		t.Fatalf("record with mismatched identity served: ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt count = %d, want 1", st.Corrupt)
+	}
+}
+
+func TestEnsureNamespaceVersionWipe(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnsureNamespace("ns", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "ns", "ns:key1", []byte("v1 format")); err != nil {
+		t.Fatal(err)
+	}
+	// Same version: contents survive.
+	if err := s.EnsureNamespace("ns", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(ctx, "ns", "ns:key1"); !ok {
+		t.Fatal("record lost on same-version EnsureNamespace")
+	}
+	// Version bump: namespace wiped.
+	if err := s.EnsureNamespace("ns", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(ctx, "ns", "ns:key1"); ok {
+		t.Fatal("stale-format record survived a version bump")
+	}
+	if err := s.EnsureNamespace("bad namespace!", 1); err == nil {
+		t.Error("invalid namespace accepted")
+	}
+	if err := s.EnsureNamespace("ns", 0); err == nil {
+		t.Error("zero version accepted")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	ctx := context.Background()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("ns:key%d", i)
+		if err := s.Put(ctx, "ns", key, []byte(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Verify(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 5 || res.Corrupt != 0 {
+		t.Fatalf("Verify = %+v, want 5 clean records", res)
+	}
+	// Corrupt one record; Verify must find and quarantine exactly it.
+	path := s.recordPath("ns", "ns:key3")
+	b, _ := os.ReadFile(path)
+	b[recordHeader] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+	res, err = s.Verify(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 4 || res.Corrupt != 1 {
+		t.Fatalf("Verify after corruption = %+v, want 4 clean + 1 corrupt", res)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for _, ns := range []string{"aaa", "bbb"} {
+		for i := 0; i < 10; i++ {
+			key := fmt.Sprintf("%s:key%02d", ns, i)
+			val := fmt.Sprintf("payload of %s", key)
+			want[ns+"\x00"+key] = val
+			if err := s.Put(ctx, ns, key, []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var snap bytes.Buffer
+	n, err := s.Export(ctx, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("exported %d records, want %d", n, len(want))
+	}
+	// Export is deterministic: a second export is byte-identical.
+	var snap2 bytes.Buffer
+	if _, err := s.Export(ctx, &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), snap2.Bytes()) {
+		t.Error("two exports of the same store differ")
+	}
+	// Import into a fresh store reproduces every record, and its own
+	// export is byte-identical to the original snapshot.
+	s2, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Import(ctx, bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	if _, err := ReadSnapshotInto(ctx, s2, got); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("record %q: got %q, want %q", k, got[k], v)
+		}
+	}
+	var snap3 bytes.Buffer
+	if _, err := s2.Export(ctx, &snap3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), snap3.Bytes()) {
+		t.Error("export after import-round-trip is not byte-identical")
+	}
+}
+
+// ReadSnapshotInto collects every store record into m (test helper).
+func ReadSnapshotInto(ctx context.Context, s *Store, m map[string]string) (int, error) {
+	var buf bytes.Buffer
+	if _, err := s.Export(ctx, &buf); err != nil {
+		return 0, err
+	}
+	return ReadSnapshot(&buf, func(ns, key string, payload []byte) error {
+		m[ns+"\x00"+key] = string(payload)
+		return nil
+	})
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	ctx := context.Background()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(ctx, "ns", fmt.Sprintf("ns:key%d", i), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if _, err := s.Export(ctx, &snap); err != nil {
+		t.Fatal(err)
+	}
+	good := snap.Bytes()
+	if _, err := ReadSnapshot(bytes.NewReader(good), nil); err != nil {
+		t.Fatalf("clean snapshot rejected: %v", err)
+	}
+	// Any truncation is rejected.
+	for _, n := range []int{0, 3, 6, 20, len(good) / 2, len(good) - 1} {
+		if _, err := ReadSnapshot(bytes.NewReader(good[:n]), nil); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Any single bit flip is rejected.
+	for i := 0; i < len(good); i += 7 {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x10
+		if _, err := ReadSnapshot(bytes.NewReader(bad), nil); err == nil {
+			t.Errorf("bit flip at offset %d accepted", i)
+		}
+	}
+	// Trailing data is rejected.
+	if _, err := ReadSnapshot(bytes.NewReader(append(append([]byte(nil), good...), 0)), nil); err == nil {
+		t.Error("trailing byte after trailer accepted")
+	}
+}
+
+// jsonCodec is a test codec storing any JSON-marshalable value.
+type jsonCodec struct{ ns string }
+
+func (c jsonCodec) Namespace() string            { return c.ns }
+func (c jsonCodec) Version() int                 { return 1 }
+func (c jsonCodec) Encode(v any) ([]byte, error) { return json.Marshal(v) }
+func (c jsonCodec) Decode(b []byte) (any, error) {
+	var v map[string]string
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func TestTierWriteThrough(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := NewTier(s, jsonCodec{ns: "tst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := map[string]string{"a": "1"}
+	tier.Put("tst:key1", val)
+	got, ok := tier.Get("tst:key1")
+	if !ok {
+		t.Fatal("tier miss after Put")
+	}
+	if m := got.(map[string]string); m["a"] != "1" {
+		t.Fatalf("tier returned %v", got)
+	}
+	// Keys without a codec prefix bypass the tier entirely.
+	tier.Put("srv\x00unit\x00x", val)
+	if _, ok := tier.Get("srv\x00unit\x00x"); ok {
+		t.Error("codec-less key served from disk")
+	}
+	tier.Put("other:key", val)
+	if _, ok := tier.Get("other:key"); ok {
+		t.Error("unregistered namespace served from disk")
+	}
+	// A payload the codec cannot decode is a counted miss.
+	if err := s.Put(context.Background(), "tst", "tst:bad", []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get("tst:bad"); ok {
+		t.Error("undecodable payload served")
+	}
+	if n := tier.DecodeErrors(); n != 1 {
+		t.Errorf("DecodeErrors = %d, want 1", n)
+	}
+}
+
+func TestTierSnapshotOnly(t *testing.T) {
+	ctx := context.Background()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier0, err := NewTier(s, jsonCodec{ns: "tst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier0.Put("tst:key1", map[string]string{"k": "v"})
+	snapFile := filepath.Join(t.TempDir(), "s.snap")
+	f, err := os.Create(snapFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Export(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// A tier with no store boots entirely from the snapshot.
+	tier, err := NewTier(nil, jsonCodec{ns: "tst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tier.LoadSnapshotFile(snapFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d records, want 1", n)
+	}
+	got, ok := tier.Get("tst:key1")
+	if !ok || got.(map[string]string)["k"] != "v" {
+		t.Fatalf("snapshot-only Get: ok=%v got=%v", ok, got)
+	}
+	// Writes are dropped, not errors.
+	tier.Put("tst:key2", map[string]string{})
+	if _, ok := tier.Get("tst:key2"); ok {
+		t.Error("snapshot-only tier persisted a Put")
+	}
+}
+
+// TestGoldenSnapshot pins the snapshot byte format: today's code must
+// read the checked-in snapshot written when the format was introduced.
+// Regenerate with -update only on a deliberate format bump (and bump
+// snapshotVersion/recordVersion accordingly).
+func TestGoldenSnapshot(t *testing.T) {
+	golden := filepath.Join("testdata", "store_golden.snap")
+	if *update {
+		ctx := context.Background()
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("gold:%064d", i)
+			val := fmt.Sprintf(`{"record":%d,"body":"golden artifact %d"}`, i, i)
+			if err := s.Put(ctx, "gold", key, []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Export(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(golden)
+	if err != nil {
+		t.Fatalf("golden snapshot missing (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	got := map[string]string{}
+	n, err := ReadSnapshot(f, func(ns, key string, payload []byte) error {
+		got[key] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("today's code cannot read the golden snapshot: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("golden snapshot has %d records, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("gold:%064d", i)
+		want := fmt.Sprintf(`{"record":%d,"body":"golden artifact %d"}`, i, i)
+		if got[key] != want {
+			t.Errorf("golden record %d: got %q, want %q", i, got[key], want)
+		}
+	}
+	// The golden snapshot also imports cleanly into a store.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Import(context.Background(), f); err != nil {
+		t.Fatalf("golden snapshot import failed: %v", err)
+	}
+}

@@ -541,13 +541,32 @@ func TestEstimatorSaveLoad(t *testing.T) {
 			t.Errorf("%s: loaded estimator predicts %f, original %f", a.Name, got, want)
 		}
 	}
-	// Non-tree estimators refuse to save.
+	// Since the v2 envelope every paper regressor persists, not only
+	// the tree: a linear estimator round-trips with identical output.
 	lr, err := TrainEstimator(ds, mlearn.NewLinearRegression())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lr.Save(&buf); err == nil {
-		t.Error("saving a linear estimator should error")
+	buf.Reset()
+	if err := lr.Save(&buf); err != nil {
+		t.Fatalf("saving a linear estimator: %v", err)
+	}
+	lrBack, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatalf("loading a linear estimator: %v", err)
+	}
+	for _, a := range analyses {
+		want, err := lr.Predict(a, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lrBack.Predict(a, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: loaded linear estimator predicts %f, original %f", a.Name, got, want)
+		}
 	}
 }
 

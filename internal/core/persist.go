@@ -10,8 +10,9 @@ import (
 )
 
 // estimatorEnvelope is the on-disk form of a trained estimator: the
-// feature schema plus the serialised decision tree. Only decision-tree
-// estimators (the paper's final model) are persistable.
+// feature schema plus the serialised regressor. Version 1 carried a
+// bare decision tree (the paper's final model); version 2 wraps any of
+// the five paper regressors in the mlearn envelope. Both versions load.
 type estimatorEnvelope struct {
 	Format  string          `json:"format"`
 	Schema  []string        `json:"schema"`
@@ -21,45 +22,86 @@ type estimatorEnvelope struct {
 
 const estimatorFormat = "cnnperf-estimator"
 
-// Save serialises a decision-tree estimator with its feature schema so a
-// trained model can be distributed without the training data.
-func (e *Estimator) Save(w io.Writer) error {
-	tree, ok := e.Regressor.(*mlearn.DecisionTree)
-	if !ok {
-		return fmt.Errorf("core: only decision-tree estimators can be saved, have %s", e.Regressor.Name())
+// MarshalEstimator serialises a fitted estimator with its feature
+// schema as a version-2 envelope. The encoding is deterministic:
+// marshaling the same estimator twice yields byte-identical output.
+func MarshalEstimator(e *Estimator) ([]byte, error) {
+	if e == nil || e.Regressor == nil {
+		return nil, fmt.Errorf("core: cannot marshal a nil estimator")
 	}
-	var buf bytes.Buffer
-	if err := tree.Save(&buf); err != nil {
-		return fmt.Errorf("core: %w", err)
+	if len(e.Schema) == 0 {
+		return nil, fmt.Errorf("core: cannot marshal an estimator without a schema")
 	}
-	env := estimatorEnvelope{
+	model, err := mlearn.MarshalRegressor(e.Regressor)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return json.Marshal(estimatorEnvelope{
 		Format:  estimatorFormat,
 		Schema:  e.Schema,
-		Model:   json.RawMessage(buf.Bytes()),
-		Version: 1,
-	}
-	if err := json.NewEncoder(w).Encode(env); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	return nil
+		Model:   model,
+		Version: 2,
+	})
 }
 
-// LoadEstimator deserialises an estimator written by Save.
-func LoadEstimator(r io.Reader) (*Estimator, error) {
+// UnmarshalEstimator reconstructs an estimator from either envelope
+// version.
+func UnmarshalEstimator(b []byte) (*Estimator, error) {
 	var env estimatorEnvelope
-	if err := json.NewDecoder(r).Decode(&env); err != nil {
+	if err := json.Unmarshal(b, &env); err != nil {
 		return nil, fmt.Errorf("core: decoding estimator: %w", err)
 	}
 	if env.Format != estimatorFormat {
 		return nil, fmt.Errorf("core: unexpected format %q", env.Format)
 	}
-	if len(env.Schema) != len(FeatureNames) && len(env.Schema) != len(ExtendedFeatureNames) {
-		return nil, fmt.Errorf("core: estimator schema has %d features, expected %d or %d",
-			len(env.Schema), len(FeatureNames), len(ExtendedFeatureNames))
+	switch env.Version {
+	case 1:
+		// Legacy envelope: a bare decision tree with the original
+		// fixed-width schemas.
+		if len(env.Schema) != len(FeatureNames) && len(env.Schema) != len(ExtendedFeatureNames) {
+			return nil, fmt.Errorf("core: estimator schema has %d features, expected %d or %d",
+				len(env.Schema), len(FeatureNames), len(ExtendedFeatureNames))
+		}
+		tree, err := mlearn.LoadDecisionTree(bytes.NewReader(env.Model))
+		if err != nil {
+			return nil, err
+		}
+		return &Estimator{Regressor: tree, Schema: env.Schema}, nil
+	case 2:
+		if len(env.Schema) == 0 {
+			return nil, fmt.Errorf("core: estimator envelope has an empty schema")
+		}
+		reg, err := mlearn.UnmarshalRegressor(env.Model)
+		if err != nil {
+			return nil, err
+		}
+		return &Estimator{Regressor: reg, Schema: env.Schema}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported estimator version %d", env.Version)
 	}
-	tree, err := mlearn.LoadDecisionTree(bytes.NewReader(env.Model))
+}
+
+// Save serialises the estimator so a trained model can be distributed
+// without the training data. Since version 2 any of the five paper
+// regressors is persistable, not only the decision tree.
+func (e *Estimator) Save(w io.Writer) error {
+	b, err := MarshalEstimator(e)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &Estimator{Regressor: tree, Schema: env.Schema}, nil
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// LoadEstimator deserialises an estimator written by Save (either
+// envelope version).
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading estimator: %w", err)
+	}
+	return UnmarshalEstimator(b)
 }

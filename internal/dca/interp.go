@@ -165,6 +165,12 @@ func (c *CompiledKernel) execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 			frame[ci.dst], written[ci.dst] = v, true
 		case copLdParam:
 			if ci.target >= 0 {
+				// Bytecode may come off disk: the position was validated
+				// structurally but only the launched kernel fixes the
+				// parameter count, so bound it here.
+				if int(ci.target) >= len(pok) {
+					return res, fmt.Errorf("dca: kernel %q pc %d: parameter position %d of %d", k.Name, pc, ci.target, len(pok))
+				}
 				if !pok[ci.target] {
 					return res, fmt.Errorf("dca: kernel %q pc %d: no value for parameter %q", k.Name, pc, k.Params[ci.target].Name)
 				}

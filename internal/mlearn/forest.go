@@ -66,6 +66,9 @@ func (m *RandomForest) Fit(X [][]float64, y []float64) error {
 		if err := tree.Fit(bx, by); err != nil {
 			return err
 		}
+		// The subset sampler is a fit-time concern only; dropping it
+		// keeps fitted trees plain data (serializable, comparable).
+		tree.featureSubset = nil
 		m.forest = append(m.forest, tree)
 	}
 	return nil

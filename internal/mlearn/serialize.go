@@ -90,28 +90,7 @@ func LoadDecisionTree(r io.Reader) (*DecisionTree, error) {
 	if err := json.NewDecoder(r).Decode(&j); err != nil {
 		return nil, fmt.Errorf("mlearn: decoding tree: %w", err)
 	}
-	if j.Kind != "decision_tree" {
-		return nil, fmt.Errorf("mlearn: unexpected model kind %q", j.Kind)
-	}
-	if j.NumFeatures <= 0 || j.Root == nil {
-		return nil, fmt.Errorf("mlearn: corrupt tree payload")
-	}
-	root, err := decodeNode(j.Root)
-	if err != nil {
-		return nil, err
-	}
-	t := &DecisionTree{
-		MaxDepth:    j.MaxDepth,
-		MinLeaf:     j.MinLeaf,
-		MinSplit:    j.MinSplit,
-		numFeat:     j.NumFeatures,
-		importances: j.Importances,
-		root:        root,
-	}
-	if err := t.validateLoaded(root, 0); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return decodeTreeJSON(&j)
 }
 
 // validateLoaded sanity-checks a deserialised tree: feature indices in

@@ -65,13 +65,12 @@ func (s *Server) runUnit(ctx context.Context, u predictUnit) unitResult {
 func (s *Server) computeUnit(ctx context.Context, u predictUnit) unitResult {
 	// The estimator is keyed separately: every raw-PTX unit shares the
 	// full-inventory estimator, and leave-one-out estimators are shared
-	// across repeats after an eviction of the unit entry.
-	estKey := "srv\x00est\x00full"
-	exclude := ""
-	if u.model != "" {
-		estKey = "srv\x00est\x00loo\x00" + u.model
-		exclude = u.model
-	}
+	// across repeats after an eviction of the unit entry. The key is the
+	// content key of core.EstimatorKey ("est:..."), which routes the
+	// trained model through the persistent artifact tier when one is
+	// configured — the biggest single cold-start saving.
+	exclude := u.model
+	estKey := core.EstimatorKey(exclude, s.pipeline)
 	ev, _, err := s.cache.GetOrCompute(estKey, func() (any, error) {
 		return core.LeaveOneOutEstimatorContext(ctx, exclude, s.pipeline)
 	})

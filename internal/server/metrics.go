@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cnnperf/internal/analysiscache"
+	"cnnperf/internal/artifactstore"
 	"cnnperf/internal/obs"
 	"cnnperf/internal/parallel"
 	"cnnperf/internal/ptxanalysis"
@@ -86,6 +87,9 @@ func newMetrics(cache *analysiscache.Cache, pool *parallel.Pool) *metrics {
 		func() float64 { return float64(cache.Stats().Waits) })
 	reg.CounterFunc("cnnperfd_cache_evictions_total", "Analysis cache evictions.",
 		func() float64 { return float64(cache.Stats().Evictions) })
+	reg.CounterFunc("cnnperfd_cache_disk_hits_total",
+		"Cache misses answered by the persistent artifact tier.",
+		func() float64 { return float64(cache.Stats().DiskHits) })
 	reg.GaugeFunc("cnnperfd_cache_entries", "Resident analysis cache entries.",
 		func() float64 { return float64(cache.Stats().Entries) })
 	reg.GaugeFunc("cnnperfd_pool_workers", "Analysis worker pool size.",
@@ -98,6 +102,30 @@ func newMetrics(cache *analysiscache.Cache, pool *parallel.Pool) *metrics {
 	// histogram) publish through the same registry.
 	ptxanalysis.RegisterMetrics(reg)
 	return m
+}
+
+// registerStore bridges the persistent artifact tier's counters once a
+// tier is attached (NewWithStore). The store may be nil (snapshot-only
+// tier); its counters then read as constant zero.
+func (m *metrics) registerStore(tier *artifactstore.Tier) {
+	storeStats := func() artifactstore.Stats {
+		if st := tier.Store(); st != nil {
+			return st.Stats()
+		}
+		return artifactstore.Stats{}
+	}
+	m.reg.CounterFunc("cnnperfd_store_hits_total", "Artifact store disk hits.",
+		func() float64 { return float64(storeStats().Hits) })
+	m.reg.CounterFunc("cnnperfd_store_misses_total", "Artifact store disk misses.",
+		func() float64 { return float64(storeStats().Misses) })
+	m.reg.CounterFunc("cnnperfd_store_puts_total", "Artifact store records written.",
+		func() float64 { return float64(storeStats().Puts) })
+	m.reg.CounterFunc("cnnperfd_store_corrupt_total",
+		"Corrupt artifact records quarantined by the store.",
+		func() float64 { return float64(storeStats().Corrupt) })
+	m.reg.CounterFunc("cnnperfd_store_decode_errors_total",
+		"Stored artifacts that failed to decode and were recomputed.",
+		func() float64 { return float64(tier.DecodeErrors()) })
 }
 
 // record counts one served request.

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cnnperf/internal/analysiscache"
+	"cnnperf/internal/artifactstore"
 	"cnnperf/internal/core"
 	"cnnperf/internal/obs"
 	"cnnperf/internal/parallel"
@@ -69,6 +70,15 @@ type Config struct {
 	// captures are exempt from the request timeout (a 30s CPU profile
 	// must outlive a 10s deadline) but still gated by draining.
 	EnablePprof bool
+	// StoreDir roots the persistent artifact store: a write-through
+	// disk tier under the analysis cache that survives restarts. Empty
+	// disables persistence. Only NewWithStore honours this field.
+	StoreDir string
+	// SnapshotFile pre-loads a `cnnperf store export` snapshot into the
+	// disk tier's read-only overlay, so a replica boots warm without a
+	// local store directory. May be combined with StoreDir (the store
+	// is probed first). Only NewWithStore honours this field.
+	SnapshotFile string
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +115,9 @@ type Server struct {
 	metrics  *metrics
 	gate     *drainGate
 	handler  http.Handler
+	// tier is the persistent artifact tier under the cache; nil unless
+	// constructed with NewWithStore and a StoreDir or SnapshotFile.
+	tier *artifactstore.Tier
 
 	// baseCtx outlives any single request: batch analyses run under it
 	// so a departed client cannot cancel work that will be cached for
@@ -139,6 +152,51 @@ func New(cfg Config) *Server {
 	s.handler = s.middleware(s.routes())
 	return s
 }
+
+// NewWithStore builds a server and attaches the persistent artifact
+// tier described by cfg.StoreDir and cfg.SnapshotFile: cache misses
+// probe the disk store (then the snapshot overlay) before computing,
+// and computed artifacts are written through. With neither field set
+// it is equivalent to New. Store problems are construction errors —
+// a daemon asked to persist must not silently run memory-only.
+func NewWithStore(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if cfg.StoreDir == "" && cfg.SnapshotFile == "" {
+		return s, nil
+	}
+	var store *artifactstore.Store
+	if cfg.StoreDir != "" {
+		var err error
+		store, err = artifactstore.Open(cfg.StoreDir)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: opening artifact store: %w", err)
+		}
+	}
+	tier, err := core.NewArtifactTier(store)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("server: building artifact tier: %w", err)
+	}
+	tier.SetBaseContext(s.baseCtx)
+	if cfg.SnapshotFile != "" {
+		n, err := tier.LoadSnapshotFile(cfg.SnapshotFile)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: loading snapshot: %w", err)
+		}
+		s.cfg.Logger.Info("snapshot loaded",
+			obs.String("file", cfg.SnapshotFile), obs.Int("records", n))
+	}
+	s.tier = tier
+	s.cache.SetSecondTier(tier)
+	s.metrics.registerStore(tier)
+	return s, nil
+}
+
+// ArtifactTier returns the persistent artifact tier, or nil when the
+// server runs memory-only.
+func (s *Server) ArtifactTier() *artifactstore.Tier { return s.tier }
 
 // Handler returns the fully-wrapped HTTP handler (routing, draining,
 // body bounds, deadlines, metrics, panic recovery).

@@ -1,0 +1,104 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/server"
+)
+
+// newStoreTestServer is newTestServer for the fallible store-backed
+// constructor.
+func newStoreTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.NewWithStore(cfg)
+	if err != nil {
+		t.Fatalf("NewWithStore: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		s.Close()
+	})
+	return s, ts
+}
+
+// TestStoreWarmBootByteIdentical is the serving half of the artifact
+// store contract: a replica booting against a warmed store directory,
+// and a replica booting from a snapshot file alone, both answer
+// /v1/predict byte-identically to a cold process — and the store-backed
+// replica answers from disk, not by re-training.
+func TestStoreWarmBootByteIdentical(t *testing.T) {
+	gpus := gpu.TrainingGPUs
+	req := `{"model":"mobilenetv2","gpus":["` + gpus[0] + `","` + gpus[1] + `"]}`
+
+	// Cold process: no store, everything computed from scratch.
+	_, tsCold := newTestServer(t, server.Config{})
+	code, coldBody := postJSON(t, tsCold.URL+"/v1/predict", req)
+	if code != http.StatusOK {
+		t.Fatalf("cold predict: status %d: %s", code, coldBody)
+	}
+
+	// First store-backed replica: computes once, writes through to disk.
+	dir := t.TempDir()
+	s1, ts1 := newStoreTestServer(t, server.Config{StoreDir: dir})
+	code, warmBody := postJSON(t, ts1.URL+"/v1/predict", req)
+	if code != http.StatusOK {
+		t.Fatalf("warming predict: status %d: %s", code, warmBody)
+	}
+	if !bytes.Equal(warmBody, coldBody) {
+		t.Fatalf("store-backed response differs from cold process:\n cold %s\n warm %s", coldBody, warmBody)
+	}
+	if st := s1.ArtifactTier().Store().Stats(); st.Puts == 0 {
+		t.Fatal("warming replica wrote nothing through to the store")
+	}
+
+	// Second replica on the same directory: cold memory, warm disk.
+	s2, ts2 := newStoreTestServer(t, server.Config{StoreDir: dir})
+	code, diskBody := postJSON(t, ts2.URL+"/v1/predict", req)
+	if code != http.StatusOK {
+		t.Fatalf("warm-boot predict: status %d: %s", code, diskBody)
+	}
+	if !bytes.Equal(diskBody, coldBody) {
+		t.Fatalf("disk-served response differs from cold process:\n cold %s\n disk %s", coldBody, diskBody)
+	}
+	if st := s2.ArtifactTier().Store().Stats(); st.Hits == 0 {
+		t.Error("warm-boot replica never hit the store")
+	}
+	if st := s2.CacheStats(); st.DiskHits == 0 {
+		t.Error("warm-boot replica's cache records no disk hits")
+	}
+
+	// Snapshot-only replica: no store directory at all, one file.
+	snap := filepath.Join(t.TempDir(), "store.snap")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.ArtifactTier().Store().Export(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, ts3 := newStoreTestServer(t, server.Config{SnapshotFile: snap})
+	code, snapBody := postJSON(t, ts3.URL+"/v1/predict", req)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot predict: status %d: %s", code, snapBody)
+	}
+	if !bytes.Equal(snapBody, coldBody) {
+		t.Fatalf("snapshot-served response differs from cold process:\n cold %s\n snap %s", coldBody, snapBody)
+	}
+}
