@@ -1,0 +1,345 @@
+package dca
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cnnperf/internal/ptx"
+)
+
+// divergenceKernels are kernel bodies chosen to drive every batched
+// control-flow mechanism: uniform fast paths, tid-dependent branch
+// splits, per-lane faults, writtenness divergence, unequal closed-form
+// loop keys, and step-limit aborts inside loops.
+var divergenceKernels = []struct {
+	name     string
+	body     string
+	params   map[string]int64
+	full     bool
+	maxSteps int64
+}{
+	{
+		name: "uniform_loop",
+		body: "mov.u32 %r1, 0;\nL:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p1, %r1, 50;\n@%p1 bra L;\nret;\n",
+	},
+	{
+		name: "tid_branch_diverges",
+		body: "mov.u32 %r1, %tid.x;\nsetp.lt.s32 %p1, %r1, 4;\n@%p1 bra A;\nmov.u32 %r2, 7;\nsetp.lt.s32 %p2, %r2, 99;\n@%p2 bra B;\nA:\nmov.u32 %r3, 2;\nsetp.lt.s32 %p3, %r3, 5;\n@%p3 bra B;\nB:\nret;\n",
+	},
+	{
+		name: "tid_trip_counts",
+		body: "mov.u32 %r2, %tid.x;\nmov.u32 %r1, 0;\nL:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p1, %r1, %r2;\n@%p1 bra L;\nret;\n",
+	},
+	{
+		name: "ntid_bound_loop",
+		body: "mov.u32 %r1, 0;\nL:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p1, %r1, %ntid.x;\n@%p1 bra L;\nret;\n",
+	},
+	{
+		name: "div_by_tid_faults_lane0",
+		body: "mov.u32 %r2, %tid.x;\ndiv.s32 %r1, 64, %r2;\nsetp.lt.s32 %p1, %r1, 100;\n@%p1 bra E;\nE:\nret;\n",
+	},
+	{
+		name: "guarded_write_then_read",
+		body: "mov.u32 %r1, %tid.x;\nsetp.lt.s32 %p1, %r1, 8;\n@%p1 mov.u32 %r2, 5;\nsetp.lt.s32 %p2, %r2, 9;\n@%p2 bra E;\nE:\nret;\n",
+	},
+	{
+		name: "predicated_exit_varying_guard",
+		body: "mov.u32 %r1, %tid.x;\nsetp.lt.s32 %p1, %r1, 4;\n@%p1 ret;\nmov.u32 %r3, 1;\nsetp.lt.s32 %p3, %r3, 2;\n@%p3 bra E;\nE:\nret;\n",
+	},
+	{
+		name:     "step_limit_mixed",
+		body:     "mov.u32 %r2, %tid.x;\nmul.lo.s32 %r3, %r2, 100;\nmov.u32 %r1, 0;\nL:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p1, %r1, %r3;\n@%p1 bra L;\nret;\n",
+		maxSteps: 900,
+	},
+	{
+		name:   "param_bound_uniform",
+		body:   "ld.param.u64 %rd1, [p0];\nmov.u32 %r1, 0;\nL:\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p1, %r1, %rd1;\n@%p1 bra L;\nret;\n",
+		params: map[string]int64{"p0": 37},
+	},
+	{
+		name: "ctaid_tid_product_path",
+		body: "mov.u32 %r1, %ctaid.x;\nmov.u32 %r2, %ntid.x;\nmul.lo.s32 %r3, %r1, %r2;\nmov.u32 %r4, %tid.x;\nadd.s32 %r5, %r3, %r4;\nsetp.lt.s32 %p1, %r5, 40;\n@%p1 bra E;\nmov.u32 %r6, 1;\nE:\nret;\n",
+	},
+	{
+		name: "full_mode_data_loop",
+		body: "mov.u32 %r9, %tid.x;\nmov.u32 %r1, 0;\nmov.f32 %f1, 0f00000000;\nmov.u64 %rd2, 64;\nL:\nld.global.f32 %f2, [%rd2];\nfma.rn.f32 %f1, %f2, %f2, %f1;\nadd.s32 %r1, %r1, 1;\nsetp.lt.s32 %p1, %r1, 20;\n@%p1 bra L;\nret;\n",
+		full: true,
+	},
+	{
+		name: "ne_exit_iterated_tid",
+		body: "mov.u32 %r2, %tid.x;\nadd.s32 %r2, %r2, 4;\nmov.u32 %r1, 0;\nL:\nadd.s32 %r1, %r1, 1;\nsetp.ne.s32 %p1, %r1, %r2;\n@%p1 bra L;\nret;\n",
+	},
+}
+
+// checkLanes runs the batched engine over ctxs and requires every lane
+// to reproduce its single-lane reference execution exactly — counts and
+// error text.
+func checkLanes(t *testing.T, k *ptx.Kernel, params map[string]int64, ctxs []ThreadCtx, opts ExecOptions) {
+	t.Helper()
+	slice := BuildControlSlice(k, BuildDepGraph(k))
+	ck, err := Compile(k, slice, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	out := ck.ExecuteBatch(k, params, ctxs)
+	if len(out) != len(ctxs) {
+		t.Fatalf("ExecuteBatch returned %d results for %d lanes", len(out), len(ctxs))
+	}
+	for i, ctx := range ctxs {
+		want, werr := ExecuteThread(k, slice, params, ctx, opts)
+		got, gerr := out[i].Res, out[i].Err
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("lane %d (ctx %+v): error disagreement: reference=%v batched=%v", i, ctx, werr, gerr)
+		}
+		if werr != nil {
+			if werr.Error() != gerr.Error() {
+				t.Fatalf("lane %d (ctx %+v): error text diverged:\nreference: %v\nbatched:   %v", i, ctx, werr, gerr)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("lane %d (ctx %+v): diverged: reference=%+v batched=%+v", i, ctx, want, got)
+		}
+	}
+}
+
+// TestBatchedDivergenceKernels sweeps the divergence suite over lane
+// populations from degenerate (one lane, all-identical lanes) to
+// warp-sized mixes of blocks and block shapes.
+func TestBatchedDivergenceKernels(t *testing.T) {
+	laneSets := map[string][]ThreadCtx{
+		"one_lane":  {{Tid: 3, CtaID: 1, NTid: 32, NCtaID: 2}},
+		"all_same":  {{Tid: 5, NTid: 16, NCtaID: 1}, {Tid: 5, NTid: 16, NCtaID: 1}, {Tid: 5, NTid: 16, NCtaID: 1}},
+		"tid_range": ctxRange(0, 16, 32, 2),
+		"mixed_shapes": append(append(ctxRange(0, 8, 32, 2), ctxRange(0, 8, 64, 4)...),
+			ThreadCtx{Tid: 63, CtaID: 3, NTid: 64, NCtaID: 4}),
+	}
+	for _, tc := range divergenceKernels {
+		t.Run(tc.name, func(t *testing.T) {
+			k := parseOne(t, tc.body)
+			opts := ExecOptions{Full: tc.full, MaxSteps: tc.maxSteps}
+			for setName, ctxs := range laneSets {
+				t.Run(setName, func(t *testing.T) {
+					checkLanes(t, k, tc.params, ctxs, opts)
+				})
+			}
+		})
+	}
+}
+
+// ctxRange builds one lane per tid in [lo, hi) under the given block
+// and grid shape.
+func ctxRange(lo, hi, ntid, nctaid int64) []ThreadCtx {
+	var out []ThreadCtx
+	for tid := lo; tid < hi; tid++ {
+		out = append(out, ThreadCtx{Tid: tid, CtaID: tid % nctaid, NTid: ntid, NCtaID: nctaid})
+	}
+	return out
+}
+
+// TestBatchedRandomLanePartitions is the property test: random lane
+// populations (random sizes, random special-register values, duplicate
+// lanes, multiple block shapes) must agree lane for lane with the
+// reference interpreter on every divergence kernel.
+func TestBatchedRandomLanePartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for _, tc := range divergenceKernels {
+		t.Run(tc.name, func(t *testing.T) {
+			k := parseOne(t, tc.body)
+			opts := ExecOptions{Full: tc.full, MaxSteps: tc.maxSteps}
+			for trial := 0; trial < 25; trial++ {
+				nl := 1 + rng.Intn(33)
+				ctxs := make([]ThreadCtx, nl)
+				for i := range ctxs {
+					ntid := int64(1) << uint(rng.Intn(7)) // 1..64
+					nctaid := int64(1 + rng.Intn(5))
+					ctxs[i] = ThreadCtx{
+						Tid:    int64(rng.Intn(int(ntid))),
+						CtaID:  int64(rng.Intn(int(nctaid))),
+						NTid:   ntid,
+						NCtaID: nctaid,
+					}
+				}
+				// Occasionally force all lanes into one control-flow
+				// class (the all-threads-one-class degenerate case).
+				if trial%5 == 0 {
+					for i := range ctxs {
+						ctxs[i] = ctxs[0]
+					}
+				}
+				checkLanes(t, k, tc.params, ctxs, opts)
+			}
+		})
+	}
+}
+
+// TestBatchedArenaReuse runs many batches through one arena with resets
+// between them — the production AnalyzeProgram pattern — and requires
+// the recycled buffers to never leak state across executions.
+func TestBatchedArenaReuse(t *testing.T) {
+	ar := newExecArena()
+	for round := 0; round < 3; round++ {
+		for _, tc := range divergenceKernels {
+			k := parseOne(t, tc.body)
+			opts := ExecOptions{Full: tc.full, MaxSteps: tc.maxSteps}
+			slice := BuildControlSlice(k, BuildDepGraph(k))
+			ck, err := Compile(k, slice, opts)
+			if err != nil {
+				t.Fatalf("%s: Compile: %v", tc.name, err)
+			}
+			ctxs := ctxRange(0, 12, 32, 2)
+			out := make([]LaneResult, len(ctxs))
+			ck.executeBatch(k, tc.params, ctxs, nil, ar, out)
+			ar.reset()
+			for i, ctx := range ctxs {
+				want, werr := ExecuteThread(k, slice, tc.params, ctx, opts)
+				if (werr == nil) != (out[i].Err == nil) {
+					t.Fatalf("%s round %d lane %d: error disagreement: %v vs %v", tc.name, round, i, werr, out[i].Err)
+				}
+				if werr == nil && out[i].Res != want {
+					t.Fatalf("%s round %d lane %d: diverged after arena reuse", tc.name, round, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedConcurrentArenas executes batches from many goroutines,
+// each with a private arena, against one shared CompiledKernel — the
+// server's concurrency shape — and checks both lane-level correctness
+// (under -race, also memory safety) and that no goroutines leak.
+func TestBatchedConcurrentArenas(t *testing.T) {
+	k := parseOne(t, divergenceKernels[2].body) // tid-dependent trip counts
+	opts := ExecOptions{}
+	slice := BuildControlSlice(k, BuildDepGraph(k))
+	ck, err := Compile(k, slice, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := ctxRange(0, 32, 32, 2)
+	want := make([]ExecResult, len(ctxs))
+	for i, ctx := range ctxs {
+		res, rerr := ExecuteThread(k, slice, nil, ctx, opts)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		want[i] = res
+	}
+	before := runtime.NumGoroutine()
+	const workers = 8
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ar := newExecArena()
+			out := make([]LaneResult, len(ctxs))
+			for iter := 0; iter < 50; iter++ {
+				ck.executeBatch(k, nil, ctxs, nil, ar, out)
+				ar.reset()
+				for i := range out {
+					if out[i].Err != nil || out[i].Res != want[i] {
+						errs <- fmt.Errorf("lane %d diverged concurrently: %+v err=%v", i, out[i].Res, out[i].Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across batched execution: %d before, %d after", before, after)
+	}
+}
+
+// TestBatchedSerializedKernel decodes a compiled kernel from its wire
+// form and batch-executes it: the decoder must recompute the batch
+// layout so persisted bytecode stays executable by the batched engine.
+func TestBatchedSerializedKernel(t *testing.T) {
+	for _, tc := range divergenceKernels {
+		k := parseOne(t, tc.body)
+		opts := ExecOptions{Full: tc.full, MaxSteps: tc.maxSteps}
+		ck, err := Compile(k, BuildControlSlice(k, BuildDepGraph(k)), opts)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", tc.name, err)
+		}
+		blob, err := MarshalCompiledKernel(ck)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		back, err := UnmarshalCompiledKernel(blob)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", tc.name, err)
+		}
+		ctxs := ctxRange(0, 8, 32, 2)
+		want := ck.ExecuteBatch(k, tc.params, ctxs)
+		got := back.ExecuteBatch(k, tc.params, ctxs)
+		for i := range want {
+			if (want[i].Err == nil) != (got[i].Err == nil) ||
+				(want[i].Err == nil && got[i].Res != want[i].Res) {
+				t.Fatalf("%s lane %d: decoded kernel diverged", tc.name, i)
+			}
+		}
+	}
+}
+
+// TestBatchStatsAccounting pins the occupancy arithmetic: a fully
+// uniform batch is one segment carrying every lane; each divergence
+// split adds exactly one segment.
+func TestBatchStatsAccounting(t *testing.T) {
+	uniform := parseOne(t, divergenceKernels[0].body)
+	ck, err := Compile(uniform, BuildControlSlice(uniform, BuildDepGraph(uniform)), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := ctxRange(0, 16, 32, 1)
+	before := BatchStats()
+	ck.ExecuteBatch(uniform, nil, ctxs)
+	d := statsDelta(before, BatchStats())
+	if d.Calls != 1 || d.Lanes != 16 {
+		t.Errorf("calls/lanes = %d/%d, want 1/16", d.Calls, d.Lanes)
+	}
+	if d.Segments != 1 || d.LaneSegments != 16 || d.Splits != 0 {
+		t.Errorf("uniform kernel: segments=%d laneSegs=%d splits=%d, want 1/16/0",
+			d.Segments, d.LaneSegments, d.Splits)
+	}
+
+	// Lanes 0..15 against a lt-4 tid test: exactly one branch split.
+	div := parseOne(t, "mov.u32 %r1, %tid.x;\nsetp.lt.s32 %p1, %r1, 4;\n@%p1 bra E;\nmov.u32 %r2, 1;\nsetp.lt.s32 %p2, %r2, 3;\n@%p2 bra E;\nE:\nret;\n")
+	ck2, err := Compile(div, BuildControlSlice(div, BuildDepGraph(div)), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = BatchStats()
+	ck2.ExecuteBatch(div, nil, ctxs)
+	d = statsDelta(before, BatchStats())
+	if d.Splits != 1 || d.Segments != 2 {
+		t.Errorf("divergent kernel: segments=%d splits=%d, want 2/1", d.Segments, d.Splits)
+	}
+}
+
+func statsDelta(a, b BatchExecStats) BatchExecStats {
+	return BatchExecStats{
+		Calls:        b.Calls - a.Calls,
+		Lanes:        b.Lanes - a.Lanes,
+		Segments:     b.Segments - a.Segments,
+		LaneSegments: b.LaneSegments - a.LaneSegments,
+		Splits:       b.Splits - a.Splits,
+		ArenaGrows:   b.ArenaGrows - a.ArenaGrows,
+		ArenaBytes:   b.ArenaBytes,
+	}
+}

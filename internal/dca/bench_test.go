@@ -1,6 +1,7 @@
 package dca
 
 import (
+	"fmt"
 	"testing"
 
 	"cnnperf/internal/ptx"
@@ -8,7 +9,7 @@ import (
 	"cnnperf/internal/zoo"
 )
 
-func compileZoo(b *testing.B, name string) *ptxgen.Program {
+func compileZoo(b testing.TB, name string) *ptxgen.Program {
 	b.Helper()
 	m := zoo.MustBuild(name)
 	prog, err := ptxgen.Compile(m, ptxgen.Options{})
@@ -38,7 +39,7 @@ func BenchmarkAnalyzeProgram(b *testing.B) {
 // heaviestLaunch returns the kernel and launch with the most dynamic
 // steps for the in-bounds probe thread — the workload where interpreter
 // speed matters most.
-func heaviestLaunch(b *testing.B, prog *ptxgen.Program) (*ptx.Kernel, ptxgen.Launch) {
+func heaviestLaunch(b testing.TB, prog *ptxgen.Program) (*ptx.Kernel, ptxgen.Launch) {
 	b.Helper()
 	byName := make(map[string]*ptx.Kernel, len(prog.Module.Kernels))
 	for _, k := range prog.Module.Kernels {
@@ -102,6 +103,84 @@ func BenchmarkExecuteThread(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkBatchedExec measures the warp-style batched engine on the
+// heaviest resnet50v2 launch across lane populations, against a serial
+// baseline issuing the same threads through single-lane Execute calls.
+// Custom metrics report per-thread cost, aggregate thread throughput
+// and the realized batch occupancy (lanes per control-flow segment).
+// All subbenches reuse one warmed arena, so steady-state iterations
+// allocate nothing — the committed TestZeroAlloc pins that.
+func BenchmarkBatchedExec(b *testing.B) {
+	prog := compileZoo(b, "resnet50v2")
+	k, l := heaviestLaunch(b, prog)
+	slice := BuildControlSlice(k, BuildDepGraph(k))
+	ck, err := Compile(k, slice, ExecOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkCtxs := func(lanes int) []ThreadCtx {
+		ctxs := make([]ThreadCtx, lanes)
+		for i := range ctxs {
+			ctxs[i] = ThreadCtx{
+				Tid:    int64(i % l.BlockX),
+				CtaID:  int64((i / l.BlockX) % l.GridX),
+				NTid:   int64(l.BlockX),
+				NCtaID: int64(l.GridX),
+			}
+		}
+		return ctxs
+	}
+	for _, lanes := range []int{1, 2, 8, 32, 256} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			ctxs := mkCtxs(lanes)
+			out := make([]LaneResult, lanes)
+			ar := newExecArena()
+			ck.executeBatch(k, l.Params, ctxs, nil, ar, out)
+			ar.reset()
+			for i := range out {
+				if out[i].Err != nil {
+					b.Fatal(out[i].Err)
+				}
+			}
+			before := BatchStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ck.executeBatch(k, l.Params, ctxs, nil, ar, out)
+				ar.reset()
+			}
+			b.StopTimer()
+			d := statsDelta(before, BatchStats())
+			threads := float64(b.N) * float64(lanes)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/threads, "ns/thread")
+			b.ReportMetric(threads/b.Elapsed().Seconds(), "threads/s")
+			if d.Segments > 0 {
+				b.ReportMetric(float64(d.LaneSegments)/float64(d.Segments), "lanes/segment")
+			}
+		})
+	}
+	// The serial baseline issues the same 32 threads one Execute call at
+	// a time: the unbatched aggregate throughput the batch is judged by.
+	b.Run("serial=32", func(b *testing.B) {
+		ctxs := mkCtxs(32)
+		ar := newExecArena()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, ctx := range ctxs {
+				if _, err := ck.execute(k, l.Params, ctx, nil, ar); err != nil {
+					b.Fatal(err)
+				}
+				ar.reset()
+			}
+		}
+		b.StopTimer()
+		threads := float64(b.N) * 32
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/threads, "ns/thread")
+		b.ReportMetric(threads/b.Elapsed().Seconds(), "threads/s")
 	})
 }
 

@@ -1,6 +1,7 @@
 package dca
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
@@ -22,9 +23,10 @@ func parseOne(t *testing.T, body string) *ptx.Kernel {
 	return m.Kernels[0]
 }
 
-// bothEngines executes one thread on the reference interpreter and the
-// compiled bytecode and requires identical counts and identical error
-// behavior (including the message). It returns the reference result.
+// bothEngines executes one thread on the reference interpreter, the
+// compiled bytecode and a one-lane batch, and requires identical counts
+// and identical error behavior (including the message) from all three.
+// It returns the reference result.
 func bothEngines(t *testing.T, k *ptx.Kernel, params map[string]int64, ctx ThreadCtx, opts ExecOptions) (ExecResult, error) {
 	t.Helper()
 	g := BuildDepGraph(k)
@@ -35,22 +37,26 @@ func bothEngines(t *testing.T, k *ptx.Kernel, params map[string]int64, ctx Threa
 		t.Fatalf("Compile: %v", cerr)
 	}
 	got, gerr := ck.Execute(k, params, ctx)
-	if (werr == nil) != (gerr == nil) {
-		t.Fatalf("engines disagree on error: reference=%v compiled=%v", werr, gerr)
+	bout := ck.ExecuteBatch(k, params, []ThreadCtx{ctx})
+	for _, engine := range []struct {
+		name string
+		res  ExecResult
+		err  error
+	}{{"compiled", got, gerr}, {"batched", bout[0].Res, bout[0].Err}} {
+		if (werr == nil) != (engine.err == nil) {
+			t.Fatalf("engines disagree on error: reference=%v %s=%v", werr, engine.name, engine.err)
+		}
+		if werr != nil {
+			if werr.Error() != engine.err.Error() {
+				t.Fatalf("error text diverged:\nreference: %v\n%s: %v", werr, engine.name, engine.err)
+			}
+			continue
+		}
+		if engine.res != want {
+			t.Fatalf("counts diverged: reference=%+v %s=%+v", want, engine.name, engine.res)
+		}
 	}
-	if werr != nil && werr.Error() != gerr.Error() {
-		t.Fatalf("error text diverged:\nreference: %v\ncompiled:  %v", werr, gerr)
-	}
-	if werr != nil {
-		return want, werr
-	}
-	if got.Steps != want.Steps || got.Interpreted != want.Interpreted || got.BackBranches != want.BackBranches {
-		t.Fatalf("counts diverged: reference=%+v compiled=%+v", want, got)
-	}
-	if !reflect.DeepEqual(got.PerClass, want.PerClass) {
-		t.Fatalf("per-class diverged: reference=%v compiled=%v", want.PerClass, got.PerClass)
-	}
-	return want, nil
+	return want, werr
 }
 
 // hasClosedForm reports whether the compiled kernel registered at least
@@ -312,9 +318,11 @@ func stripTime(r *Report) *Report {
 }
 
 // TestCompiledMatchesReferenceOnZoo is the zoo-wide equivalence gate:
-// with the compiler enabled, AnalyzeProgram must reproduce the
-// reference interpreter's reports byte for byte on every CNN, with the
-// analysis cache on and off. -short runs a 4-model subset.
+// with the compiler enabled — batched or unbatched — AnalyzeProgram must
+// reproduce the reference interpreter's reports byte for byte on every
+// CNN, with the analysis cache on and off. Byte-for-byte is literal:
+// beyond DeepEqual, every KernelReport must serialize to identical
+// bytes across engines. -short runs a 4-model subset.
 func TestCompiledMatchesReferenceOnZoo(t *testing.T) {
 	models := zoo.TableIOrder
 	if testing.Short() {
@@ -325,25 +333,40 @@ func TestCompiledMatchesReferenceOnZoo(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		ref, err := AnalyzeProgram(prog, Options{Exec: ExecOptions{Reference: true}})
+		ref, err := AnalyzeProgram(prog, Options{Exec: ExecOptions{Reference: true}, BlockCounts: true})
 		if err != nil {
 			t.Fatalf("%s reference: %v", name, err)
 		}
-		compiled, err := AnalyzeProgram(prog, Options{})
-		if err != nil {
-			t.Fatalf("%s compiled: %v", name, err)
+		engines := []struct {
+			name string
+			opts Options
+		}{
+			{"batched", Options{BlockCounts: true}},
+			{"unbatched", Options{Exec: ExecOptions{Unbatched: true}, BlockCounts: true}},
+			{"batched+cache", Options{Cache: analysiscache.New(0), BlockCounts: true}},
+			{"unbatched+cache", Options{Exec: ExecOptions{Unbatched: true}, Cache: analysiscache.New(0), BlockCounts: true}},
 		}
-		if !reflect.DeepEqual(stripTime(ref), stripTime(compiled)) {
-			t.Errorf("%s: compiled report diverges from reference", name)
-			continue
-		}
-		cache := analysiscache.New(0)
-		cached, err := AnalyzeProgram(prog, Options{Cache: cache})
-		if err != nil {
-			t.Fatalf("%s compiled+cache: %v", name, err)
-		}
-		if !reflect.DeepEqual(stripTime(ref), stripTime(cached)) {
-			t.Errorf("%s: cached compiled report diverges from reference", name)
+		for _, eng := range engines {
+			got, err := AnalyzeProgram(prog, eng.opts)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, eng.name, err)
+			}
+			if !reflect.DeepEqual(stripTime(ref), stripTime(got)) {
+				t.Errorf("%s: %s report diverges from reference", name, eng.name)
+				continue
+			}
+			for i := range got.Kernels {
+				wb, werr := MarshalKernelReport(&ref.Kernels[i])
+				gb, gerr := MarshalKernelReport(&got.Kernels[i])
+				if werr != nil || gerr != nil {
+					t.Fatalf("%s: marshal: %v / %v", name, werr, gerr)
+				}
+				if !bytes.Equal(wb, gb) {
+					t.Errorf("%s: %s kernel %d serializes differently:\nref: %s\ngot: %s",
+						name, eng.name, i, wb, gb)
+					break
+				}
+			}
 		}
 	}
 }

@@ -130,7 +130,7 @@ func gateErr(k *ptx.Kernel, errs []ptxanalysis.Diag) error {
 // population. With opts.Cache set, the result is memoized by kernel
 // content and launch configuration.
 func AnalyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options) (KernelReport, error) {
-	return analyzeKernelLaunch(k, l, opts, nil)
+	return analyzeKernelLaunch(k, l, opts, nil, nil)
 }
 
 // kernelProgram bundles the per-kernel artifacts every launch of one
@@ -162,25 +162,29 @@ func prepareKernel(k *ptx.Kernel, opts Options) *kernelProgram {
 }
 
 // analyzeKernelLaunch is AnalyzeKernelLaunch with an optional lazy
-// provider of prepared per-kernel artifacts (nil: build them inline).
-func analyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram) (KernelReport, error) {
-	kr, _, err := analyzeKernelLaunchHit(k, l, opts, prep)
+// provider of prepared per-kernel artifacts (nil: build them inline) and
+// an optional reusable execution arena (nil: allocate one per call).
+func analyzeKernelLaunch(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram, ar *execArena) (KernelReport, error) {
+	kr, _, err := analyzeKernelLaunchHit(k, l, opts, prep, ar)
 	return kr, err
 }
 
 // analyzeKernelLaunchHit additionally reports whether the result came
 // out of the analysis cache, for span attribution.
-func analyzeKernelLaunchHit(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram) (KernelReport, bool, error) {
+func analyzeKernelLaunchHit(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram, ar *execArena) (KernelReport, bool, error) {
 	if k == nil {
 		return KernelReport{}, false, fmt.Errorf("dca: nil kernel")
 	}
 	if opts.Cache == nil {
-		kr, err := analyzeKernelLaunchUncached(k, l, opts, prep)
+		kr, err := analyzeKernelLaunchUncached(k, l, opts, prep, ar)
 		return kr, false, err
 	}
 	key := launchKey(k, l, opts)
+	// GetOrCompute runs the closure on the calling goroutine, so the
+	// caller's arena never crosses goroutines; cached reports retain no
+	// arena-backed memory (BlockVisits is freshly allocated).
 	v, hit, err := opts.Cache.GetOrCompute(key, func() (any, error) {
-		kr, err := analyzeKernelLaunchUncached(k, l, opts, prep)
+		kr, err := analyzeKernelLaunchUncached(k, l, opts, prep, ar)
 		if err != nil {
 			return nil, err
 		}
@@ -224,6 +228,15 @@ func launchKey(k *ptx.Kernel, l ptxgen.Launch, opts Options) string {
 		params.String())
 }
 
+// batchLayoutVersion versions the in-memory compiled-program memo key:
+// CompiledKernel instances are shared through the analysis cache, and a
+// process mixing binaries (or a cache warmed by an older layout pass)
+// must never hand bytecode without batch-layout metadata to the batched
+// engine. Version 2 introduced the uniform/varying slot layout. The
+// persistent serialization format is unversioned by this constant — the
+// decoder recomputes the layout from the bytecode.
+const batchLayoutVersion = 2
+
 // compiledKernel returns the bytecode form of the kernel's control
 // slice, memoized by kernel content and the executor knobs baked into
 // the compiled program. A nil return means the kernel cannot be
@@ -237,7 +250,7 @@ func compiledKernel(k *ptx.Kernel, slice *ControlSlice, opts Options) *CompiledK
 		return ck
 	}
 	key := analysiscache.KernelKey("dcac", k,
-		fmt.Sprintf("full=%t;maxsteps=%d", opts.Exec.Full, opts.Exec.effectiveMaxSteps()))
+		fmt.Sprintf("full=%t;maxsteps=%d;layout=%d", opts.Exec.Full, opts.Exec.effectiveMaxSteps(), batchLayoutVersion))
 	v, _, err := opts.Cache.GetOrCompute(key, func() (any, error) {
 		return Compile(k, slice, opts.Exec)
 	})
@@ -248,7 +261,10 @@ func compiledKernel(k *ptx.Kernel, slice *ControlSlice, opts Options) *CompiledK
 }
 
 // analyzeKernelLaunchUncached is the memoization-free analysis body.
-func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram) (KernelReport, error) {
+func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, prep func() *kernelProgram, ar *execArena) (KernelReport, error) {
+	if ar == nil {
+		ar = newExecArena()
+	}
 	if !opts.SkipLint {
 		if err := lintGate(k); err != nil {
 			return KernelReport{}, err
@@ -277,24 +293,6 @@ func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, p
 	}
 	visitsOK := true
 
-	// Engine selection: the compiled register-slot bytecode is the
-	// default; opts.Exec.Reference (or a compiler bailout) runs the
-	// reference tree-walking interpreter instead. Both produce
-	// identical results — the differential fuzz target and the
-	// zoo-wide equivalence tests enforce it.
-	exec := func(tc ThreadCtx, visits []int64) (ExecResult, error) {
-		if kp.ck != nil {
-			return kp.ck.execute(k, l.Params, tc, visits)
-		}
-		res, err := ExecuteThread(k, slice, l.Params, tc, opts.Exec)
-		if err == nil && visits != nil {
-			if _, verr := vck.execute(k, l.Params, tc, visits); verr != nil {
-				visitsOK = false
-			}
-		}
-		return res, err
-	}
-
 	rep := KernelReport{
 		Kernel:          k.Name,
 		Node:            l.Node,
@@ -307,41 +305,97 @@ func analyzeKernelLaunchUncached(k *ptx.Kernel, l ptxgen.Launch, opts Options, p
 		Threads:         l.Threads,
 	}
 
+	total := int64(l.GridX) * int64(l.BlockX)
+	active := l.Threads
+	oob := total - active
+	runOob := oob > 0 && active <= total
+	wantVisits := opts.BlockCounts && vck != nil
+
 	var inVisits, oobVisits []int64
-	if opts.BlockCounts && vck != nil {
-		inVisits = make([]int64, len(k.Body))
+	if wantVisits {
+		inVisits = ar.i64.take(len(k.Body))
+		if runOob {
+			oobVisits = ar.i64.take(len(k.Body))
+		}
 	}
 	inCtx := ThreadCtx{CtaID: 0, Tid: 0, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
-	inRes, err := exec(inCtx, inVisits)
-	if err != nil {
-		return rep, fmt.Errorf("dca: kernel %s: %w", k.Name, err)
+	oobCtx := ThreadCtx{CtaID: int64(l.GridX) - 1, Tid: int64(l.BlockX) - 1, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
+
+	// Engine selection: the batched compiled engine is the default — the
+	// in-bounds and out-of-bounds representatives run as one two-lane
+	// batch, sharing every uniform computation. opts.Exec.Unbatched runs
+	// the compiled engine one lane at a time; opts.Exec.Reference (or a
+	// compiler bailout) runs the reference tree-walking interpreter. All
+	// three produce identical results — the differential fuzz target and
+	// the zoo-wide equivalence tests enforce it.
+	var inRes, oobRes ExecResult
+	var inErr, oobErr error
+	if kp.ck != nil && !opts.Exec.Unbatched {
+		var ctxs [2]ThreadCtx
+		var outs [2]LaneResult
+		var vis [2][]int64
+		ctxs[0], ctxs[1] = inCtx, oobCtx
+		vis[0], vis[1] = inVisits, oobVisits
+		nl := 1
+		if runOob {
+			nl = 2
+		}
+		if wantVisits {
+			kp.ck.executeBatch(k, l.Params, ctxs[:nl], vis[:nl], ar, outs[:nl])
+		} else {
+			kp.ck.executeBatch(k, l.Params, ctxs[:nl], nil, ar, outs[:nl])
+		}
+		inRes, inErr = outs[0].Res, outs[0].Err
+		if nl == 2 {
+			oobRes, oobErr = outs[1].Res, outs[1].Err
+		}
+	} else {
+		exec := func(tc ThreadCtx, visits []int64) (ExecResult, error) {
+			if kp.ck != nil {
+				return kp.ck.execute(k, l.Params, tc, visits, ar)
+			}
+			res, err := ExecuteThread(k, slice, l.Params, tc, opts.Exec)
+			if err == nil && visits != nil {
+				if _, verr := vck.execute(k, l.Params, tc, visits, ar); verr != nil {
+					visitsOK = false
+				}
+			}
+			return res, err
+		}
+		inRes, inErr = exec(inCtx, inVisits)
+		if inErr == nil && runOob {
+			oobRes, oobErr = exec(oobCtx, oobVisits)
+		}
+	}
+	if inErr != nil {
+		return rep, fmt.Errorf("dca: kernel %s: %w", k.Name, inErr)
 	}
 	rep.PerThread = inRes.Steps
 	rep.LoopIterations = inRes.BackBranches
 
-	total := int64(l.GridX) * int64(l.BlockX)
-	active := l.Threads
 	if active > total {
 		return rep, fmt.Errorf("dca: kernel %s: %d threads exceed grid capacity %d", k.Name, active, total)
 	}
-	oob := total - active
 
 	rep.Executed = active * inRes.Steps
-	for c, v := range inRes.PerClass {
-		rep.PerClass[c] += active * v
+	// The dense histogram converts to the sparse report map here, at the
+	// serialization boundary: only classes the thread touched get an
+	// entry (an entry may still be zero when active is zero, matching
+	// the historical map encoding).
+	for c, v := range &inRes.PerClass {
+		if v != 0 {
+			rep.PerClass[ptx.Class(c)] += active * v
+		}
 	}
 	if oob > 0 {
-		if inVisits != nil {
-			oobVisits = make([]int64, len(k.Body))
-		}
-		oobCtx := ThreadCtx{CtaID: int64(l.GridX) - 1, Tid: int64(l.BlockX) - 1, NTid: int64(l.BlockX), NCtaID: int64(l.GridX)}
-		oobRes, err := exec(oobCtx, oobVisits)
-		if err != nil {
-			return rep, fmt.Errorf("dca: kernel %s (oob thread): %w", k.Name, err)
+		if oobErr != nil {
+			return rep, fmt.Errorf("dca: kernel %s (oob thread): %w", k.Name, oobErr)
 		}
 		rep.Executed += oob * oobRes.Steps
-		for c, v := range oobRes.PerClass {
-			rep.PerClass[c] += oob * v
+		for c, v := range &oobRes.PerClass {
+			if v != 0 {
+				rep.PerClass[ptx.Class(c)] += oob * v
+			}
 		}
 	}
 	if inVisits != nil && visitsOK {
@@ -411,6 +465,10 @@ func AnalyzeProgramContext(ctx context.Context, prog *ptxgen.Program, opts Optio
 	// launch-independent artifacts (dependency graph, control slice,
 	// compiled bytecode) are prepared lazily once and shared.
 	prepared := make(map[string]*kernelProgram, 8)
+	// One arena serves every launch of the program: reset (never freed)
+	// between launches, so after the first few launches warm the slabs
+	// the per-launch executions allocate nothing.
+	ar := newExecArena()
 	var sliceSum float64
 	for _, l := range prog.Launches {
 		k := prog.Module.Kernel(l.Kernel)
@@ -428,7 +486,8 @@ func AnalyzeProgramContext(ctx context.Context, prog *ptxgen.Program, opts Optio
 				prepared[k.Name] = kp
 			}
 			return kp
-		})
+		}, ar)
+		ar.reset()
 		if err != nil {
 			execSpan.End()
 			return nil, err
@@ -438,8 +497,12 @@ func AnalyzeProgramContext(ctx context.Context, prog *ptxgen.Program, opts Optio
 		execSpan.End()
 		rep.Kernels = append(rep.Kernels, kr)
 		rep.Executed += kr.Executed
-		for c, v := range kr.PerClass {
-			rep.PerClass[c] += v
+		// Accumulate in class order, not map order: insertion order into
+		// rep.PerClass is then deterministic across runs and engines.
+		for c := 0; c < ptx.NumClasses; c++ {
+			if v, ok := kr.PerClass[ptx.Class(c)]; ok {
+				rep.PerClass[ptx.Class(c)] += v
+			}
 		}
 		sliceSum += kr.SliceFraction
 	}

@@ -21,13 +21,31 @@ type ThreadCtx struct {
 	NCtaID int64
 }
 
+// ClassHist is a dense per-class instruction histogram, indexed by
+// ptx.Class. The hot path accumulates into this fixed-size array —
+// value-comparable, copyable, allocation-free — and only the
+// serialization boundary (KernelReport/Report) converts to the sparse
+// map form.
+type ClassHist [ptx.NumClasses]int64
+
+// Map returns the sparse map form of the histogram, keeping only
+// nonzero entries (the historical ExecResult.PerClass encoding).
+func (h *ClassHist) Map() map[ptx.Class]int64 {
+	m := make(map[ptx.Class]int64, 8)
+	for c, v := range h {
+		if v != 0 {
+			m[ptx.Class(c)] = v
+		}
+	}
+	return m
+}
+
 // ExecResult is the outcome of abstractly executing one thread.
 type ExecResult struct {
 	// Steps is the number of dynamically executed instructions.
 	Steps int64
-	// PerClass histograms the executed instructions by class. Only
-	// classes with a nonzero count appear.
-	PerClass map[ptx.Class]int64
+	// PerClass histograms the executed instructions by class.
+	PerClass ClassHist
 	// Interpreted counts the instructions actually evaluated (the slice);
 	// Steps-Interpreted instructions were only counted.
 	Interpreted int64
@@ -48,6 +66,11 @@ type ExecOptions struct {
 	// by construction (and by the differential tests); the flag exists
 	// for differential testing and as an escape hatch.
 	Reference bool
+	// Unbatched forces the compiled engine to execute representative
+	// threads one at a time instead of as a warp-style batch. Results
+	// are identical either way (the zoo-wide equivalence tests enforce
+	// it); the flag exists for differential testing and benchmarking.
+	Unbatched bool
 }
 
 // effectiveMaxSteps resolves the MaxSteps default shared by both
@@ -59,18 +82,6 @@ func (o ExecOptions) effectiveMaxSteps() int64 {
 	return o.MaxSteps
 }
 
-// perClassMap converts a fixed-size class histogram into the sparse map
-// form of the ExecResult API, keeping only nonzero entries.
-func perClassMap(hist *[ptx.NumClasses]int64) map[ptx.Class]int64 {
-	m := make(map[ptx.Class]int64, 8)
-	for c, v := range hist {
-		if v != 0 {
-			m[ptx.Class(c)] = v
-		}
-	}
-	return m
-}
-
 // ExecuteThread runs one thread through the kernel, evaluating only the
 // control slice (or everything under opts.Full) and counting every
 // instruction the thread would execute. This is the reference
@@ -78,10 +89,6 @@ func perClassMap(hist *[ptx.NumClasses]int64) map[ptx.Class]int64 {
 // with it exactly.
 func ExecuteThread(k *ptx.Kernel, slice *ControlSlice, params map[string]int64, ctx ThreadCtx, opts ExecOptions) (res ExecResult, err error) {
 	maxSteps := opts.effectiveMaxSteps()
-	// The hot loop increments a fixed-size array; the map form of the
-	// result is materialized once on return.
-	var perClass [ptx.NumClasses]int64
-	defer func() { res.PerClass = perClassMap(&perClass) }()
 	env := make(map[string]int64, 32)
 	n := len(k.Body)
 	// Decode every opcode once up front: the loop below revisits the
@@ -99,7 +106,7 @@ func ExecuteThread(k *ptx.Kernel, slice *ControlSlice, params map[string]int64, 
 		in := &k.Body[pc]
 		info := &dec[pc]
 		res.Steps++
-		perClass[info.Class]++
+		res.PerClass[info.Class]++
 		interpret := opts.Full || slice.InSlice[pc]
 		if !interpret {
 			pc++

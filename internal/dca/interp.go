@@ -16,50 +16,64 @@ import (
 // k supplies the identity of the one actually launched. The frame is a
 // flat int64 array; the steady-state loop performs no allocations.
 func (c *CompiledKernel) Execute(k *ptx.Kernel, params map[string]int64, ctx ThreadCtx) (ExecResult, error) {
-	return c.execute(k, params, ctx, nil)
+	return c.execute(k, params, ctx, nil, nil)
 }
 
-// execute is Execute with an optional per-instruction visit profile:
-// when visits is non-nil (length len(code)), visits[pc] accumulates how
-// many times pc executed, including counted-but-not-interpreted
-// stretches and closed-form loop iterations. A nil visits costs the hot
-// loop one predictable branch per instruction.
-func (c *CompiledKernel) execute(k *ptx.Kernel, params map[string]int64, ctx ThreadCtx, visits []int64) (res ExecResult, err error) {
-	var perClass [ptx.NumClasses]int64
-	defer func() { res.PerClass = perClassMap(&perClass) }()
-	frame := make([]int64, c.slots)
-	written := make([]bool, c.slots)
+// evalRef resolves one operand reference against a single-lane frame;
+// ok=false routes to evalErr for message construction off the hot path.
+// A plain function (not a closure) so the steady-state loop captures
+// nothing on the heap.
+func evalRef(r ref, frame []int64, written []bool, sreg *[4]int64) (int64, bool) {
+	switch r.kind {
+	case refImm:
+		return r.val, true
+	case refSlot:
+		if !written[r.val] {
+			return 0, false
+		}
+		return frame[r.val], true
+	case refTid:
+		return sreg[0], true
+	case refNTid:
+		return sreg[1], true
+	case refCtaID:
+		return sreg[2], true
+	case refNCtaID:
+		return sreg[3], true
+	}
+	return 0, false
+}
+
+// execute is Execute with an optional per-instruction visit profile and
+// an optional caller-owned arena. When visits is non-nil (length
+// len(code)), visits[pc] accumulates how many times pc executed,
+// including counted-but-not-interpreted stretches and closed-form loop
+// iterations. When ar is non-nil the frame and parameter buffers are
+// carved from it, making warm steady-state execution allocation-free;
+// a nil ar falls back to the garbage-collected heap.
+func (c *CompiledKernel) execute(k *ptx.Kernel, params map[string]int64, ctx ThreadCtx, visits []int64, ar *execArena) (res ExecResult, err error) {
+	var frame []int64
+	var written, pok []bool
+	var pvals []int64
+	if ar != nil {
+		frame = ar.i64.takeRaw(c.slots) // reads gated by written
+		written = ar.bit.take(c.slots)
+		pvals = ar.i64.takeRaw(len(k.Params)) // fully bound below
+		pok = ar.bit.takeRaw(len(k.Params))
+	} else {
+		frame = make([]int64, c.slots)
+		written = make([]bool, c.slots)
+		pvals = make([]int64, len(k.Params))
+		pok = make([]bool, len(k.Params))
+	}
 	// Declared parameters bind by position so cached compiled kernels
 	// work across renamed-but-identical kernels.
-	pvals := make([]int64, len(k.Params))
-	pok := make([]bool, len(k.Params))
 	for i, p := range k.Params {
 		v, ok := params[p.Name]
 		pvals[i], pok[i] = v, ok
 	}
 	sreg := [4]int64{ctx.Tid, ctx.NTid, ctx.CtaID, ctx.NCtaID}
-	// eval resolves one operand reference; ok=false routes to evalErr
-	// for message construction off the hot path.
-	eval := func(r ref) (int64, bool) {
-		switch r.kind {
-		case refImm:
-			return r.val, true
-		case refSlot:
-			if !written[r.val] {
-				return 0, false
-			}
-			return frame[r.val], true
-		case refTid:
-			return sreg[0], true
-		case refNTid:
-			return sreg[1], true
-		case refCtaID:
-			return sreg[2], true
-		case refNCtaID:
-			return sreg[3], true
-		}
-		return 0, false
-	}
+	eval := func(r ref) (int64, bool) { return evalRef(r, frame, written, &sreg) }
 	n := int32(len(c.code))
 	maxSteps := c.maxSteps
 	pc := int32(0)
@@ -71,7 +85,7 @@ func (c *CompiledKernel) execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 		// affine loop whose entry state is resolvable, charge all n
 		// iterations at once and jump past the loop.
 		if al := c.loops[pc]; al != nil {
-			done, lerr := c.runLoop(al, k, frame, written, &sreg, &res, &perClass, visits)
+			done, lerr := c.runLoop(al, k, frame, written, &sreg, &res, visits)
 			if lerr != nil {
 				return res, lerr
 			}
@@ -92,7 +106,7 @@ func (c *CompiledKernel) execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 			res.Steps += run
 			base, top := int(pc)*ptx.NumClasses, int(q)*ptx.NumClasses
 			for cl := 0; cl < ptx.NumClasses; cl++ {
-				perClass[cl] += c.classPrefix[top+cl] - c.classPrefix[base+cl]
+				res.PerClass[cl] += c.classPrefix[top+cl] - c.classPrefix[base+cl]
 			}
 			if visits != nil {
 				for i := pc; i < q; i++ {
@@ -104,7 +118,7 @@ func (c *CompiledKernel) execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 		}
 		ci := &c.code[pc]
 		res.Steps++
-		perClass[c.class[pc]]++
+		res.PerClass[c.class[pc]]++
 		res.Interpreted++
 		if visits != nil {
 			visits[pc]++
@@ -305,7 +319,7 @@ func (c *CompiledKernel) execute(k *ptx.Kernel, params map[string]int64, ctx Thr
 // entry state cannot be resolved — the caller interprets the loop
 // normally, which reproduces the reference behavior including its
 // errors and MaxSteps abort.
-func (c *CompiledKernel) runLoop(al *affineLoop, k *ptx.Kernel, frame []int64, written []bool, sreg *[4]int64, res *ExecResult, perClass *[ptx.NumClasses]int64, visits []int64) (done bool, err error) {
+func (c *CompiledKernel) runLoop(al *affineLoop, k *ptx.Kernel, frame []int64, written []bool, sreg *[4]int64, res *ExecResult, visits []int64) (done bool, err error) {
 	if !written[al.ind] {
 		return false, nil // slow path fails at the add, as the reference does
 	}
@@ -345,7 +359,7 @@ func (c *CompiledKernel) runLoop(al *affineLoop, k *ptx.Kernel, frame []int64, w
 	res.Interpreted += n * al.perIterInterp
 	res.BackBranches += n - 1
 	for cl := 0; cl < ptx.NumClasses; cl++ {
-		perClass[cl] += n * al.hist[cl]
+		res.PerClass[cl] += n * al.hist[cl]
 	}
 	if visits != nil {
 		for i := al.start; i < al.end; i++ {
