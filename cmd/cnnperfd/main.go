@@ -16,6 +16,13 @@
 // the request id echoed on X-Request-ID. SIGINT/SIGTERM triggers a
 // graceful shutdown: in-flight requests complete, late arrivals get
 // 503.
+//
+// Gateway mode (-gateway "http://host:port,...") turns the process
+// into the sharded router instead of a replica: /v1/predict and
+// /v1/lint are consistent-hashed by content key across the listed
+// backend replicas, with /healthz probing (ejection + re-admission),
+// bounded retries on connection failure, and cnnperfd_gw_* Prometheus
+// metrics on /metrics.
 package main
 
 import (
@@ -26,9 +33,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cnnperf/internal/gateway"
 	"cnnperf/internal/obs"
 	"cnnperf/internal/profiler"
 	"cnnperf/internal/server"
@@ -49,6 +58,13 @@ func main() {
 	snapshot := flag.String("snapshot", "", "warm-boot from a `cnnperf store export` snapshot file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the daemon to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the daemon to this file")
+	gatewayBackends := flag.String("gateway", "", "run as the sharded gateway over these comma-separated backend URLs instead of a replica")
+	gwProbeInterval := flag.Duration("gw-probe-interval", time.Second, "gateway health-check period")
+	gwFailThreshold := flag.Int("gw-fail-threshold", 3, "consecutive probe failures that eject a backend")
+	gwReviveThreshold := flag.Int("gw-revive-threshold", 2, "consecutive probe successes that re-admit a backend")
+	gwRetries := flag.Int("gw-retries", 3, "maximum proxy attempts per request (including the first)")
+	gwRetryBackoff := flag.Duration("gw-retry-backoff", 10*time.Millisecond, "backoff before the first retry (doubles per retry)")
+	gwVNodes := flag.Int("gw-vnodes", 0, "virtual nodes per backend on the hash ring (0 = default 128)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -57,6 +73,24 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level)
+
+	if *gatewayBackends != "" {
+		runGateway(logger, gateway.Config{
+			Addr:            *addr,
+			Backends:        splitBackends(*gatewayBackends),
+			VNodes:          *gwVNodes,
+			ProbeInterval:   *gwProbeInterval,
+			FailThreshold:   *gwFailThreshold,
+			ReviveThreshold: *gwReviveThreshold,
+			RetryBudget:     *gwRetries,
+			RetryBackoff:    *gwRetryBackoff,
+			Timeout:         *timeout,
+			MaxBodyBytes:    *maxBody,
+			SlowRequest:     *slowReq,
+			Logger:          logger,
+		})
+		return
+	}
 
 	stopProfiles, err := profiler.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -100,4 +134,36 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("drained and stopped", obs.String("cache_stats", srv.CacheStats().String()))
+}
+
+// runGateway boots the sharded router mode and serves until
+// SIGINT/SIGTERM, then drains (in-flight proxies finish, late
+// arrivals get 503).
+func runGateway(logger *obs.Logger, cfg gateway.Config) {
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		logger.Error("gateway startup failed", obs.String("err", err.Error()))
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("gateway listening",
+		obs.String("addr", cfg.Addr),
+		obs.String("backends", strings.Join(cfg.Backends, ",")),
+		obs.Int("retries", cfg.RetryBudget))
+	if err := gw.ListenAndServe(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("gateway failed", obs.String("err", err.Error()))
+		os.Exit(1)
+	}
+	logger.Info("gateway drained and stopped")
+}
+
+func splitBackends(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

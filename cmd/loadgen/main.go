@@ -1,0 +1,156 @@
+// Command loadgen replays a deterministic zoo-model + raw-PTX request
+// mix against a cnnperfd replica or gateway and reports throughput and
+// latency percentiles. It is the capacity-measurement harness behind
+// BENCH_9.json and the integration driver of the gateway CI smoke.
+//
+// Closed loop (default): -concurrency workers each issue their next
+// request when the previous completes — measures saturated capacity.
+// Open loop: -rate issues requests on a fixed schedule regardless of
+// latency — measures behaviour at a target arrival rate.
+//
+//	loadgen -target http://127.0.0.1:8076 -duration 10s -warmup 3s \
+//	  -models alexnet,mobilenet -gpus gtx1080ti,v100s -ptx-every 2 \
+//	  -name 2-replica-gateway -out BENCH_9.json
+//
+// With -baseline and -baseline-config the run additionally acts as a
+// regression gate: it fails (exit 1) when the measured p99 exceeds
+// slack x the recorded baseline p99.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cnnperf/internal/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8077", "base URL of the replica or gateway under load")
+	duration := flag.Duration("duration", 10*time.Second, "measured window")
+	warmup := flag.Duration("warmup", 0, "unmeasured warmup window before the run (absorbs cold-start costs)")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers (or in-flight bound in open loop)")
+	rate := flag.Float64("rate", 0, "open-loop request rate per second (0 = closed loop)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	models := flag.String("models", "alexnet", "comma-separated zoo models in the mix")
+	gpus := flag.String("gpus", "gtx1080ti,v100s", "comma-separated prediction GPUs")
+	ptxEvery := flag.Int("ptx-every", 0, "insert one raw-PTX predict after every n model requests (0 = none)")
+	lintEvery := flag.Int("lint-every", 0, "insert one model lint after every n requests (0 = none)")
+	name := flag.String("name", "", "config name recorded in -out and shown in the report")
+	out := flag.String("out", "", "merge the result into this BENCH_*.json file")
+	benchName := flag.String("bench", "gateway_capacity", "benchmark name written to -out")
+	jsonOut := flag.Bool("json", false, "print the result as JSON instead of the table")
+	require2xx := flag.Bool("require-2xx", false, "exit 1 if any request failed or returned non-2xx")
+	baseline := flag.String("baseline", "", "BENCH_*.json file to check the measured p99 against")
+	baselineConfig := flag.String("baseline-config", "", "config name inside -baseline to compare with (defaults to -name)")
+	slack := flag.Float64("p99-slack", 10, "allowed measured/baseline p99 ratio before the check fails")
+	flag.Parse()
+
+	mix := loadgen.MixSpec{
+		Models:    splitList(*models),
+		GPUs:      splitList(*gpus),
+		PTXEvery:  *ptxEvery,
+		LintEvery: *lintEvery,
+	}
+	requests, err := mix.Build()
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := loadgen.Run(ctx, loadgen.Options{
+		Target:      *target,
+		Requests:    requests,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Concurrency: *concurrency,
+		RatePerSec:  *rate,
+		Timeout:     *timeout,
+	})
+	if err != nil && res.Requests == 0 {
+		fatal(err)
+	}
+	res.Name = *name
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(res)
+	} else {
+		printTable(res)
+	}
+
+	if *out != "" {
+		if res.Name == "" {
+			fatal(fmt.Errorf("-out requires -name"))
+		}
+		if err := loadgen.MergeResult(*out, *benchName, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: merged config %q into %s\n", res.Name, *out)
+	}
+
+	exit := 0
+	if *require2xx && res.Errors() > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d transport errors, %d non-2xx responses\n",
+			res.TransportErrors, res.Non2xx)
+		exit = 1
+	}
+	if *baseline != "" {
+		cfg := *baselineConfig
+		if cfg == "" {
+			cfg = *name
+		}
+		if err := loadgen.CheckP99(*baseline, cfg, res.Latency.P99, *slack); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: p99 %.2fms within %.1fx of baseline %q\n",
+				res.Latency.P99, *slack, cfg)
+		}
+	}
+	os.Exit(exit)
+}
+
+func printTable(r loadgen.Result) {
+	fmt.Printf("target       %s\n", r.Target)
+	if r.Name != "" {
+		fmt.Printf("config       %s\n", r.Name)
+	}
+	fmt.Printf("mode         %s (concurrency %d", r.Mode, r.Concurrency)
+	if r.RatePerSec > 0 {
+		fmt.Printf(", rate %.1f/s", r.RatePerSec)
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("duration     %.2fs\n", r.DurationSeconds)
+	fmt.Printf("requests     %d (%.1f rps)\n", r.Requests, r.ThroughputRPS)
+	fmt.Printf("errors       %d transport, %d non-2xx\n", r.TransportErrors, r.Non2xx)
+	for status, n := range r.StatusCounts {
+		fmt.Printf("  status %s   %d\n", status, n)
+	}
+	fmt.Printf("latency ms   p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f  mean %.2f\n",
+		r.Latency.P50, r.Latency.P90, r.Latency.P95, r.Latency.P99, r.Latency.Max, r.Latency.Mean)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,189 @@
+package gateway_test
+
+// The -race hammer: concurrent mixed traffic (valid, malformed,
+// wrong-route, scrapes) against a gateway whose fleet is mutating
+// underneath it — one backend killed, another flapping — plus a
+// goroutine-leak check across the full lifecycle.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cnnperf/internal/gateway"
+)
+
+func TestGatewayHammer(t *testing.T) {
+	workers, perWorker := 12, 40
+	if raceEnabled || testing.Short() {
+		workers, perWorker = 6, 15
+	}
+	before := runtime.NumGoroutine()
+	// Registered before the gateway exists, so it runs after the
+	// gateway cleanup: everything the gateway started must be gone.
+	t.Cleanup(func() { waitForGoroutines(t, before) })
+
+	stubs := []*stub{newStub("b0"), newStub("b1"), newStub("b2"), newStub("b3")}
+	gw, ts := newChaosGateway(t, stubs, nil)
+
+	victim, flapper := stubs[2], stubs[3]
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(2)
+	go func() { // kill one backend partway through
+		defer chaosWG.Done()
+		time.Sleep(100 * time.Millisecond)
+		victim.ts.CloseClientConnections()
+		victim.ts.Close()
+	}()
+	go func() { // flap another backend's health for the whole run
+		defer chaosWG.Done()
+		sick := false
+		for {
+			select {
+			case <-stop:
+				flapper.healthyOK.Store(true)
+				return
+			case <-time.After(60 * time.Millisecond):
+				sick = !sick
+				flapper.healthyOK.Store(!sick)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; i < perWorker; i++ {
+				var (
+					path string
+					body string
+					want func(int) bool
+				)
+				switch i % 5 {
+				case 0, 1: // valid predict, distinct keys
+					path = "/v1/predict"
+					body = fmt.Sprintf(`{"model":"hammer-%d-%d","gpus":["gtx1080ti"]}`, w, i)
+					want = func(c int) bool { return c == http.StatusOK }
+				case 2: // valid lint
+					path = "/v1/lint"
+					body = fmt.Sprintf(`{"model":"hammer-lint-%d"}`, i)
+					want = func(c int) bool { return c == http.StatusOK }
+				case 3: // malformed body still routes and answers
+					path = "/v1/predict"
+					body = `{"model":`
+					want = func(c int) bool { return c == http.StatusOK }
+				default: // wrong route handled by the gateway itself
+					path = "/v1/nothing"
+					body = `{}`
+					want = func(c int) bool { return c == http.StatusNotFound }
+				}
+				resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- fmt.Sprintf("worker %d: %v", w, err)
+					continue
+				}
+				resp.Body.Close()
+				if !want(resp.StatusCode) {
+					errs <- fmt.Sprintf("worker %d: %s -> unexpected status %d", w, path, resp.StatusCode)
+				}
+				if i%10 == 0 { // scrapes race the proxy path
+					mresp, merr := client.Get(ts.URL + "/metrics")
+					if merr == nil {
+						mresp.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	chaosWG.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := gw.Drain(ctx); err != nil { // idempotent with the cleanup drain
+		t.Fatalf("post-hammer drain: %v", err)
+	}
+	samples := promScrapeRegistry(t, gw)
+	if n := promFamilySum(samples, "cnnperfd_gw_in_flight_requests"); n != 0 {
+		t.Errorf("in_flight_requests = %v after drain, want 0", n)
+	}
+	total := promFamilySum(samples, "cnnperfd_gw_requests_total")
+	if want := float64(workers * perWorker * 3 / 5); total < want {
+		t.Errorf("requests_total = %v, want >= %v proxied requests", total, want)
+	}
+}
+
+// TestGatewayConcurrentRemoveAndTraffic races RemoveBackend against
+// live traffic: every request must still succeed, and the drained
+// backend must leave the fleet exactly once.
+func TestGatewayConcurrentRemoveAndTraffic(t *testing.T) {
+	stubs := []*stub{newStub("b0"), newStub("b1"), newStub("b2")}
+	gw, ts := newChaosGateway(t, stubs, nil)
+
+	leaving := stubs[0]
+	var wg sync.WaitGroup
+	removeErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(30 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		removeErr <- gw.RemoveBackend(ctx, leaving.url())
+	}()
+
+	workers := 8
+	iters := 30
+	if raceEnabled {
+		iters = 12
+	}
+	errs := make(chan string, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				body := fmt.Sprintf(`{"model":"rm-%d-%d","gpus":["gtx1080ti"]}`, w, i)
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- fmt.Sprintf("worker %d: %v", w, err)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("worker %d: status %d", w, resp.StatusCode)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if err := <-removeErr; err != nil {
+		t.Fatalf("RemoveBackend during traffic: %v", err)
+	}
+	if gw.Ring().Has(leaving.url()) {
+		t.Error("drained backend still in the ring")
+	}
+	if _, ok := gw.Ring().Lookup(gateway.RoutingKey("/v1/predict", []byte(`{"model":"x"}`))); !ok {
+		t.Error("ring lost its survivors")
+	}
+}

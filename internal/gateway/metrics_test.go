@@ -1,0 +1,84 @@
+package gateway_test
+
+// The gateway half of the metric-name audit: every cnnperfd_gw_*
+// family frozen by name and type, validated as Prometheus text (the
+// twin of internal/server's TestMetricsNamesAndTypes).
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cnnperf/internal/obs"
+)
+
+// gatewayFamilies is the frozen name->type table of every metric
+// family the gateway exports.
+var gatewayFamilies = map[string]string{
+	"cnnperfd_gw_requests_total":         "counter",
+	"cnnperfd_gw_proxy_duration_seconds": "histogram",
+	"cnnperfd_gw_transport_errors_total": "counter",
+	"cnnperfd_gw_health_probes_total":    "counter",
+	"cnnperfd_gw_ejections_total":        "counter",
+	"cnnperfd_gw_readmissions_total":     "counter",
+	"cnnperfd_gw_backend_healthy":        "gauge",
+	"cnnperfd_gw_retries_total":          "counter",
+	"cnnperfd_gw_drain_retries_total":    "counter",
+	"cnnperfd_gw_no_backend_total":       "counter",
+	"cnnperfd_gw_rejected_total":         "counter",
+	"cnnperfd_gw_in_flight_requests":     "gauge",
+	"cnnperfd_gw_ring_size":              "gauge",
+	"cnnperfd_gw_uptime_seconds":         "gauge",
+}
+
+func TestGatewayMetricsNamesAndTypes(t *testing.T) {
+	stubs := []*stub{newStub("b0"), newStub("b1")}
+	_, ts := newChaosGateway(t, stubs, nil)
+	code, raw, _ := postBody(t, ts.URL, "/v1/predict", []byte(`{"model":"audit","gpus":["g"]}`))
+	if code != http.StatusOK {
+		t.Fatalf("predict: status %d: %s", code, raw)
+	}
+
+	_, text := promScrape(t, ts.URL)
+	if n, err := obs.ValidatePrometheusText(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	} else if n == 0 {
+		t.Fatal("exposition has no samples")
+	}
+	typeOf := make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 4 {
+			typeOf[fields[2]] = fields[3]
+		}
+	}
+	for family, wantType := range gatewayFamilies {
+		gotType, ok := typeOf[family]
+		if !ok {
+			t.Errorf("family %s missing from gateway /metrics", family)
+			continue
+		}
+		if gotType != wantType {
+			t.Errorf("family %s is a %s, frozen type is %s", family, gotType, wantType)
+		}
+	}
+	for family, gotType := range typeOf {
+		if _, audited := gatewayFamilies[family]; !audited {
+			t.Errorf("unaudited family %s (%s) on gateway /metrics: add it to the frozen table", family, gotType)
+		}
+	}
+
+	// Per-backend series are pre-registered: both backends must appear
+	// with zero-or-more counts before either fails once.
+	samples, _ := promScrape(t, ts.URL)
+	for _, s := range stubs {
+		series := fmt.Sprintf("cnnperfd_gw_backend_healthy{backend=%q}", s.url())
+		if _, ok := samples[series]; !ok {
+			t.Errorf("series %s not pre-registered", series)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gateway_test
+
+// raceEnabled reports whether the test binary was built with the race
+// detector.
+const raceEnabled = false

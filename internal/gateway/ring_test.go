@@ -1,0 +1,299 @@
+package gateway
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Key shapes mirror real routing keys: model names, ptx hashes.
+		keys[i] = fmt.Sprintf("model\x00net-%04d", i)
+	}
+	return keys
+}
+
+func backendNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 8100+i)
+	}
+	return out
+}
+
+// TestRingDistribution checks the satellite's load-balance bound:
+// across 1k keys no backend owns more than 1.5x the mean, for several
+// fleet shapes and vnode counts.
+func TestRingDistribution(t *testing.T) {
+	cases := []struct {
+		name     string
+		backends int
+		vnodes   int
+		keys     int
+	}{
+		{"2-backends-default-vnodes", 2, 0, 1000},
+		{"3-backends-default-vnodes", 3, 0, 1000},
+		{"4-backends-default-vnodes", 4, 0, 1000},
+		{"8-backends-default-vnodes", 8, 0, 1000},
+		{"4-backends-256-vnodes", 4, 256, 1000},
+		{"4-backends-64-vnodes", 4, 64, 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRing(tc.vnodes)
+			for _, b := range backendNames(tc.backends) {
+				r.Add(b)
+			}
+			counts := make(map[string]int)
+			for _, k := range testKeys(tc.keys) {
+				owner, ok := r.Lookup(k)
+				if !ok {
+					t.Fatalf("lookup %q failed on a populated ring", k)
+				}
+				counts[owner]++
+			}
+			if len(counts) != tc.backends {
+				t.Fatalf("only %d of %d backends own keys: %v", len(counts), tc.backends, counts)
+			}
+			mean := float64(tc.keys) / float64(tc.backends)
+			for b, n := range counts {
+				if float64(n) > 1.5*mean {
+					t.Errorf("%s owns %d keys, more than 1.5x the mean %.0f (distribution %v)",
+						b, n, mean, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalRemapping checks the consistent-hashing contract: on
+// membership change, only keys adjacent to the changed backend's
+// virtual nodes move, and they move to/from that backend only.
+func TestRingMinimalRemapping(t *testing.T) {
+	keys := testKeys(1000)
+
+	t.Run("remove", func(t *testing.T) {
+		backends := backendNames(4)
+		r := NewRing(0)
+		for _, b := range backends {
+			r.Add(b)
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k], _ = r.Lookup(k)
+		}
+		removed := backends[2]
+		r.Remove(removed)
+		moved := 0
+		for _, k := range keys {
+			after, ok := r.Lookup(k)
+			if !ok {
+				t.Fatalf("lookup %q failed after removal", k)
+			}
+			if after == removed {
+				t.Fatalf("key %q still routes to removed backend", k)
+			}
+			if before[k] != after {
+				moved++
+				// Only the removed backend's keys may move.
+				if before[k] != removed {
+					t.Errorf("key %q moved %s -> %s although %s was removed",
+						k, before[k], after, removed)
+				}
+			}
+		}
+		// Roughly a quarter of the keys lived on the removed backend.
+		if moved == 0 || float64(moved) > 0.40*float64(len(keys)) {
+			t.Errorf("removal moved %d of %d keys; want ~25%%", moved, len(keys))
+		}
+	})
+
+	t.Run("add", func(t *testing.T) {
+		backends := backendNames(4)
+		r := NewRing(0)
+		for _, b := range backends {
+			r.Add(b)
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k], _ = r.Lookup(k)
+		}
+		added := "http://127.0.0.1:9999"
+		r.Add(added)
+		moved := 0
+		for _, k := range keys {
+			after, _ := r.Lookup(k)
+			if before[k] != after {
+				moved++
+				// Keys may only move onto the new backend.
+				if after != added {
+					t.Errorf("key %q moved %s -> %s although only %s was added",
+						k, before[k], after, added)
+				}
+			}
+		}
+		// Roughly a fifth of the keys move to the fifth backend.
+		if moved == 0 || float64(moved) > 0.35*float64(len(keys)) {
+			t.Errorf("addition moved %d of %d keys; want ~20%%", moved, len(keys))
+		}
+	})
+
+	t.Run("remove-then-readd-restores", func(t *testing.T) {
+		backends := backendNames(3)
+		r := NewRing(0)
+		for _, b := range backends {
+			r.Add(b)
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k], _ = r.Lookup(k)
+		}
+		r.Remove(backends[1])
+		r.Add(backends[1])
+		for _, k := range keys {
+			after, _ := r.Lookup(k)
+			if before[k] != after {
+				t.Fatalf("key %q: eject/re-admit cycle changed owner %s -> %s",
+					k, before[k], after)
+			}
+		}
+	})
+}
+
+// TestRingDeterminism checks that placement is a pure function of the
+// member set: insertion order, prior membership churn, and process
+// lifetime must not matter. A gateway restart (or a second gateway
+// instance) rebuilds the identical routing table.
+func TestRingDeterminism(t *testing.T) {
+	backends := backendNames(5)
+	keys := testKeys(500)
+
+	build := func(order []string, churn bool) *Ring {
+		r := NewRing(0)
+		if churn {
+			r.Add("http://transient:1")
+			r.Add("http://transient:2")
+		}
+		for _, b := range order {
+			r.Add(b)
+		}
+		if churn {
+			r.Remove("http://transient:1")
+			r.Remove("http://transient:2")
+		}
+		return r
+	}
+
+	reference := build(backends, false)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		order := append([]string(nil), backends...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		other := build(order, trial%2 == 1)
+		for _, k := range keys {
+			want, _ := reference.Lookup(k)
+			got, _ := other.Lookup(k)
+			if got != want {
+				t.Fatalf("trial %d: key %q routes to %s, reference says %s (order %v)",
+					trial, k, got, want, order)
+			}
+		}
+	}
+}
+
+// TestRingGoldenPlacement pins concrete key->backend assignments. A
+// hash-function or vnode-layout change silently re-homes every cached
+// analysis in a live fleet; this test makes such a change an explicit,
+// reviewed decision.
+func TestRingGoldenPlacement(t *testing.T) {
+	r := NewRing(0)
+	for _, b := range []string{"http://b0", "http://b1", "http://b2", "http://b3"} {
+		r.Add(b)
+	}
+	golden := map[string]string{
+		"model\x00alexnet":         "http://b3",
+		"model\x00vgg16":           "http://b2",
+		"model\x00resnet50":        "http://b3",
+		"model\x00mobilenet":       "http://b0",
+		"model\x00squeezenet":      "http://b3",
+		"lint\x00model\x00alexnet": "http://b2",
+	}
+	for key, want := range golden {
+		got, ok := r.Lookup(key)
+		if !ok {
+			t.Fatalf("lookup %q failed", key)
+		}
+		if got != want {
+			t.Errorf("key %q -> %s, golden placement %s (hash layout changed?)", key, got, want)
+		}
+	}
+}
+
+// TestRingSequence checks the retry-order contract: distinct backends,
+// first element agrees with Lookup, bounded by membership, stable.
+func TestRingSequence(t *testing.T) {
+	r := NewRing(0)
+	backends := backendNames(4)
+	for _, b := range backends {
+		r.Add(b)
+	}
+	for _, k := range testKeys(50) {
+		owner, _ := r.Lookup(k)
+		seq := r.Sequence(k, 3)
+		if len(seq) != 3 {
+			t.Fatalf("sequence length %d, want 3", len(seq))
+		}
+		if seq[0] != owner {
+			t.Fatalf("sequence starts at %s, Lookup says %s", seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("sequence %v repeats backend %s", seq, b)
+			}
+			seen[b] = true
+		}
+	}
+	if got := r.Sequence("any", 10); len(got) != len(backends) {
+		t.Errorf("over-asking returned %d backends, want all %d", len(got), len(backends))
+	}
+	if got := r.Sequence("any", 0); got != nil {
+		t.Errorf("max=0 returned %v", got)
+	}
+}
+
+// TestRingEdgeCases covers the empty ring, idempotent add/remove, and
+// membership accounting.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Lookup("key"); ok {
+		t.Error("lookup on empty ring succeeded")
+	}
+	if got := r.Sequence("key", 3); got != nil {
+		t.Errorf("sequence on empty ring = %v", got)
+	}
+	if r.Size() != 0 {
+		t.Errorf("empty ring size %d", r.Size())
+	}
+	r.Add("http://a")
+	r.Add("http://a") // idempotent
+	if r.Size() != 1 {
+		t.Fatalf("size %d after duplicate add, want 1", r.Size())
+	}
+	if got, _ := r.Lookup("anything"); got != "http://a" {
+		t.Errorf("single-backend ring routed to %q", got)
+	}
+	r.Remove("http://never-added") // no-op
+	if r.Size() != 1 {
+		t.Errorf("removing a non-member changed size to %d", r.Size())
+	}
+	r.Remove("http://a")
+	if r.Size() != 0 || r.Has("http://a") {
+		t.Errorf("remove left members: size %d", r.Size())
+	}
+	if members := NewRing(0).Members(); len(members) != 0 {
+		t.Errorf("empty ring members %v", members)
+	}
+}

@@ -1,0 +1,305 @@
+package gateway_test
+
+// The topology suite: an in-process multi-replica fleet of real
+// servers sharing one artifact store directory, fronted by a real
+// gateway. These tests prove the PR's headline claim — routing through
+// the sharded gateway is byte-identical to asking a single replica
+// directly — and exercise graceful replica drain end to end.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cnnperf/internal/gateway"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/loadgen"
+	"cnnperf/internal/server"
+	"cnnperf/internal/zoo"
+)
+
+// topology is a gateway over real replicas sharing one store dir.
+type topology struct {
+	servers  []*server.Server
+	replicas []*httptest.Server
+	gw       *gateway.Gateway
+	gwTS     *httptest.Server
+}
+
+// newTopology boots n real replicas over a shared artifact store and a
+// gateway across them. The shared store is what makes byte-identity
+// checks cheap: whichever replica computes an answer first writes it
+// through, every other replica serves the identical bytes from disk.
+func newTopology(t *testing.T, n int, mutate func(*gateway.Config)) *topology {
+	t.Helper()
+	dir := t.TempDir()
+	topo := &topology{}
+	var backends []string
+	for i := 0; i < n; i++ {
+		s, err := server.NewWithStore(server.Config{StoreDir: dir})
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		topo.servers = append(topo.servers, s)
+		topo.replicas = append(topo.replicas, ts)
+		backends = append(backends, ts.URL)
+	}
+	cfg := gateway.Config{
+		Backends:      backends,
+		ProbeInterval: 100 * time.Millisecond,
+		Timeout:       10 * time.Minute, // cold zoo computes may be slow
+		RetryBackoff:  time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatalf("gateway.New: %v", err)
+	}
+	topo.gw = gw
+	topo.gwTS = httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		topo.gwTS.Close()
+		drainGateway(t, gw)
+		for i, s := range topo.servers {
+			topo.replicas[i].Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := s.Drain(ctx); err != nil {
+				t.Errorf("replica %d drain: %v", i, err)
+			}
+			cancel()
+			s.Close()
+		}
+	})
+	return topo
+}
+
+// ownerOf returns the replica index the gateway routes a body to.
+func (topo *topology) ownerOf(t *testing.T, path string, body []byte) int {
+	t.Helper()
+	owner, ok := topo.gw.Ring().Lookup(gateway.RoutingKey(path, body))
+	if !ok {
+		t.Fatal("ring lookup failed")
+	}
+	for i, ts := range topo.replicas {
+		if ts.URL == owner {
+			return i
+		}
+	}
+	t.Fatalf("ring owner %s is not a replica", owner)
+	return -1
+}
+
+// TestGatewayZooByteIdentity is the golden proof: for every zoo model,
+// the gateway-routed response is byte-for-byte the response a client
+// would get from a replica directly, and repeat requests are stable.
+func TestGatewayZooByteIdentity(t *testing.T) {
+	models := zoo.Names()
+	if testing.Short() || raceEnabled {
+		models = models[:4]
+	}
+	topo := newTopology(t, 3, nil)
+	gpus := gpu.TrainingGPUs
+
+	for _, model := range models {
+		body := []byte(fmt.Sprintf(`{"model":%q,"gpus":[%q,%q]}`, model, gpus[0], gpus[1]))
+
+		gwCode, gwBody, resp := postBody(t, topo.gwTS.URL, "/v1/predict", body)
+		if gwCode != http.StatusOK {
+			t.Fatalf("%s via gateway: status %d: %s", model, gwCode, gwBody)
+		}
+		owner := topo.ownerOf(t, "/v1/predict", body)
+		if got := resp.Header.Get("X-Gateway-Backend"); got != topo.replicas[owner].URL {
+			t.Errorf("%s served by %s, ring owner is replica %d (%s)",
+				model, got, owner, topo.replicas[owner].URL)
+		}
+
+		// Direct reference from replica 0 (disk-served if it is not the
+		// owner; cache-served if it is).
+		refCode, refBody, _ := postBody(t, topo.replicas[0].URL, "/v1/predict", body)
+		if refCode != http.StatusOK {
+			t.Fatalf("%s direct: status %d: %s", model, refCode, refBody)
+		}
+		if !bytes.Equal(gwBody, refBody) {
+			t.Errorf("%s: gateway response differs from direct replica:\n gw %s\n direct %s",
+				model, gwBody, refBody)
+		}
+
+		again, againBody, _ := postBody(t, topo.gwTS.URL, "/v1/predict", body)
+		if again != http.StatusOK || !bytes.Equal(againBody, gwBody) {
+			t.Errorf("%s: repeat gateway request not byte-stable (status %d)", model, again)
+		}
+	}
+}
+
+// TestGatewayLintAndPTXByteIdentity extends the identity proof to the
+// lint endpoint and the raw-PTX predict path.
+func TestGatewayLintAndPTXByteIdentity(t *testing.T) {
+	topo := newTopology(t, 2, nil)
+	gpus := gpu.TrainingGPUs
+
+	cases := []struct {
+		name string
+		path string
+		body []byte
+	}{
+		{"lint-model", "/v1/lint", []byte(`{"model":"alexnet"}`)},
+		{"lint-ptx", "/v1/lint", mustJSONBody(t, map[string]any{"ptx": loadgen.SamplePTX})},
+		{"predict-ptx", "/v1/predict", mustJSONBody(t, map[string]any{
+			"ptx": loadgen.SamplePTX, "trainable_params": 1000, "gpus": []string{gpus[0], gpus[1]},
+		})},
+		{"bad-request", "/v1/predict", []byte(`{"gpus":["gtx1080ti"]}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gwCode, gwBody, _ := postBody(t, topo.gwTS.URL, tc.path, tc.body)
+			refCode, refBody, _ := postBody(t, topo.replicas[0].URL, tc.path, tc.body)
+			if gwCode != refCode {
+				t.Fatalf("status mismatch: gateway %d, direct %d (gw body %s)", gwCode, refCode, gwBody)
+			}
+			if !equalModuloRequestID(gwBody, refBody) {
+				t.Errorf("gateway response differs from direct replica:\n gw %s\n direct %s", gwBody, refBody)
+			}
+		})
+	}
+}
+
+// equalModuloRequestID compares two response bodies; error envelopes
+// embed the per-request id, so those are compared with the id fields
+// blanked.
+func equalModuloRequestID(a, b []byte) bool {
+	if bytes.Equal(a, b) {
+		return true
+	}
+	var ea, eb server.ErrorEnvelope
+	if json.Unmarshal(a, &ea) == nil && json.Unmarshal(b, &eb) == nil && ea.Error.Code != "" {
+		ea.Error.RequestID, eb.Error.RequestID = "", ""
+		return ea == eb
+	}
+	return false
+}
+
+// TestGatewayDrainRetryRealReplica is satellite 3 on real servers: a
+// replica begins graceful shutdown, late requests keyed to it get the
+// draining 503 directly, and the gateway retries them onto the healthy
+// replica exactly once — the client never sees the 503.
+func TestGatewayDrainRetryRealReplica(t *testing.T) {
+	topo := newTopology(t, 2, func(c *gateway.Config) {
+		// Freeze the prober: this test pins the ring membership so the
+		// draining 503 path (not ejection) is what gets exercised.
+		c.ProbeInterval = time.Hour
+	})
+	gpus := gpu.TrainingGPUs
+	body := []byte(fmt.Sprintf(`{"model":"alexnet","gpus":[%q,%q]}`, gpus[0], gpus[1]))
+
+	// Warm through the gateway so the retried request is disk-served.
+	code, raw, _ := postBody(t, topo.gwTS.URL, "/v1/predict", body)
+	if code != http.StatusOK {
+		t.Fatalf("warm predict: status %d: %s", code, raw)
+	}
+	warmBody := raw
+
+	owner := topo.ownerOf(t, "/v1/predict", body)
+	other := 1 - owner
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainDone <- topo.servers[owner].Drain(ctx)
+	}()
+	waitUntil(t, 5*time.Second, "owner to start draining", func() bool {
+		resp, err := http.Post(topo.replicas[owner].URL+"/v1/predict", "application/json",
+			bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+
+	code, raw, resp := postBody(t, topo.gwTS.URL, "/v1/predict", body)
+	if code != http.StatusOK {
+		t.Fatalf("predict during replica drain: status %d: %s", code, raw)
+	}
+	if !bytes.Equal(raw, warmBody) {
+		t.Errorf("drain-retried response differs from the warm answer:\n got %s\nwant %s", raw, warmBody)
+	}
+	if got := resp.Header.Get("X-Gateway-Backend"); got != topo.replicas[other].URL {
+		t.Errorf("drain-retried request served by %s, want the healthy replica %s",
+			got, topo.replicas[other].URL)
+	}
+	if got := resp.Header.Get("X-Gateway-Attempts"); got != "2" {
+		t.Errorf("X-Gateway-Attempts = %q, want 2 (one draining 503, one success)", got)
+	}
+	samples := promScrapeRegistry(t, topo.gw)
+	if n := promFamilySum(samples, "cnnperfd_gw_drain_retries_total"); n != 1 {
+		t.Errorf("drain_retries_total = %v, want exactly 1", n)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("replica drain: %v", err)
+	}
+}
+
+// TestGatewayLoadgenSmoke drives the real topology with the loadgen
+// mix — the same harness the CI smoke and BENCH_9.json use — and
+// requires a clean run: no transport errors, no non-2xx.
+func TestGatewayLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadgen smoke skipped in -short")
+	}
+	topo := newTopology(t, 2, nil)
+	mix := loadgen.MixSpec{
+		Models:    zoo.Names()[:2],
+		GPUs:      gpu.TrainingGPUs,
+		PTXEvery:  2,
+		LintEvery: 2,
+	}
+	requests, err := mix.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unmeasured pass computes every artifact; the measured run
+	// then exercises the steady state a capacity benchmark sees.
+	for _, r := range requests {
+		code, raw, _ := postBody(t, topo.gwTS.URL, r.Path, r.Body)
+		if code != http.StatusOK {
+			t.Fatalf("warm %s: status %d: %s", r.Name, code, raw)
+		}
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Options{
+		Target:      topo.gwTS.URL,
+		Requests:    requests,
+		Duration:    time.Second,
+		Concurrency: 4,
+		Timeout:     time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("loadgen run: %v", err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("loadgen issued no requests")
+	}
+	if res.Errors() != 0 {
+		t.Fatalf("loadgen against healthy topology: %d transport errors, %d non-2xx (%v)",
+			res.TransportErrors, res.Non2xx, res.StatusCounts)
+	}
+	if res.Latency.P99 <= 0 || res.ThroughputRPS <= 0 {
+		t.Errorf("degenerate stats: p99 %.3fms, %.1f rps", res.Latency.P99, res.ThroughputRPS)
+	}
+}
+
+func mustJSONBody(t *testing.T, v map[string]any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,389 @@
+// Package loadgen is the closed/open-loop HTTP load generator behind
+// cmd/loadgen and the gateway test battery: it replays a deterministic
+// mix of /v1/predict and /v1/lint requests against a replica or a
+// gateway, measures throughput and latency percentiles, and merges
+// results into BENCH_*.json capacity files.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request is one replayable unit of the mix.
+type Request struct {
+	// Name labels the request in per-request breakdowns ("alexnet",
+	// "ptx", "lint:alexnet", ...).
+	Name string
+	// Path is the endpoint ("/v1/predict" or "/v1/lint").
+	Path string
+	// Body is the JSON payload.
+	Body []byte
+}
+
+// Options configures one load run.
+type Options struct {
+	// Target is the base URL of the replica or gateway under load.
+	Target string
+	// Requests is the mix, replayed round-robin. Required, non-empty.
+	Requests []Request
+	// Duration is the measured window (default 10s).
+	Duration time.Duration
+	// Warmup runs the same traffic before the measured window without
+	// recording it, absorbing cold-start analysis costs (default 0).
+	Warmup time.Duration
+	// Concurrency is the closed-loop worker count (default 8). In open
+	// loop it bounds the in-flight request count instead.
+	Concurrency int
+	// RatePerSec switches to open-loop mode: requests are issued on a
+	// fixed schedule regardless of response latency. 0 selects closed
+	// loop (each worker issues its next request when the previous one
+	// completes).
+	RatePerSec float64
+	// Timeout bounds one request (default 30s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil builds one with
+	// pooled connections sized to Concurrency.
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// Percentiles summarizes a latency distribution in milliseconds.
+type Percentiles struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// Result is one measured load run.
+type Result struct {
+	// Name identifies the topology/config this run measured
+	// ("1-replica-direct", "2-replica-gateway", ...).
+	Name string `json:"name"`
+	// Mode is "closed" or "open".
+	Mode        string  `json:"mode"`
+	Target      string  `json:"target"`
+	Concurrency int     `json:"concurrency"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	// DurationSeconds is the measured window actually elapsed.
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int64   `json:"requests"`
+	// TransportErrors are requests that failed before an HTTP status.
+	TransportErrors int64 `json:"transport_errors"`
+	// StatusCounts maps HTTP status ("200") to response count.
+	StatusCounts map[string]int64 `json:"status_counts"`
+	// Non2xx is the total of non-2xx responses.
+	Non2xx        int64       `json:"non_2xx"`
+	ThroughputRPS float64     `json:"throughput_rps"`
+	Latency       Percentiles `json:"latency"`
+}
+
+// Errors is the total of failures: transport errors plus non-2xx
+// responses.
+func (r Result) Errors() int64 { return r.TransportErrors + r.Non2xx }
+
+// recorder accumulates per-worker samples without shared locks on the
+// hot path.
+type recorder struct {
+	latencies []float64 // seconds
+	statuses  map[int]int64
+	transport int64
+}
+
+// Run executes one load run against opts.Target and aggregates the
+// measurements. The context cancels the run early (the partial result
+// is still returned).
+func Run(ctx context.Context, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if opts.Target == "" {
+		return Result{}, fmt.Errorf("loadgen: target is required")
+	}
+	if len(opts.Requests) == 0 {
+		return Result{}, fmt.Errorf("loadgen: request mix is empty")
+	}
+	client := opts.Client
+	if client == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = opts.Concurrency * 2
+		client = &http.Client{Transport: t}
+		defer t.CloseIdleConnections()
+	}
+
+	if opts.Warmup > 0 {
+		wctx, cancel := context.WithTimeout(ctx, opts.Warmup)
+		warm := opts
+		warm.Duration = opts.Warmup
+		runClosed(wctx, warm, client, nil) // discard samples
+		cancel()
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+	}
+
+	recs := make([]*recorder, opts.Concurrency)
+	for i := range recs {
+		recs[i] = &recorder{statuses: make(map[int]int64)}
+	}
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+	start := time.Now()
+	mode := "closed"
+	if opts.RatePerSec > 0 {
+		mode = "open"
+		runOpen(runCtx, opts, client, recs)
+	} else {
+		runClosed(runCtx, opts, client, recs)
+	}
+	elapsed := time.Since(start)
+
+	res := Result{
+		Mode:            mode,
+		Target:          opts.Target,
+		Concurrency:     opts.Concurrency,
+		RatePerSec:      opts.RatePerSec,
+		DurationSeconds: elapsed.Seconds(),
+		StatusCounts:    make(map[string]int64),
+	}
+	var all []float64
+	for _, rec := range recs {
+		all = append(all, rec.latencies...)
+		res.TransportErrors += rec.transport
+		for status, n := range rec.statuses {
+			res.StatusCounts[strconv.Itoa(status)] += n
+			if status < 200 || status >= 300 {
+				res.Non2xx += n
+			}
+		}
+	}
+	res.Requests = int64(len(all)) + res.TransportErrors
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(res.Requests) / elapsed.Seconds()
+	}
+	res.Latency = Summarize(all)
+	return res, ctx.Err()
+}
+
+// runClosed drives Concurrency workers, each issuing its next request
+// as soon as the previous one completes. recs may be nil (warmup).
+func runClosed(ctx context.Context, opts Options, client *http.Client, recs []*recorder) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		var rec *recorder
+		if recs != nil {
+			rec = recs[w]
+		}
+		go func(rec *recorder) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				req := opts.Requests[int(next.Add(1)-1)%len(opts.Requests)]
+				issue(ctx, client, opts, req, rec)
+			}
+		}(rec)
+	}
+	wg.Wait()
+}
+
+// runOpen issues requests on a fixed schedule; the in-flight count is
+// bounded by Concurrency (a saturated target makes the generator skip
+// ticks rather than queue unboundedly, and skipped ticks show up as
+// reduced measured throughput).
+func runOpen(ctx context.Context, opts Options, client *http.Client, recs []*recorder) {
+	interval := time.Duration(float64(time.Second) / opts.RatePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sem := make(chan int, opts.Concurrency) // holds recorder slots
+	for i := 0; i < opts.Concurrency; i++ {
+		sem <- i
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-ticker.C:
+			select {
+			case slot := <-sem:
+				req := opts.Requests[int(next.Add(1)-1)%len(opts.Requests)]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					issue(ctx, client, opts, req, recs[slot])
+					sem <- slot
+				}()
+			default:
+				// All slots busy: drop the tick.
+			}
+		}
+	}
+}
+
+// issue sends one request and records its outcome. rec may be nil.
+func issue(ctx context.Context, client *http.Client, opts Options, r Request, rec *recorder) {
+	rctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, opts.Target+r.Path, bytes.NewReader(r.Body))
+	if err != nil {
+		if rec != nil {
+			rec.transport++
+		}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		// A request cut off by the run deadline is not a target failure.
+		if rec != nil && ctx.Err() == nil {
+			rec.transport++
+		}
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if rec != nil {
+		rec.latencies = append(rec.latencies, time.Since(start).Seconds())
+		rec.statuses[resp.StatusCode]++
+	}
+}
+
+// Summarize computes the percentile summary of a latency sample set
+// (seconds in, milliseconds out).
+func Summarize(latencies []float64) Percentiles {
+	if len(latencies) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	ms := func(s float64) float64 { return s * 1000 }
+	return Percentiles{
+		P50:  ms(Quantile(sorted, 0.50)),
+		P90:  ms(Quantile(sorted, 0.90)),
+		P95:  ms(Quantile(sorted, 0.95)),
+		P99:  ms(Quantile(sorted, 0.99)),
+		Max:  ms(sorted[len(sorted)-1]),
+		Mean: ms(sum / float64(len(sorted))),
+	}
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of an ascending sorted
+// sample using the nearest-rank method.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// BenchFile is the BENCH_*.json capacity document: one named Result
+// per measured topology.
+type BenchFile struct {
+	Benchmark string   `json:"benchmark"`
+	Configs   []Result `json:"configs"`
+}
+
+// MergeResult inserts res into the bench file at path (created if
+// missing), replacing any config with the same name, and writes the
+// file back atomically-enough for a benchmark artifact.
+func MergeResult(path, benchmark string, res Result) error {
+	bf := BenchFile{Benchmark: benchmark}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return fmt.Errorf("loadgen: parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if benchmark != "" {
+		bf.Benchmark = benchmark
+	}
+	replaced := false
+	for i := range bf.Configs {
+		if bf.Configs[i].Name == res.Name {
+			bf.Configs[i] = res
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		bf.Configs = append(bf.Configs, res)
+	}
+	out, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// CheckP99 guards against latency regressions: it loads the bench
+// file, finds the named config, and fails if measuredP99Ms exceeds
+// slack times the recorded p99. Slack absorbs the difference between
+// the machine that recorded the baseline and the machine checking it.
+func CheckP99(path, name string, measuredP99Ms, slack float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("loadgen: reading baseline: %w", err)
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return fmt.Errorf("loadgen: parsing baseline %s: %w", path, err)
+	}
+	for _, c := range bf.Configs {
+		if c.Name != name {
+			continue
+		}
+		limit := c.Latency.P99 * slack
+		if c.Latency.P99 <= 0 {
+			return fmt.Errorf("loadgen: baseline %q has no recorded p99", name)
+		}
+		if measuredP99Ms > limit {
+			return fmt.Errorf("loadgen: p99 regression: measured %.2fms > limit %.2fms (baseline %.2fms x slack %.1f)",
+				measuredP99Ms, limit, c.Latency.P99, slack)
+		}
+		return nil
+	}
+	return fmt.Errorf("loadgen: baseline %s has no config %q", path, name)
+}

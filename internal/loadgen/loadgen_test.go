@@ -1,0 +1,344 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQuantile(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []float64{3}, 0.99, 3},
+		{"median-odd", []float64{1, 2, 3}, 0.5, 2},
+		{"median-even", []float64{1, 2, 3, 4}, 0.5, 2},
+		{"p99-of-100", seq(100), 0.99, 99},
+		{"p50-of-100", seq(100), 0.50, 50},
+		{"p100", seq(100), 1.0, 100},
+		{"tiny-q-clamps-to-first", []float64{5, 6, 7}, 0.01, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Quantile(tc.sorted, tc.q); got != tc.want {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+func TestSummarize(t *testing.T) {
+	if got := Summarize(nil); got != (Percentiles{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero", got)
+	}
+	// Seconds in, milliseconds out; input order must not matter.
+	got := Summarize([]float64{0.003, 0.001, 0.002})
+	want := Percentiles{P50: 2, P90: 3, P95: 3, P99: 3, Max: 3, Mean: 2}
+	if math.Abs(got.Mean-want.Mean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", got.Mean, want.Mean)
+	}
+	got.Mean, want.Mean = 0, 0
+	if got != want {
+		t.Errorf("Summarize = %+v, want %+v", got, want)
+	}
+}
+
+func TestMixSpecBuild(t *testing.T) {
+	t.Run("deterministic", func(t *testing.T) {
+		spec := MixSpec{Models: []string{"alexnet", "vgg16"}, GPUs: []string{"gtx1080ti"}, PTXEvery: 1, LintEvery: 2}
+		a, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := spec.Build()
+		if len(a) != len(b) {
+			t.Fatalf("two builds differ in length: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Name != b[i].Name || a[i].Path != b[i].Path || string(a[i].Body) != string(b[i].Body) {
+				t.Fatalf("request %d differs between builds: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+		// 2 model predicts + 2 ptx predicts + 1 lint (after the 2nd model).
+		if len(a) != 5 {
+			t.Fatalf("mix length %d, want 5: %+v", len(a), names(a))
+		}
+		wantNames := []string{"alexnet", "ptx", "vgg16", "ptx", "lint:vgg16"}
+		for i, n := range wantNames {
+			if a[i].Name != n {
+				t.Errorf("request %d is %q, want %q (mix %v)", i, a[i].Name, n, names(a))
+			}
+		}
+	})
+	t.Run("bodies-parse", func(t *testing.T) {
+		spec := MixSpec{Models: []string{"alexnet"}, GPUs: []string{"gtx1080ti", "v100s"}, PTXEvery: 1, LintEvery: 1}
+		reqs, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reqs {
+			var doc map[string]any
+			if err := json.Unmarshal(r.Body, &doc); err != nil {
+				t.Errorf("request %q body is not JSON: %v", r.Name, err)
+			}
+		}
+	})
+	t.Run("validation", func(t *testing.T) {
+		if _, err := (MixSpec{GPUs: []string{"g"}}).Build(); err == nil {
+			t.Error("mix without models built")
+		}
+		if _, err := (MixSpec{Models: []string{"m"}}).Build(); err == nil {
+			t.Error("mix without gpus built")
+		}
+	})
+}
+
+func names(reqs []Request) []string {
+	out := make([]string, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// TestRunClosedLoop drives the generator against a local stub and
+// checks the accounting: request totals, status counts, latency
+// sanity, and that the run respects its duration.
+func TestRunClosedLoop(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if strings.HasSuffix(r.URL.Path, "/v1/lint") {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":{"code":"bad_request","message":"nope"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		Target: ts.URL,
+		Requests: []Request{
+			{Name: "ok", Path: "/v1/predict", Body: []byte(`{}`)},
+			{Name: "bad", Path: "/v1/lint", Body: []byte(`{}`)},
+		},
+		Duration:    300 * time.Millisecond,
+		Concurrency: 4,
+		Timeout:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Mode != "closed" {
+		t.Errorf("mode %q, want closed", res.Mode)
+	}
+	// Requests cut off by the run deadline reach the server but are
+	// deliberately unrecorded; at most one per worker can straggle.
+	if res.Requests == 0 || res.Requests > hits.Load() || hits.Load()-res.Requests > 4 {
+		t.Errorf("recorded %d requests, server saw %d", res.Requests, hits.Load())
+	}
+	if res.TransportErrors != 0 {
+		t.Errorf("transport errors %d against a healthy stub", res.TransportErrors)
+	}
+	// The mix alternates 200 and 400 round-robin.
+	if res.Non2xx == 0 || res.StatusCounts["400"] == 0 || res.StatusCounts["200"] == 0 {
+		t.Errorf("status accounting off: %v (non2xx %d)", res.StatusCounts, res.Non2xx)
+	}
+	if res.Errors() != res.Non2xx {
+		t.Errorf("Errors() = %d, want %d", res.Errors(), res.Non2xx)
+	}
+	if res.Latency.P50 <= 0 || res.Latency.Max < res.Latency.P99 || res.Latency.P99 < res.Latency.P50 {
+		t.Errorf("implausible latency summary: %+v", res.Latency)
+	}
+	if res.DurationSeconds < 0.25 || res.DurationSeconds > 2 {
+		t.Errorf("measured window %.2fs, want ~0.3s", res.DurationSeconds)
+	}
+}
+
+// TestRunOpenLoop checks the fixed-schedule mode: the issued request
+// count tracks rate*duration, never the (much higher) closed-loop
+// capacity of the stub.
+func TestRunOpenLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		Target:      ts.URL,
+		Requests:    []Request{{Name: "ok", Path: "/v1/predict", Body: []byte(`{}`)}},
+		Duration:    500 * time.Millisecond,
+		Concurrency: 8,
+		RatePerSec:  100,
+		Timeout:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Mode != "open" {
+		t.Errorf("mode %q, want open", res.Mode)
+	}
+	// ~50 scheduled ticks; allow generous scheduling slop but reject
+	// closed-loop-like volumes (the stub could serve tens of thousands).
+	if res.Requests < 10 || res.Requests > 100 {
+		t.Errorf("open loop issued %d requests at 100/s over 0.5s, want ~50", res.Requests)
+	}
+	if res.Errors() != 0 {
+		t.Errorf("errors %d against a healthy stub", res.Errors())
+	}
+}
+
+// TestRunWarmupExcluded checks that warmup traffic reaches the target
+// but is absent from the measured result.
+func TestRunWarmupExcluded(t *testing.T) {
+	var total atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		total.Add(1)
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		Target:      ts.URL,
+		Requests:    []Request{{Name: "ok", Path: "/v1/predict", Body: []byte(`{}`)}},
+		Duration:    200 * time.Millisecond,
+		Warmup:      200 * time.Millisecond,
+		Concurrency: 2,
+		Timeout:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no measured requests")
+	}
+	if total.Load() <= res.Requests {
+		t.Errorf("server saw %d requests, measured %d: warmup traffic missing or counted", total.Load(), res.Requests)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Requests: []Request{{}}}); err == nil {
+		t.Error("run without target succeeded")
+	}
+	if _, err := Run(context.Background(), Options{Target: "http://x"}); err == nil {
+		t.Error("run without requests succeeded")
+	}
+}
+
+// TestTransportErrorCounting distinguishes real connection failures
+// (counted) from requests cut off by the run deadline (not counted).
+func TestTransportErrorCounting(t *testing.T) {
+	// A closed server: every request is a genuine transport error.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close()
+	res, err := Run(context.Background(), Options{
+		Target:      ts.URL,
+		Requests:    []Request{{Name: "x", Path: "/v1/predict", Body: []byte(`{}`)}},
+		Duration:    100 * time.Millisecond,
+		Concurrency: 2,
+		Timeout:     time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.TransportErrors == 0 {
+		t.Error("connection-refused requests not counted as transport errors")
+	}
+	if res.Requests != res.TransportErrors {
+		t.Errorf("requests %d != transport errors %d for a dead target", res.Requests, res.TransportErrors)
+	}
+}
+
+func TestMergeResult(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	mk := func(name string, p99 float64) Result {
+		return Result{Name: name, Mode: "closed", Requests: 10, Latency: Percentiles{P99: p99}}
+	}
+
+	if err := MergeResult(path, "gateway_capacity", mk("1-replica", 5)); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := MergeResult(path, "gateway_capacity", mk("2-replica", 4)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := MergeResult(path, "", mk("1-replica", 6)); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatalf("bench file is not JSON: %v\n%s", err, raw)
+	}
+	if bf.Benchmark != "gateway_capacity" {
+		t.Errorf("benchmark %q survived empty-name merge, want gateway_capacity", bf.Benchmark)
+	}
+	if len(bf.Configs) != 2 {
+		t.Fatalf("%d configs, want 2 (replace, not append): %+v", len(bf.Configs), bf.Configs)
+	}
+	if bf.Configs[0].Name != "1-replica" || bf.Configs[0].Latency.P99 != 6 {
+		t.Errorf("replace failed: %+v", bf.Configs[0])
+	}
+
+	if err := MergeResult(filepath.Join(t.TempDir(), "bad.json"), "b", Result{Name: "x"}); err != nil {
+		t.Errorf("merge into fresh dir: %v", err)
+	}
+	badPath := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(badPath, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeResult(badPath, "b", Result{Name: "x"}); err == nil {
+		t.Error("merge into corrupt file succeeded")
+	}
+}
+
+func TestCheckP99(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := MergeResult(path, "b", Result{Name: "cfg", Latency: Percentiles{P99: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckP99(path, "cfg", 25, 3); err != nil {
+		t.Errorf("25ms vs 10ms baseline at 3x slack should pass: %v", err)
+	}
+	if err := CheckP99(path, "cfg", 35, 3); err == nil {
+		t.Error("35ms vs 10ms baseline at 3x slack should fail")
+	}
+	if err := CheckP99(path, "missing", 1, 3); err == nil {
+		t.Error("missing config should fail")
+	}
+	if err := CheckP99(filepath.Join(t.TempDir(), "nope.json"), "cfg", 1, 3); err == nil {
+		t.Error("missing baseline file should fail")
+	}
+	if err := MergeResult(path, "b", Result{Name: "zero"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckP99(path, "zero", 1, 3); err == nil {
+		t.Error("baseline without a recorded p99 should fail")
+	}
+}

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SamplePTX is a small raw-PTX payload for mixed-workload runs: a
+// 64-iteration counted loop that exercises the raw-PTX predict path
+// (parse, lint gate, compiled DCA, full-inventory estimator) without
+// dominating the run.
+const SamplePTX = `.version 6.0
+.target sm_61
+.address_size 64
+.visible .entry loadgen_loop(
+.param .u64 p0
+)
+{
+mov.u32 %r1, 0;
+LOOP:
+add.s32 %r1, %r1, 1;
+setp.lt.s32 %p1, %r1, 64;
+@%p1 bra LOOP;
+ret;
+}
+`
+
+// MixSpec describes a deterministic request mix.
+type MixSpec struct {
+	// Models are the zoo models to predict (round-robined).
+	Models []string
+	// GPUs are the prediction targets (required with Models or PTXEvery).
+	GPUs []string
+	// PTXEvery inserts one raw-PTX predict after every n model
+	// requests; 0 disables.
+	PTXEvery int
+	// LintEvery inserts one model lint after every n requests; 0
+	// disables.
+	LintEvery int
+}
+
+// Build expands a MixSpec into the concrete request list Run replays.
+// The expansion is deterministic: the same spec always produces the
+// same byte-identical request sequence, which is what makes recorded
+// capacity curves comparable across runs and machines.
+func (m MixSpec) Build() ([]Request, error) {
+	if len(m.Models) == 0 {
+		return nil, fmt.Errorf("loadgen: mix needs at least one model")
+	}
+	if len(m.GPUs) == 0 {
+		return nil, fmt.Errorf("loadgen: mix needs at least one gpu")
+	}
+	var out []Request
+	appendPredict := func(model string) error {
+		body, err := json.Marshal(map[string]any{"model": model, "gpus": m.GPUs})
+		if err != nil {
+			return err
+		}
+		out = append(out, Request{Name: model, Path: "/v1/predict", Body: body})
+		return nil
+	}
+	ptxBody, err := json.Marshal(map[string]any{
+		"ptx": SamplePTX, "trainable_params": 1000, "gpus": m.GPUs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, model := range m.Models {
+		if err := appendPredict(model); err != nil {
+			return nil, err
+		}
+		if m.PTXEvery > 0 && (i+1)%m.PTXEvery == 0 {
+			out = append(out, Request{Name: "ptx", Path: "/v1/predict", Body: ptxBody})
+		}
+		if m.LintEvery > 0 && (i+1)%m.LintEvery == 0 {
+			lintBody, err := json.Marshal(map[string]any{"model": model})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Request{Name: "lint:" + model, Path: "/v1/lint", Body: lintBody})
+		}
+	}
+	return out, nil
+}

@@ -36,6 +36,34 @@ func ptxUnit(src string, opts core.PTXOptions) predictUnit {
 	return predictUnit{key: key, src: src, ptxOpts: opts}
 }
 
+// ContentKey returns the batching dedupe key of a predict request: the
+// exact key the server coalesces and caches analyses under. The
+// gateway consistent-hashes on it, so every request for one unit of
+// work lands on the replica that already holds (or is computing) that
+// unit. Requests that fail validation still get a stable key.
+func (r PredictRequest) ContentKey() string {
+	if r.Model != "" && r.PTX == "" {
+		return modelUnit(r.Model).key
+	}
+	return ptxUnit(r.PTX, core.PTXOptions{
+		TrainableParams: r.TrainableParams,
+		GridX:           r.GridX,
+		BlockX:          r.BlockX,
+	}).key
+}
+
+// ContentKey returns the routing key of a lint request. Lint work is
+// not batched, but keying by the same content identity gives lint
+// requests the same replica affinity (and therefore the same warm
+// parse/compile caches) as predictions for the same payload.
+func (r LintRequest) ContentKey() string {
+	if r.Model != "" && r.PTX == "" {
+		return "lint\x00model\x00" + r.Model
+	}
+	sum := sha256.Sum256([]byte(r.PTX))
+	return "lint\x00ptx\x00" + hex.EncodeToString(sum[:])
+}
+
 // unitResult pairs the memoized analysis with the estimator scoring it.
 type unitResult struct {
 	est *core.Estimator

@@ -44,6 +44,11 @@ type metrics struct {
 	slow       *obs.Counter // requests over the slow-request threshold
 	batches    *obs.Counter
 	batchSizes *obs.Histogram
+
+	// tier is set by registerStore; nil for memory-only servers. The
+	// JSON snapshot mirrors its counters so the two /metrics renderings
+	// never drift apart.
+	tier *artifactstore.Tier
 }
 
 func newMetrics(cache *analysiscache.Cache, pool *parallel.Pool) *metrics {
@@ -130,6 +135,7 @@ func newMetrics(cache *analysiscache.Cache, pool *parallel.Pool) *metrics {
 // tier is attached (NewWithStore). The store may be nil (snapshot-only
 // tier); its counters then read as constant zero.
 func (m *metrics) registerStore(tier *artifactstore.Tier) {
+	m.tier = tier
 	storeStats := func() artifactstore.Stats {
 		if st := tier.Store(); st != nil {
 			return st.Stats()
@@ -216,6 +222,7 @@ type Snapshot struct {
 	Batches       int64                       `json:"batches"`
 	BatchSizes    HistogramSnapshot           `json:"batch_sizes"`
 	Cache         CacheSnapshot               `json:"cache"`
+	Store         *StoreSnapshot              `json:"store,omitempty"`
 }
 
 type CacheSnapshot struct {
@@ -223,8 +230,20 @@ type CacheSnapshot struct {
 	Misses    uint64  `json:"misses"`
 	Waits     uint64  `json:"waits"`
 	Evictions uint64  `json:"evictions"`
+	DiskHits  uint64  `json:"disk_hits"`
 	Entries   int     `json:"entries"`
 	HitRate   float64 `json:"hit_rate"`
+}
+
+// StoreSnapshot is the JSON form of the persistent artifact tier's
+// counters; present only on store-backed servers. The field names
+// match the cnnperfd_store_* Prometheus families one-for-one.
+type StoreSnapshot struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Puts         uint64 `json:"puts"`
+	Corrupt      uint64 `json:"corrupt"`
+	DecodeErrors uint64 `json:"decode_errors"`
 }
 
 func (m *metrics) snapshot(cs analysiscache.Stats) Snapshot {
@@ -243,7 +262,7 @@ func (m *metrics) snapshot(cs analysiscache.Stats) Snapshot {
 			Latency:  jsonHistogram(m.latency.With(ep).Snapshot()),
 		}
 	}
-	return Snapshot{
+	out := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		InFlight:      int64(m.inFlight.Value()),
 		Panics:        m.panics.Value(),
@@ -256,8 +275,20 @@ func (m *metrics) snapshot(cs analysiscache.Stats) Snapshot {
 			Misses:    cs.Misses,
 			Waits:     cs.Waits,
 			Evictions: cs.Evictions,
+			DiskHits:  cs.DiskHits,
 			Entries:   cs.Entries,
 			HitRate:   cs.HitRate(),
 		},
 	}
+	if m.tier != nil {
+		var st artifactstore.Stats
+		if s := m.tier.Store(); s != nil {
+			st = s.Stats()
+		}
+		out.Store = &StoreSnapshot{
+			Hits: st.Hits, Misses: st.Misses, Puts: st.Puts, Corrupt: st.Corrupt,
+			DecodeErrors: m.tier.DecodeErrors(),
+		}
+	}
+	return out
 }
