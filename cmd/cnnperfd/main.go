@@ -11,6 +11,8 @@
 //	GET  /metrics     JSON counters, or Prometheus text with
 //	                  Accept: text/plain (or ?format=prometheus)
 //	GET  /debug/pprof/*  live profiling (only with -pprof)
+//	GET  /debug/flightrecorder  retained traces as Chrome trace JSON
+//	                  (always on; disable with -no-flight-recorder)
 //
 // Logs are structured JSON lines on stderr, one per request, carrying
 // the request id echoed on X-Request-ID. SIGINT/SIGTERM triggers a
@@ -65,6 +67,11 @@ func main() {
 	gwRetries := flag.Int("gw-retries", 3, "maximum proxy attempts per request (including the first)")
 	gwRetryBackoff := flag.Duration("gw-retry-backoff", 10*time.Millisecond, "backoff before the first retry (doubles per retry)")
 	gwVNodes := flag.Int("gw-vnodes", 0, "virtual nodes per backend on the hash ring (0 = default 128)")
+	noFlightRec := flag.Bool("no-flight-recorder", false, "disable the always-on flight recorder (and GET /debug/flightrecorder)")
+	frCapacity := flag.Int("fr-capacity", 64, "flight recorder: retained slow/error traces")
+	frSample := flag.Int("fr-sample", 64, "flight recorder: reservoir-sampled ordinary traces (negative disables sampling)")
+	frSlow := flag.Duration("fr-slow", 250*time.Millisecond, "flight recorder: requests at least this slow are always retained")
+	traceDir := flag.String("trace-dir", "", "write one Chrome trace file per retained flight-recorder trace to this directory on shutdown")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -74,21 +81,29 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 
+	frCfg := obs.FlightRecorderConfig{
+		Capacity:       *frCapacity,
+		SampleCapacity: *frSample,
+		SlowThreshold:  *frSlow,
+	}
+
 	if *gatewayBackends != "" {
 		runGateway(logger, gateway.Config{
-			Addr:            *addr,
-			Backends:        splitBackends(*gatewayBackends),
-			VNodes:          *gwVNodes,
-			ProbeInterval:   *gwProbeInterval,
-			FailThreshold:   *gwFailThreshold,
-			ReviveThreshold: *gwReviveThreshold,
-			RetryBudget:     *gwRetries,
-			RetryBackoff:    *gwRetryBackoff,
-			Timeout:         *timeout,
-			MaxBodyBytes:    *maxBody,
-			SlowRequest:     *slowReq,
-			Logger:          logger,
-		})
+			Addr:                  *addr,
+			Backends:              splitBackends(*gatewayBackends),
+			VNodes:                *gwVNodes,
+			ProbeInterval:         *gwProbeInterval,
+			FailThreshold:         *gwFailThreshold,
+			ReviveThreshold:       *gwReviveThreshold,
+			RetryBudget:           *gwRetries,
+			RetryBackoff:          *gwRetryBackoff,
+			Timeout:               *timeout,
+			MaxBodyBytes:          *maxBody,
+			SlowRequest:           *slowReq,
+			Logger:                logger,
+			DisableFlightRecorder: *noFlightRec,
+			FlightRecorder:        frCfg,
+		}, *traceDir)
 		return
 	}
 
@@ -111,6 +126,9 @@ func main() {
 		EnablePprof:  *enablePprof,
 		StoreDir:     *storeDir,
 		SnapshotFile: *snapshot,
+
+		DisableFlightRecorder: *noFlightRec,
+		FlightRecorder:        frCfg,
 	})
 	if err != nil {
 		logger.Error("startup failed", obs.String("err", err.Error()))
@@ -129,6 +147,7 @@ func main() {
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
+	dumpTraces(logger, srv.FlightRecorder(), *traceDir)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("server failed", obs.String("err", err.Error()))
 		os.Exit(1)
@@ -136,10 +155,24 @@ func main() {
 	logger.Info("drained and stopped", obs.String("cache_stats", srv.CacheStats().String()))
 }
 
+// dumpTraces writes the flight recorder's retained traces as Chrome
+// trace files, one per trace, when -trace-dir is set.
+func dumpTraces(logger *obs.Logger, fr *obs.FlightRecorder, dir string) {
+	if dir == "" || fr == nil {
+		return
+	}
+	n, err := fr.WriteDir(dir)
+	if err != nil {
+		logger.Error("trace dump failed", obs.String("dir", dir), obs.String("err", err.Error()))
+		return
+	}
+	logger.Info("traces written", obs.String("dir", dir), obs.Int("traces", n))
+}
+
 // runGateway boots the sharded router mode and serves until
 // SIGINT/SIGTERM, then drains (in-flight proxies finish, late
 // arrivals get 503).
-func runGateway(logger *obs.Logger, cfg gateway.Config) {
+func runGateway(logger *obs.Logger, cfg gateway.Config, traceDir string) {
 	gw, err := gateway.New(cfg)
 	if err != nil {
 		logger.Error("gateway startup failed", obs.String("err", err.Error()))
@@ -151,7 +184,9 @@ func runGateway(logger *obs.Logger, cfg gateway.Config) {
 		obs.String("addr", cfg.Addr),
 		obs.String("backends", strings.Join(cfg.Backends, ",")),
 		obs.Int("retries", cfg.RetryBudget))
-	if err := gw.ListenAndServe(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	err = gw.ListenAndServe(ctx)
+	dumpTraces(logger, gw.FlightRecorder(), traceDir)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("gateway failed", obs.String("err", err.Error()))
 		os.Exit(1)
 	}

@@ -138,6 +138,13 @@ func printTable(r loadgen.Result) {
 	}
 	fmt.Printf("latency ms   p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f  mean %.2f\n",
 		r.Latency.P50, r.Latency.P90, r.Latency.P95, r.Latency.P99, r.Latency.Max, r.Latency.Mean)
+	if len(r.SlowTraces) > 0 {
+		fmt.Printf("slowest traces (pull from the target's /debug/flightrecorder):\n")
+		for _, st := range r.SlowTraces {
+			fmt.Printf("  %8.2fms  status %d  %-16s trace %s\n",
+				st.LatencyMs, st.Status, st.Name, st.TraceID)
+		}
+	}
 }
 
 func splitList(s string) []string {

@@ -8,15 +8,21 @@
 //	                                      (stdin when no file is given)
 //	obscheck trace file [span ...]        validate Chrome trace_event JSON and
 //	                                      require each named span to be present
+//	obscheck stitch [-o out] [-trace id]  merge per-process Chrome trace files
+//	        [-require-procs n] file...    (flight-recorder dumps) into one
+//	                                      cross-process timeline keyed by
+//	                                      W3C trace id
 //
-// Exit status is non-zero when validation fails or a required span is
-// missing.
+// Exit status is non-zero when validation fails, a required span is
+// missing, or a stitched trace spans fewer processes than required.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"cnnperf/internal/obs"
 )
@@ -32,6 +38,8 @@ func main() {
 		err = runProm(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
+	case "stitch":
+		err = runStitch(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -43,7 +51,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: obscheck prom [file] | obscheck trace file [required-span ...]")
+	fmt.Fprintln(os.Stderr, "usage: obscheck prom [file] | obscheck trace file [required-span ...] | obscheck stitch [-o out] [-trace id] [-require-procs n] file...")
 }
 
 func runProm(args []string) error {
@@ -97,5 +105,67 @@ func runTrace(args []string) error {
 		return fmt.Errorf("%d required spans missing (trace has %d spans)", missing, len(names))
 	}
 	fmt.Printf("%s: valid Chrome trace, %d spans, %d distinct names\n", args[0], len(names), len(seen))
+	return nil
+}
+
+// runStitch merges per-process flight-recorder dumps into one Chrome
+// trace timeline, validates the result, and reports which distributed
+// traces crossed how many processes.
+func runStitch(args []string) error {
+	fs := flag.NewFlagSet("stitch", flag.ContinueOnError)
+	out := fs.String("o", "", "write the stitched Chrome trace to this file (default stdout)")
+	traceID := fs.String("trace", "", "keep only span events of this W3C trace id")
+	requireProcs := fs.Int("require-procs", 0, "fail unless some trace spans at least this many processes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("stitch needs at least one trace file")
+	}
+	files := make([]obs.StitchFile, 0, fs.NArg())
+	for _, name := range fs.Args() {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		files = append(files, obs.StitchFile{Name: name, Data: data})
+	}
+	res, err := obs.StitchChromeTraces(files, *traceID)
+	if err != nil {
+		return err
+	}
+	names, err := obs.ValidateChromeTrace(res.Doc)
+	if err != nil {
+		return fmt.Errorf("stitched trace invalid: %w", err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, res.Doc, 0o644); err != nil {
+			return err
+		}
+	} else {
+		_, _ = os.Stdout.Write(res.Doc)
+		fmt.Println()
+	}
+	for _, p := range res.Processes {
+		fmt.Fprintf(os.Stderr, "obscheck: pid %d %s: %d events\n", p.PID, p.Name, p.Events)
+	}
+	ids := make([]string, 0, len(res.TraceProcs))
+	for id := range res.TraceProcs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	maxProcs := 0
+	for _, id := range ids {
+		n := res.TraceProcs[id]
+		if n > maxProcs {
+			maxProcs = n
+		}
+		fmt.Fprintf(os.Stderr, "obscheck: trace %s spans %d process(es)\n", id, n)
+	}
+	fmt.Fprintf(os.Stderr, "obscheck: stitched %d files, %d spans, %d distinct traces\n",
+		len(files), len(names), len(res.TraceProcs))
+	if *requireProcs > 0 && maxProcs < *requireProcs {
+		return fmt.Errorf("no trace spans %d processes (max seen: %d)", *requireProcs, maxProcs)
+	}
 	return nil
 }

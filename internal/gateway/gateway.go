@@ -61,6 +61,14 @@ type Config struct {
 	// Transport overrides the proxy transport (tests); nil selects a
 	// dedicated transport with sane pooling.
 	Transport http.RoundTripper
+	// DisableFlightRecorder turns off the always-on trace capture. The
+	// recorder is on by default: every proxied request is traced
+	// (gw.route root, one gw.attempt child per proxy attempt) and
+	// tail-retained for GET /debug/flightrecorder.
+	DisableFlightRecorder bool
+	// FlightRecorder tunes the trace capture (zero values select the
+	// obs.FlightRecorderConfig defaults; Process defaults to "gateway").
+	FlightRecorder obs.FlightRecorderConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +112,7 @@ type Gateway struct {
 	backendList []*backendState // stable order for probing
 	metrics     *gwMetrics
 	client      *http.Client
+	fr          *obs.FlightRecorder
 	handler     http.Handler
 
 	gate *drainGate
@@ -163,12 +172,24 @@ func New(cfg Config) (*Gateway, error) {
 	// Per-attempt deadlines come from request contexts; the client
 	// itself must not add a second, fixed timeout.
 	g.client = &http.Client{Transport: transport}
+	if !cfg.DisableFlightRecorder {
+		frCfg := cfg.FlightRecorder
+		if frCfg.Process == "" {
+			frCfg.Process = "gateway"
+		}
+		g.fr = obs.NewFlightRecorder(frCfg)
+		g.fr.RegisterMetrics(g.metrics.reg)
+	}
 	g.probeCtx, g.probeCancel = context.WithCancel(context.Background())
 	g.probeDone = make(chan struct{})
 	go g.probeLoop(g.probeCtx)
 	g.handler = g.middleware(g.routes())
 	return g, nil
 }
+
+// FlightRecorder returns the always-on trace capture, or nil when
+// disabled.
+func (g *Gateway) FlightRecorder() *obs.FlightRecorder { return g.fr }
 
 // Handler returns the fully-wrapped HTTP handler.
 func (g *Gateway) Handler() http.Handler { return g.handler }
@@ -223,6 +244,9 @@ func (g *Gateway) routes() http.Handler {
 	mux.HandleFunc("POST /v1/lint", g.handleProxy)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	if g.fr != nil {
+		mux.HandleFunc("GET /debug/flightrecorder", g.handleFlightRecorder)
+	}
 	mux.HandleFunc("/", g.handleNotFound)
 	return mux
 }
@@ -248,6 +272,24 @@ func (g *Gateway) middleware(next http.Handler) http.Handler {
 		g.metrics.inFlight.Add(1)
 		defer g.metrics.inFlight.Add(-1)
 		start := time.Now()
+		// The flight recorder traces every proxied request: a gw.route
+		// root (adopting an inbound traceparent when the caller already
+		// started a trace) with one gw.attempt child per proxy attempt.
+		var frt *obs.Tracer
+		var root *obs.Span
+		if g.fr != nil && r.Method == http.MethodPost &&
+			(r.URL.Path == "/v1/predict" || r.URL.Path == "/v1/lint") {
+			frt = g.fr.StartRequest()
+			fctx := obs.WithTracer(r.Context(), frt)
+			if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+				if tc, err := obs.ParseTraceparent(tp); err == nil {
+					fctx = obs.WithRemoteParent(fctx, tc)
+				}
+			}
+			fctx, root = obs.Start(fctx, "gw.route",
+				obs.String("path", r.URL.Path), obs.String("request_id", rid))
+			r = r.WithContext(fctx)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				g.cfg.Logger.ErrorCtx(ctx, "gateway panic",
@@ -264,6 +306,17 @@ func (g *Gateway) middleware(next http.Handler) http.Handler {
 				g.cfg.Logger.WarnCtx(ctx, "slow gw request",
 					obs.String("path", r.URL.Path), obs.Int("status", sw.status),
 					obs.Duration("dur", dur.Round(time.Microsecond)))
+			}
+			if frt != nil {
+				root.SetAttr(obs.Int("status", sw.status))
+				root.End()
+				g.fr.Finish(frt, obs.TraceMeta{
+					Endpoint:  strings.TrimPrefix(r.URL.Path, "/v1/"),
+					RequestID: rid,
+					Status:    sw.status,
+					Err:       sw.status >= 500,
+					Duration:  dur,
+				})
 			}
 		}()
 		next.ServeHTTP(sw, r)
@@ -345,8 +398,13 @@ func (g *Gateway) proxy(ctx context.Context, w http.ResponseWriter, r *http.Requ
 		}
 		attempts++
 		start := time.Now()
-		resp, err := g.attempt(ctx, backend, r, body)
+		attemptCtx, asp := obs.Start(ctx, "gw.attempt",
+			obs.String("backend", backend), obs.Int("attempt", attempts),
+			obs.Bool("reroute", drainRetried))
+		resp, err := g.attempt(attemptCtx, backend, r, body)
 		if err != nil {
+			asp.SetAttr(obs.String("err", err.Error()))
+			asp.End()
 			st.exit()
 			lastErr = err
 			// A dead inbound context means the client hung up or its
@@ -368,6 +426,8 @@ func (g *Gateway) proxy(ctx context.Context, w http.ResponseWriter, r *http.Requ
 		resp.Body.Close()
 		st.exit()
 		if readErr != nil {
+			asp.SetAttr(obs.String("err", readErr.Error()))
+			asp.End()
 			lastErr = fmt.Errorf("reading response from %s: %w", backend, readErr)
 			if ctx.Err() != nil {
 				break
@@ -376,6 +436,8 @@ func (g *Gateway) proxy(ctx context.Context, w http.ResponseWriter, r *http.Requ
 			continue
 		}
 		g.metrics.record(backend, resp.StatusCode, time.Since(start))
+		asp.SetAttr(obs.Int("status", resp.StatusCode))
+		asp.End()
 		// A replica that is shutting down answers 503 with the
 		// "draining" envelope; the request is re-routed to the next
 		// healthy replica exactly once. A second draining answer (or a
@@ -417,7 +479,14 @@ func (g *Gateway) attempt(ctx context.Context, backend string, r *http.Request, 
 		return nil, err
 	}
 	copyProxyHeaders(req.Header, r.Header)
+	// The edge request id and the trace position propagate to the
+	// backend: replica access logs and error envelopes share the
+	// gateway's request id, and the replica's spans hang off this
+	// attempt's span in the distributed trace.
 	req.Header.Set("X-Request-ID", obs.RequestID(ctx))
+	if tp := obs.Traceparent(ctx); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		// The per-attempt context is released when this function
@@ -519,6 +588,14 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, hz)
+}
+
+// handleFlightRecorder serves the retained traces as one Chrome trace
+// document; ?trace=<32-hex id> narrows it to a single distributed
+// trace (for `obscheck stitch`).
+func (g *Gateway) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = g.fr.WriteChromeTrace(w, r.URL.Query().Get("trace"))
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {

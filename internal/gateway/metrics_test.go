@@ -30,6 +30,16 @@ var gatewayFamilies = map[string]string{
 	"cnnperfd_gw_in_flight_requests":     "gauge",
 	"cnnperfd_gw_ring_size":              "gauge",
 	"cnnperfd_gw_uptime_seconds":         "gauge",
+
+	// The flight recorder registers the same families on both surfaces.
+	"cnnperfd_fr_requests_total":         "counter",
+	"cnnperfd_fr_retained_slow_total":    "counter",
+	"cnnperfd_fr_retained_error_total":   "counter",
+	"cnnperfd_fr_sampled_total":          "counter",
+	"cnnperfd_fr_evictions_total":        "counter",
+	"cnnperfd_fr_recycled_tracers_total": "counter",
+	"cnnperfd_fr_retained_traces":        "gauge",
+	"cnnperfd_fr_retained_spans":         "gauge",
 }
 
 func TestGatewayMetricsNamesAndTypes(t *testing.T) {

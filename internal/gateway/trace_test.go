@@ -1,0 +1,200 @@
+package gateway_test
+
+// Distributed-tracing acceptance tests on the real topology: one
+// /v1/predict through a two-replica gateway leaves a gw.route/gw.attempt
+// trace in the gateway's flight recorder and the replica pipeline trace
+// in the owner's, and the two /debug/flightrecorder dumps stitch into a
+// single valid Chrome trace under the caller's trace ID.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"cnnperf/internal/gateway"
+	"cnnperf/internal/gpu"
+	"cnnperf/internal/obs"
+	"cnnperf/internal/zoo"
+)
+
+// fetchDump fetches url and returns the raw bytes.
+func fetchDump(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+func TestGatewayStitchedTrace(t *testing.T) {
+	topo := newTopology(t, 2, func(c *gateway.Config) {
+		// A nanosecond threshold retains every routed request in the
+		// gateway's tail ring, making the capture deterministic. The
+		// replicas run recorder defaults: the traced request lands in
+		// their reservoir (or tail ring, if the run is slow) either way.
+		c.FlightRecorder = obs.FlightRecorderConfig{SlowThreshold: time.Nanosecond, Seed: 1}
+	})
+	model := zoo.Names()[0]
+	body := mustJSONBody(t, map[string]any{"model": model, "gpus": []string{gpu.TrainingGPUs[0]}})
+
+	// Warm the owner replica first: the cold-start trace runs the whole
+	// analysis pipeline and is truncated by the span limit, while the
+	// warm trace that follows is the small steady-state shape a p99
+	// investigation actually reads.
+	if code, raw, _ := postBody(t, topo.gwTS.URL, "/v1/predict", body); code != http.StatusOK {
+		t.Fatalf("warmup predict: status %d: %s", code, raw)
+	}
+
+	const traceID = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	const wire = "00-" + traceID + "-bbbbbbbbbbbbbbbb-01"
+	req, err := http.NewRequest(http.MethodPost, topo.gwTS.URL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, wire)
+	req.Header.Set("X-Request-ID", "stitch-pin-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced predict: status %d: %s", resp.StatusCode, raw)
+	}
+
+	// Satellite pin: the gateway echoes the caller's request id and
+	// forwards it to the backend — the replica's retained trace carries
+	// the edge id, not a replica-minted one.
+	if got := resp.Header.Get("X-Request-ID"); got != "stitch-pin-1" {
+		t.Errorf("gateway echoed X-Request-ID %q, want the caller's", got)
+	}
+	owner := topo.ownerOf(t, "/v1/predict", body)
+	if got := resp.Header.Get("X-Gateway-Backend"); got != topo.replicas[owner].URL {
+		t.Fatalf("served by %s, ring owner is %s", got, topo.replicas[owner].URL)
+	}
+
+	// Both processes retained the distributed trace under the caller's ID.
+	gwTrace := traceByID(t, "gateway", topo.gw.FlightRecorder().Traces(), traceID)
+	if gwTrace.Endpoint != "predict" || gwTrace.RequestID != "stitch-pin-1" || gwTrace.Status != 200 {
+		t.Errorf("gateway trace meta %+v", gwTrace)
+	}
+	repTrace := traceByID(t, "replica", topo.servers[owner].FlightRecorder().Traces(), traceID)
+	if repTrace.RequestID != "stitch-pin-1" {
+		t.Errorf("replica saw request id %q, want the gateway-forwarded edge id", repTrace.RequestID)
+	}
+
+	// Pull both /debug/flightrecorder dumps over HTTP — exactly what
+	// `obscheck stitch` consumes — and merge them by trace ID.
+	gwDump := fetchDump(t, topo.gwTS.URL+"/debug/flightrecorder?trace="+traceID)
+	repDump := fetchDump(t, topo.replicas[owner].URL+"/debug/flightrecorder?trace="+traceID)
+	res, err := obs.StitchChromeTraces([]obs.StitchFile{
+		{Name: "gateway.json", Data: gwDump},
+		{Name: "replica.json", Data: repDump},
+	}, traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := obs.ValidateChromeTrace(res.Doc)
+	if err != nil {
+		t.Fatalf("stitched doc invalid: %v\n%s", err, res.Doc)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{"gw.route", "gw.attempt", "srv.predict", "srv.batch", "features", "predict"} {
+		if !seen[want] {
+			t.Errorf("stitched trace missing span %q (has %v)", want, names)
+		}
+	}
+	if got := res.TraceProcs[traceID]; got != 2 {
+		t.Errorf("trace %s spans %d processes, want gateway+replica", traceID, got)
+	}
+
+	// The replica's root parents under the gateway's attempt span: the
+	// taxonomy is one tree across the process boundary.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(res.Doc, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var attemptSpan, srvParent, attemptBackend any
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "gw.attempt":
+			attemptSpan = ev.Args["span_id"]
+			attemptBackend = ev.Args["backend"]
+		case "srv.predict":
+			srvParent = ev.Args["parent_span_id"]
+		}
+	}
+	if attemptSpan == nil || srvParent != attemptSpan {
+		t.Errorf("srv.predict parent %v, want gw.attempt span %v", srvParent, attemptSpan)
+	}
+	if attemptBackend != topo.replicas[owner].URL {
+		t.Errorf("gw.attempt backend attr %v, want %s", attemptBackend, topo.replicas[owner].URL)
+	}
+}
+
+// traceByID finds the retained trace with the given ID or fails.
+func traceByID(t *testing.T, proc string, traces []obs.RetainedTrace, id string) obs.RetainedTrace {
+	t.Helper()
+	for _, tr := range traces {
+		if tr.TraceID == id {
+			return tr
+		}
+	}
+	t.Fatalf("%s flight recorder did not retain trace %s: %+v", proc, id, traces)
+	return obs.RetainedTrace{}
+}
+
+// TestGatewayTraceByteIdentity proves tracing is observation, not
+// behavior: routed prediction bytes are identical with the recorder
+// disabled and with a caller-supplied traceparent flowing end to end.
+func TestGatewayTraceByteIdentity(t *testing.T) {
+	off := newTopology(t, 1, func(c *gateway.Config) { c.DisableFlightRecorder = true })
+	on := newTopology(t, 1, nil)
+	model := zoo.Names()[1]
+	body := mustJSONBody(t, map[string]any{"model": model, "gpus": []string{gpu.TrainingGPUs[0]}})
+
+	codeOff, rawOff, _ := postBody(t, off.gwTS.URL, "/v1/predict", body)
+	req, err := http.NewRequest(http.MethodPost, on.gwTS.URL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, "00-cccccccccccccccccccccccccccccccc-dddddddddddddddd-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawOn, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if codeOff != http.StatusOK || resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status: off=%d on=%d", codeOff, resp.StatusCode)
+	}
+	if !equalModuloRequestID(rawOff, rawOn) {
+		t.Fatalf("tracing changed routed prediction bytes:\noff: %s\non:  %s", rawOff, rawOn)
+	}
+	if off.gw.FlightRecorder() != nil {
+		t.Error("recorder built despite DisableFlightRecorder")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cnnperf/internal/obs"
 )
 
 // Request is one replayable unit of the mix.
@@ -56,6 +58,11 @@ type Options struct {
 	// Client overrides the HTTP client (tests); nil builds one with
 	// pooled connections sized to Concurrency.
 	Client *http.Client
+	// SlowTraceCount is how many of the slowest requests report their
+	// trace IDs in Result.SlowTraces (default 5; negative disables).
+	// Every request carries a fresh W3C traceparent, so a p99 outlier's
+	// trace can be pulled from the target's /debug/flightrecorder.
+	SlowTraceCount int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,7 +75,22 @@ func (o Options) withDefaults() Options {
 	if o.Timeout <= 0 {
 		o.Timeout = 30 * time.Second
 	}
+	if o.SlowTraceCount == 0 {
+		o.SlowTraceCount = 5
+	}
+	if o.SlowTraceCount < 0 {
+		o.SlowTraceCount = 0
+	}
 	return o
+}
+
+// SlowTrace identifies one of the slowest requests of a run: enough to
+// pull its distributed trace out of the target's flight recorder.
+type SlowTrace struct {
+	Name      string  `json:"name"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latency_ms"`
+	TraceID   string  `json:"trace_id"`
 }
 
 // Percentiles summarizes a latency distribution in milliseconds.
@@ -102,6 +124,9 @@ type Result struct {
 	Non2xx        int64       `json:"non_2xx"`
 	ThroughputRPS float64     `json:"throughput_rps"`
 	Latency       Percentiles `json:"latency"`
+	// SlowTraces are the SlowTraceCount slowest requests with their
+	// trace IDs, slowest first.
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
 }
 
 // Errors is the total of failures: transport errors plus non-2xx
@@ -114,6 +139,30 @@ type recorder struct {
 	latencies []float64 // seconds
 	statuses  map[int]int64
 	transport int64
+	// slow keeps this worker's slowCap slowest requests (unordered;
+	// the global top-N is exact after merging all workers).
+	slow    []SlowTrace
+	slowCap int
+}
+
+// noteSlow offers one measured request to the worker's slow set.
+func (rec *recorder) noteSlow(st SlowTrace) {
+	if rec.slowCap <= 0 {
+		return
+	}
+	if len(rec.slow) < rec.slowCap {
+		rec.slow = append(rec.slow, st)
+		return
+	}
+	min := 0
+	for i := 1; i < len(rec.slow); i++ {
+		if rec.slow[i].LatencyMs < rec.slow[min].LatencyMs {
+			min = i
+		}
+	}
+	if st.LatencyMs > rec.slow[min].LatencyMs {
+		rec.slow[min] = st
+	}
 }
 
 // Run executes one load run against opts.Target and aggregates the
@@ -148,7 +197,7 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 
 	recs := make([]*recorder, opts.Concurrency)
 	for i := range recs {
-		recs[i] = &recorder{statuses: make(map[int]int64)}
+		recs[i] = &recorder{statuses: make(map[int]int64), slowCap: opts.SlowTraceCount}
 	}
 	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
 	defer cancel()
@@ -186,6 +235,15 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 		res.ThroughputRPS = float64(res.Requests) / elapsed.Seconds()
 	}
 	res.Latency = Summarize(all)
+	var slow []SlowTrace
+	for _, rec := range recs {
+		slow = append(slow, rec.slow...)
+	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].LatencyMs > slow[j].LatencyMs })
+	if len(slow) > opts.SlowTraceCount {
+		slow = slow[:opts.SlowTraceCount]
+	}
+	res.SlowTraces = slow
 	return res, ctx.Err()
 }
 
@@ -262,6 +320,10 @@ func issue(ctx context.Context, client *http.Client, opts Options, r Request, re
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Every request originates a trace: a p99 outlier's trace ID leads
+	// straight to the retained trace in the target's flight recorder.
+	tc := obs.NewTraceContext()
+	req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
@@ -274,8 +336,15 @@ func issue(ctx context.Context, client *http.Client, opts Options, r Request, re
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if rec != nil {
-		rec.latencies = append(rec.latencies, time.Since(start).Seconds())
+		lat := time.Since(start).Seconds()
+		rec.latencies = append(rec.latencies, lat)
 		rec.statuses[resp.StatusCode]++
+		rec.noteSlow(SlowTrace{
+			Name:      r.Name,
+			Status:    resp.StatusCode,
+			LatencyMs: lat * 1000,
+			TraceID:   tc.TraceID.String(),
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -24,29 +25,52 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// chromeTrace is the exported document shape.
+// chromeTrace is the exported document shape. OtherData carries the
+// absolute trace epoch (`epoch_unix_ns`, a string — Unix nanoseconds
+// exceed exact float64 integers) so `obscheck stitch` can align
+// documents from different processes onto one clock.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// epochKey is the otherData field holding the absolute trace epoch.
+const epochKey = "epoch_unix_ns"
+
+// processNameEvent builds the metadata event naming a trace process.
+func processNameEvent(pid int, name string) chromeEvent {
+	return chromeEvent{
+		Name: "process_name", Ph: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// writeChromeDoc sorts events by timestamp and encodes the document,
+// stamping the absolute epoch into otherData.
+func writeChromeDoc(w io.Writer, events []chromeEvent, epoch time.Time) error {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{epochKey: strconv.FormatInt(epoch.UnixNano(), 10)},
+	})
 }
 
 // WriteChromeTrace exports the recorded spans as Chrome trace_event
 // JSON. Spans not yet ended are exported with zero duration and an
 // "unfinished" arg rather than being dropped.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := []chromeEvent{{
-		Name: "process_name", Ph: "M", PID: 1, TID: 0,
-		Args: map[string]any{"name": "cnnperf"},
-	}}
+	epoch := t.Epoch()
+	events := []chromeEvent{processNameEvent(1, "cnnperf")}
 	lanes := &laneAllocator{}
 	roots := t.Roots()
 	sortByStart(roots)
-	for _, lane := range assignLanes(roots, lanes, -1) {
-		events = appendSpanEvents(events, lane.span, lane.tid, lanes, t.epoch)
+	for _, lane := range assignLanes(roots, lanes, -1, time.Time{}) {
+		events = appendSpanEvents(events, lane.span, 1, lane.tid, lanes, epoch)
 	}
-	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
-	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+	return writeChromeDoc(w, events, epoch)
 }
 
 // laneAllocator hands out process-wide thread-lane ids.
@@ -68,14 +92,19 @@ type placedSpan struct {
 // reuses the parent's lane (parentTID), the rest open fresh lanes.
 // Chrome's viewer renders each lane as a nesting track, so this keeps
 // concurrent children visually side by side instead of garbled.
-func assignLanes(siblings []*Span, lanes *laneAllocator, parentTID int) []placedSpan {
+//
+// parentEnd bounds reuse of the parent's lane: a child that outlives
+// its parent (an abandoned request whose batched work continues) must
+// not share the parent's lane or the events would partially overlap,
+// so it opens a fresh lane instead. Zero means unbounded.
+func assignLanes(siblings []*Span, lanes *laneAllocator, parentTID int, parentEnd time.Time) []placedSpan {
 	type laneState struct {
-		tid int
-		end time.Time
+		tid        int
+		end, limit time.Time
 	}
 	var open []laneState
 	if parentTID >= 0 {
-		open = append(open, laneState{tid: parentTID})
+		open = append(open, laneState{tid: parentTID, limit: parentEnd})
 	}
 	out := make([]placedSpan, 0, len(siblings))
 	for _, s := range siblings {
@@ -83,7 +112,7 @@ func assignLanes(siblings []*Span, lanes *laneAllocator, parentTID int) []placed
 		end := s.start.Add(dur)
 		placed := false
 		for i := range open {
-			if !open[i].end.After(s.start) {
+			if !open[i].end.After(s.start) && (open[i].limit.IsZero() || !end.After(open[i].limit)) {
 				open[i].end = end
 				out = append(out, placedSpan{span: s, tid: open[i].tid})
 				placed = true
@@ -99,29 +128,37 @@ func assignLanes(siblings []*Span, lanes *laneAllocator, parentTID int) []placed
 	return out
 }
 
-func appendSpanEvents(events []chromeEvent, s *Span, tid int, lanes *laneAllocator, epoch time.Time) []chromeEvent {
+func appendSpanEvents(events []chromeEvent, s *Span, pid, tid int, lanes *laneAllocator, epoch time.Time) []chromeEvent {
 	attrs, children, dur, ended := s.snapshot()
 	ev := chromeEvent{
 		Name: s.name,
 		Ph:   "X",
-		PID:  1,
+		PID:  pid,
 		TID:  tid,
 		TS:   float64(s.start.Sub(epoch).Nanoseconds()) / 1e3,
 		Dur:  float64(dur.Nanoseconds()) / 1e3,
 	}
-	if len(attrs) > 0 || !ended {
-		ev.Args = make(map[string]any, len(attrs)+1)
-		for _, a := range attrs {
-			ev.Args[a.Key] = attrValue(a.Value)
+	ev.Args = make(map[string]any, len(attrs)+4)
+	for _, a := range attrs {
+		ev.Args[a.Key] = attrValue(a.Value)
+	}
+	if !ended {
+		ev.Args["unfinished"] = true
+	}
+	if !s.traceID.IsZero() {
+		ev.Args["trace_id"] = s.traceID.String()
+		ev.Args["span_id"] = s.spanID.String()
+		if !s.parentID.IsZero() {
+			ev.Args["parent_span_id"] = s.parentID.String()
 		}
-		if !ended {
-			ev.Args["unfinished"] = true
-		}
+	}
+	if len(ev.Args) == 0 {
+		ev.Args = nil
 	}
 	events = append(events, ev)
 	sortByStart(children)
-	for _, lane := range assignLanes(children, lanes, tid) {
-		events = appendSpanEvents(events, lane.span, lane.tid, lanes, epoch)
+	for _, lane := range assignLanes(children, lanes, tid, s.start.Add(dur)) {
+		events = appendSpanEvents(events, lane.span, pid, lane.tid, lanes, epoch)
 	}
 	return events
 }

@@ -1,0 +1,423 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder: an always-on, fixed-size ring of completed
+// root-span trees per process, with tail-based retention — error and
+// over-threshold slow traces are always kept (evicting oldest-first),
+// everything else is reservoir-sampled — so the evidence for a tail
+// latency incident is already captured when you go looking. Tracers
+// are pooled and spans freelisted (Tracer.Reset), so the steady-state
+// capture path allocates nothing.
+
+// FlightRecorderConfig configures a FlightRecorder. Zero values take
+// the documented defaults.
+type FlightRecorderConfig struct {
+	// Capacity is the tail ring size: how many error/slow traces are
+	// retained (oldest evicted first). Default 64.
+	Capacity int
+	// SampleCapacity is the reservoir size for traces that are neither
+	// errors nor slow. Default 64; negative disables sampling.
+	SampleCapacity int
+	// SlowThreshold marks a trace slow when its request duration
+	// reaches it. Default 250ms.
+	SlowThreshold time.Duration
+	// SpanLimit bounds spans per recorded trace (Tracer.SetLimit).
+	// Default 512.
+	SpanLimit int
+	// Process names this process in exported Chrome traces. Default
+	// "cnnperfd".
+	Process string
+	// Seed fixes the reservoir RNG for deterministic tests (0 = random).
+	Seed uint64
+}
+
+func (c FlightRecorderConfig) withDefaults() FlightRecorderConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.SampleCapacity == 0 {
+		c.SampleCapacity = 64
+	}
+	if c.SampleCapacity < 0 {
+		c.SampleCapacity = 0
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 250 * time.Millisecond
+	}
+	if c.SpanLimit <= 0 {
+		c.SpanLimit = 512
+	}
+	if c.Process == "" {
+		c.Process = "cnnperfd"
+	}
+	return c
+}
+
+// TraceMeta is the request-level outcome attached to a finished trace;
+// it drives the retention decision.
+type TraceMeta struct {
+	Endpoint  string
+	RequestID string
+	Status    int
+	Err       bool
+	Duration  time.Duration
+}
+
+// frEntry is one retained trace.
+type frEntry struct {
+	t      *Tracer
+	root   *Span
+	meta   TraceMeta
+	reason string
+	seq    uint64
+	spans  int
+}
+
+// FlightRecorder retains a bounded set of completed traces per
+// process. Capture (StartRequest/Finish) is designed for the request
+// hot path: a pool hit plus one short critical section, no steady
+// state allocation.
+type FlightRecorder struct {
+	cfg   FlightRecorderConfig
+	epoch time.Time
+	pool  sync.Pool
+
+	mu            sync.Mutex
+	seq           uint64
+	tail          []frEntry // error + slow traces, ring ordered by tailNext
+	tailNext      int
+	sampled       []frEntry // reservoir of ordinary traces
+	seen          uint64    // reservoir candidates observed
+	rng           uint64
+	retainedSpans int64
+
+	requests     atomic.Int64
+	retainedSlow atomic.Int64
+	retainedErr  atomic.Int64
+	sampledKept  atomic.Int64
+	evicted      atomic.Int64
+	recycled     atomic.Int64
+	skippedBusy  atomic.Int64
+}
+
+// NewFlightRecorder builds a recorder with the given config.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	cfg = cfg.withDefaults()
+	fr := &FlightRecorder{
+		cfg:     cfg,
+		epoch:   time.Now(),
+		tail:    make([]frEntry, 0, cfg.Capacity),
+		sampled: make([]frEntry, 0, cfg.SampleCapacity),
+		rng:     cfg.Seed,
+	}
+	if fr.rng == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			fr.rng = binary.BigEndian.Uint64(b[:])
+		} else {
+			fr.rng = uint64(time.Now().UnixNano())
+		}
+		if fr.rng == 0 {
+			fr.rng = 1
+		}
+	}
+	fr.pool.New = func() any {
+		t := NewTracer()
+		t.SetLimit(cfg.SpanLimit)
+		return t
+	}
+	return fr
+}
+
+// nextRand steps the xorshift64 state; caller holds fr.mu.
+func (fr *FlightRecorder) nextRand() uint64 {
+	x := fr.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	fr.rng = x
+	return x
+}
+
+// StartRequest hands out a pooled tracer for one request. Pair with
+// Finish. Nil-safe (returns nil).
+func (fr *FlightRecorder) StartRequest() *Tracer {
+	if fr == nil {
+		return nil
+	}
+	return fr.pool.Get().(*Tracer)
+}
+
+// Finish classifies the finished request's trace and retains or
+// recycles its tracer: error and slow traces enter the tail ring
+// (evicting the oldest retained trace when full), the rest are
+// reservoir-sampled. Nil-safe in both arguments.
+func (fr *FlightRecorder) Finish(t *Tracer, meta TraceMeta) {
+	if fr == nil || t == nil {
+		return
+	}
+	fr.requests.Add(1)
+	root, nroots := t.peekRoot()
+	if nroots == 0 {
+		// Nothing recorded (sampled-out root or an untraced endpoint);
+		// there is no trace to retain.
+		fr.recycle(t)
+		return
+	}
+	reason := ""
+	switch {
+	case meta.Err || meta.Status >= 500:
+		reason = "error"
+	case meta.Duration >= fr.cfg.SlowThreshold:
+		reason = "slow"
+	}
+	e := frEntry{t: t, root: root, meta: meta, reason: reason, spans: t.SpanCount()}
+
+	var evict *Tracer
+	fr.mu.Lock()
+	fr.seq++
+	e.seq = fr.seq
+	switch reason {
+	case "error", "slow":
+		if reason == "error" {
+			fr.retainedErr.Add(1)
+		} else {
+			fr.retainedSlow.Add(1)
+		}
+		if len(fr.tail) < cap(fr.tail) {
+			fr.tail = append(fr.tail, e)
+		} else {
+			evict = fr.tail[fr.tailNext].t
+			fr.retainedSpans -= int64(fr.tail[fr.tailNext].spans)
+			fr.tail[fr.tailNext] = e
+			fr.tailNext = (fr.tailNext + 1) % cap(fr.tail)
+			fr.evicted.Add(1)
+		}
+		fr.retainedSpans += int64(e.spans)
+	default:
+		e.reason = "sampled"
+		fr.seen++
+		switch {
+		case len(fr.sampled) < cap(fr.sampled):
+			fr.sampled = append(fr.sampled, e)
+			fr.sampledKept.Add(1)
+			fr.retainedSpans += int64(e.spans)
+		case cap(fr.sampled) > 0 && fr.nextRand()%fr.seen < uint64(cap(fr.sampled)):
+			// Algorithm R: the n-th candidate replaces a uniformly
+			// chosen resident with probability k/n.
+			idx := int(fr.nextRand() % uint64(len(fr.sampled)))
+			evict = fr.sampled[idx].t
+			fr.retainedSpans -= int64(fr.sampled[idx].spans)
+			fr.sampled[idx] = e
+			fr.sampledKept.Add(1)
+			fr.evicted.Add(1)
+			fr.retainedSpans += int64(e.spans)
+		default:
+			evict = t // not retained
+		}
+	}
+	fr.mu.Unlock()
+	if evict != nil {
+		fr.recycle(evict)
+	}
+}
+
+// recycle resets a no-longer-retained tracer back into the pool,
+// unless detached work still holds it (then the GC reclaims it).
+func (fr *FlightRecorder) recycle(t *Tracer) {
+	if t.InUse() {
+		fr.skippedBusy.Add(1)
+		return
+	}
+	t.Reset()
+	fr.recycled.Add(1)
+	fr.pool.Put(t)
+}
+
+// FlightRecorderStats is a point-in-time counter snapshot.
+type FlightRecorderStats struct {
+	Requests       int64 `json:"requests"`
+	RetainedSlow   int64 `json:"retained_slow"`
+	RetainedErr    int64 `json:"retained_error"`
+	SampledKept    int64 `json:"sampled"`
+	Evicted        int64 `json:"evicted"`
+	Recycled       int64 `json:"recycled"`
+	SkippedBusy    int64 `json:"skipped_busy"`
+	RetainedTraces int   `json:"retained_traces"`
+	RetainedSpans  int64 `json:"retained_spans"`
+}
+
+// Stats snapshots the recorder counters. Nil-safe (zero stats).
+func (fr *FlightRecorder) Stats() FlightRecorderStats {
+	if fr == nil {
+		return FlightRecorderStats{}
+	}
+	fr.mu.Lock()
+	traces := len(fr.tail) + len(fr.sampled)
+	spans := fr.retainedSpans
+	fr.mu.Unlock()
+	return FlightRecorderStats{
+		Requests:       fr.requests.Load(),
+		RetainedSlow:   fr.retainedSlow.Load(),
+		RetainedErr:    fr.retainedErr.Load(),
+		SampledKept:    fr.sampledKept.Load(),
+		Evicted:        fr.evicted.Load(),
+		Recycled:       fr.recycled.Load(),
+		SkippedBusy:    fr.skippedBusy.Load(),
+		RetainedTraces: traces,
+		RetainedSpans:  spans,
+	}
+}
+
+// RegisterMetrics exposes the recorder as the cnnperfd_fr_* metric
+// families on reg (exposition-time Func bridges; nothing is
+// double-counted).
+func (fr *FlightRecorder) RegisterMetrics(reg *Registry) {
+	reg.CounterFunc("cnnperfd_fr_requests_total",
+		"Requests observed by the flight recorder.",
+		func() float64 { return float64(fr.requests.Load()) })
+	reg.CounterFunc("cnnperfd_fr_retained_slow_total",
+		"Traces retained because the request exceeded the slow threshold.",
+		func() float64 { return float64(fr.retainedSlow.Load()) })
+	reg.CounterFunc("cnnperfd_fr_retained_error_total",
+		"Traces retained because the request errored (5xx).",
+		func() float64 { return float64(fr.retainedErr.Load()) })
+	reg.CounterFunc("cnnperfd_fr_sampled_total",
+		"Ordinary traces admitted to the reservoir sample.",
+		func() float64 { return float64(fr.sampledKept.Load()) })
+	reg.CounterFunc("cnnperfd_fr_evictions_total",
+		"Retained traces evicted by ring wraparound or reservoir replacement.",
+		func() float64 { return float64(fr.evicted.Load()) })
+	reg.CounterFunc("cnnperfd_fr_recycled_tracers_total",
+		"Tracers reset and returned to the capture pool.",
+		func() float64 { return float64(fr.recycled.Load()) })
+	reg.GaugeFunc("cnnperfd_fr_retained_traces",
+		"Traces currently retained (tail ring + reservoir).",
+		func() float64 { return float64(fr.Stats().RetainedTraces) })
+	reg.GaugeFunc("cnnperfd_fr_retained_spans",
+		"Spans across all currently retained traces.",
+		func() float64 { return float64(fr.Stats().RetainedSpans) })
+}
+
+// RetainedTrace summarizes one retained trace for listings.
+type RetainedTrace struct {
+	Seq        uint64  `json:"seq"`
+	TraceID    string  `json:"trace_id"`
+	Reason     string  `json:"reason"`
+	Endpoint   string  `json:"endpoint"`
+	RequestID  string  `json:"request_id"`
+	Status     int     `json:"status"`
+	DurationMs float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+}
+
+// entriesLocked returns the retained entries ordered by capture
+// sequence; caller holds fr.mu.
+func (fr *FlightRecorder) entriesLocked() []frEntry {
+	out := make([]frEntry, 0, len(fr.tail)+len(fr.sampled))
+	out = append(out, fr.tail...)
+	out = append(out, fr.sampled...)
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Traces lists the currently retained traces in capture order.
+// Nil-safe (nil).
+func (fr *FlightRecorder) Traces() []RetainedTrace {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]RetainedTrace, 0, len(fr.tail)+len(fr.sampled))
+	for _, e := range fr.entriesLocked() {
+		out = append(out, RetainedTrace{
+			Seq:        e.seq,
+			TraceID:    e.root.TraceID().String(),
+			Reason:     e.reason,
+			Endpoint:   e.meta.Endpoint,
+			RequestID:  e.meta.RequestID,
+			Status:     e.meta.Status,
+			DurationMs: float64(e.meta.Duration.Nanoseconds()) / 1e6,
+			Spans:      e.spans,
+		})
+	}
+	return out
+}
+
+// WriteChromeTrace exports the retained traces (optionally filtered to
+// one trace ID, 32-hex wire form) as a single Chrome trace document.
+// The whole event list is built under the recorder lock so a
+// concurrent eviction can never recycle a tracer mid-export.
+func (fr *FlightRecorder) WriteChromeTrace(w io.Writer, traceID string) error {
+	if fr == nil {
+		return fmt.Errorf("flight recorder disabled")
+	}
+	fr.mu.Lock()
+	events := []chromeEvent{processNameEvent(1, fr.cfg.Process)}
+	lanes := &laneAllocator{}
+	for _, e := range fr.entriesLocked() {
+		if traceID != "" && e.root.TraceID().String() != traceID {
+			continue
+		}
+		rootIdx := len(events)
+		for _, lane := range assignLanes([]*Span{e.root}, lanes, -1, time.Time{}) {
+			events = appendSpanEvents(events, lane.span, 1, lane.tid, lanes, fr.epoch)
+		}
+		if rootIdx < len(events) {
+			if events[rootIdx].Args == nil {
+				events[rootIdx].Args = make(map[string]any, 5)
+			}
+			events[rootIdx].Args["fr_reason"] = e.reason
+			events[rootIdx].Args["fr_endpoint"] = e.meta.Endpoint
+			events[rootIdx].Args["fr_status"] = e.meta.Status
+			events[rootIdx].Args["fr_duration_ms"] = float64(e.meta.Duration.Nanoseconds()) / 1e6
+			if e.meta.RequestID != "" {
+				events[rootIdx].Args["fr_request_id"] = e.meta.RequestID
+			}
+		}
+	}
+	fr.mu.Unlock()
+	return writeChromeDoc(w, events, fr.epoch)
+}
+
+// WriteDir writes one Chrome trace file per retained trace into dir
+// (created if missing), named fr-<seq>-<reason>-<trace id>.json, and
+// reports how many files were written. Nil-safe (0, nil).
+func (fr *FlightRecorder) WriteDir(dir string) (int, error) {
+	if fr == nil {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("flight recorder: %w", err)
+	}
+	n := 0
+	for _, tr := range fr.Traces() {
+		name := filepath.Join(dir, fmt.Sprintf("fr-%04d-%s-%s.json", tr.Seq, tr.Reason, tr.TraceID))
+		f, err := os.Create(name)
+		if err != nil {
+			return n, fmt.Errorf("flight recorder: %w", err)
+		}
+		err = fr.WriteChromeTrace(f, tr.TraceID)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return n, fmt.Errorf("flight recorder: write %s: %w", name, err)
+		}
+		n++
+	}
+	return n, nil
+}

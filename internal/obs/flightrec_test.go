@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finishOne runs one request-shaped trace (root + one child) through
+// fr and classifies it via meta.
+func finishOne(t *testing.T, fr *FlightRecorder, meta TraceMeta) TraceID {
+	t.Helper()
+	tr := fr.StartRequest()
+	if tr == nil {
+		t.Fatal("StartRequest returned nil from a live recorder")
+	}
+	ctx := WithTracer(context.Background(), tr)
+	cctx, root := Start(ctx, "srv."+meta.Endpoint)
+	_, child := Start(cctx, "stage")
+	child.End()
+	root.End()
+	id := root.TraceID()
+	fr.Finish(tr, meta)
+	return id
+}
+
+func TestFlightRecorderRetention(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{
+		Capacity: 8, SampleCapacity: 8, SlowThreshold: 50 * time.Millisecond, Seed: 7,
+	})
+
+	errID := finishOne(t, fr, TraceMeta{Endpoint: "predict", RequestID: "r-err", Status: 500, Err: true, Duration: time.Millisecond})
+	slowID := finishOne(t, fr, TraceMeta{Endpoint: "predict", RequestID: "r-slow", Status: 200, Duration: 60 * time.Millisecond})
+	okID := finishOne(t, fr, TraceMeta{Endpoint: "lint", RequestID: "r-ok", Status: 200, Duration: time.Millisecond})
+
+	traces := fr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(traces))
+	}
+	byID := make(map[string]RetainedTrace)
+	for _, tr := range traces {
+		byID[tr.TraceID] = tr
+	}
+	for id, wantReason := range map[TraceID]string{errID: "error", slowID: "slow", okID: "sampled"} {
+		got, ok := byID[id.String()]
+		if !ok {
+			t.Fatalf("trace %s (%s) not retained: %+v", id, wantReason, traces)
+		}
+		if got.Reason != wantReason {
+			t.Errorf("trace %s reason %q, want %q", id, got.Reason, wantReason)
+		}
+		if got.Spans != 2 {
+			t.Errorf("trace %s spans %d, want 2", id, got.Spans)
+		}
+	}
+	if byID[errID.String()].RequestID != "r-err" || byID[errID.String()].Status != 500 {
+		t.Errorf("error trace meta %+v", byID[errID.String()])
+	}
+
+	st := fr.Stats()
+	if st.Requests != 3 || st.RetainedErr != 1 || st.RetainedSlow != 1 || st.SampledKept != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.RetainedTraces != 3 || st.RetainedSpans != 6 {
+		t.Errorf("retained %d traces / %d spans, want 3/6", st.RetainedTraces, st.RetainedSpans)
+	}
+
+	// The export carries every retained trace and is a valid document;
+	// filtering by trace ID keeps exactly that trace's spans.
+	var buf bytes.Buffer
+	if err := fr.WriteChromeTrace(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("export invalid: %v\n%s", err, buf.String())
+	}
+	if len(names) != 6 {
+		t.Fatalf("export has %d spans, want 6", len(names))
+	}
+	buf.Reset()
+	if err := fr.WriteChromeTrace(&buf, errID.String()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), errID.String()) || strings.Contains(buf.String(), okID.String()) {
+		t.Fatalf("filtered export wrong:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	foundMeta := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Args["fr_reason"] == "error" {
+			foundMeta = true
+			if ev.Args["fr_request_id"] != "r-err" || ev.Args["fr_endpoint"] != "predict" {
+				t.Errorf("root event meta args %+v", ev.Args)
+			}
+		}
+	}
+	if !foundMeta {
+		t.Error("filtered export missing fr_* root annotations")
+	}
+}
+
+func TestFlightRecorderRingWraparound(t *testing.T) {
+	const capacity = 4
+	fr := NewFlightRecorder(FlightRecorderConfig{
+		Capacity: capacity, SampleCapacity: -1, Seed: 11,
+	})
+	const total = 10
+	for i := 0; i < total; i++ {
+		finishOne(t, fr, TraceMeta{Endpoint: "predict", Status: 500, Err: true, Duration: time.Millisecond})
+	}
+	traces := fr.Traces()
+	if len(traces) != capacity {
+		t.Fatalf("retained %d traces, want %d", len(traces), capacity)
+	}
+	// Oldest-first eviction: the survivors are exactly the last capacity
+	// captures, still in capture order.
+	for i, tr := range traces {
+		want := uint64(total - capacity + i + 1)
+		if tr.Seq != want {
+			t.Errorf("trace %d seq %d, want %d", i, tr.Seq, want)
+		}
+	}
+	st := fr.Stats()
+	if st.Evicted != total-capacity {
+		t.Errorf("evicted %d, want %d", st.Evicted, total-capacity)
+	}
+	if st.Recycled != total-capacity {
+		t.Errorf("recycled %d, want %d", st.Recycled, total-capacity)
+	}
+	if st.RetainedSpans != capacity*2 {
+		t.Errorf("retained spans %d, want %d", st.RetainedSpans, capacity*2)
+	}
+	// Wraparound must not corrupt the export.
+	var buf bytes.Buffer
+	if err := fr.WriteChromeTrace(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("post-wraparound export invalid: %v", err)
+	}
+}
+
+// TestFlightRecorderReservoirProperties drives many ordinary requests
+// through a small reservoir and checks the retention invariants: exact
+// occupancy, deterministic admission under a fixed seed, and a sample
+// that is spread over the whole sequence rather than pinned to its
+// start or end.
+func TestFlightRecorderReservoirProperties(t *testing.T) {
+	const k, n = 8, 1000
+	run := func(seed uint64) []uint64 {
+		fr := NewFlightRecorder(FlightRecorderConfig{
+			Capacity: 4, SampleCapacity: k, Seed: seed,
+		})
+		for i := 0; i < n; i++ {
+			finishOne(t, fr, TraceMeta{Endpoint: "predict", Status: 200, Duration: time.Millisecond})
+		}
+		traces := fr.Traces()
+		if len(traces) != k {
+			t.Fatalf("seed %d: reservoir holds %d, want %d", seed, len(traces), k)
+		}
+		seqs := make([]uint64, 0, k)
+		for _, tr := range traces {
+			if tr.Reason != "sampled" {
+				t.Fatalf("seed %d: reason %q in reservoir", seed, tr.Reason)
+			}
+			if tr.Seq == 0 || tr.Seq > n {
+				t.Fatalf("seed %d: seq %d out of range", seed, tr.Seq)
+			}
+			seqs = append(seqs, tr.Seq)
+		}
+		st := fr.Stats()
+		if st.Requests != n {
+			t.Fatalf("seed %d: requests %d, want %d", seed, st.Requests, n)
+		}
+		// Everything not currently retained was recycled back to the pool.
+		if st.Recycled != n-k {
+			t.Fatalf("seed %d: recycled %d, want %d", seed, st.Recycled, n-k)
+		}
+		return seqs
+	}
+
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed, different samples: %v vs %v", a, b)
+	}
+	// A (very loose) uniformity check: the mean kept sequence number of
+	// a uniform sample over 1..1000 concentrates near 500; landing
+	// outside [150, 850] means the sampler favours one end.
+	for _, seed := range []uint64{42, 7, 99} {
+		seqs := run(seed)
+		var sum uint64
+		for _, s := range seqs {
+			sum += s
+		}
+		mean := float64(sum) / float64(len(seqs))
+		if mean < 150 || mean > 850 {
+			t.Errorf("seed %d: mean kept seq %.0f suggests biased sampling (%v)", seed, mean, seqs)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	if tr := fr.StartRequest(); tr != nil {
+		t.Fatal("nil recorder handed out a tracer")
+	}
+	fr.Finish(nil, TraceMeta{})
+	if st := fr.Stats(); st != (FlightRecorderStats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+	if got := fr.Traces(); got != nil {
+		t.Fatalf("nil Traces = %v", got)
+	}
+	if err := fr.WriteChromeTrace(&bytes.Buffer{}, ""); err == nil {
+		t.Fatal("nil WriteChromeTrace did not error")
+	}
+	if n, err := fr.WriteDir(t.TempDir()); n != 0 || err != nil {
+		t.Fatalf("nil WriteDir = %d, %v", n, err)
+	}
+
+	// A live recorder must also shrug off a Finish with no spans (e.g. a
+	// sampled-out root): nothing retained, tracer recycled.
+	live := NewFlightRecorder(FlightRecorderConfig{Seed: 3})
+	live.Finish(live.StartRequest(), TraceMeta{Endpoint: "predict", Status: 200})
+	if st := live.Stats(); st.RetainedTraces != 0 || st.Recycled != 1 {
+		t.Fatalf("empty-trace finish stats %+v", st)
+	}
+}
+
+func TestFlightRecorderWriteDir(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 8, SampleCapacity: -1, Seed: 5})
+	errID := finishOne(t, fr, TraceMeta{Endpoint: "predict", Status: 500, Err: true})
+	slowID := finishOne(t, fr, TraceMeta{Endpoint: "lint", Status: 200, Duration: time.Second})
+
+	dir := filepath.Join(t.TempDir(), "traces")
+	n, err := fr.WriteDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d files, want 2", n)
+	}
+	for i, want := range []string{
+		"fr-0001-error-" + errID.String() + ".json",
+		"fr-0002-slow-" + slowID.String() + ".json",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, want))
+		if err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		names, err := ValidateChromeTrace(data)
+		if err != nil {
+			t.Fatalf("%s invalid: %v", want, err)
+		}
+		if len(names) != 2 {
+			t.Errorf("%s has %d spans, want 2", want, len(names))
+		}
+	}
+}
+
+// TestFlightRecorderConcurrentCapture hammers the capture path from
+// many goroutines while a reader exports and lists concurrently; run
+// under -race this is the torn-export / recycle-race guard.
+func TestFlightRecorderConcurrentCapture(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{
+		Capacity: 4, SampleCapacity: 4, SlowThreshold: time.Hour, Seed: 13,
+	})
+	const workers, perWorker = 8, 50
+	var workerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := fr.WriteChromeTrace(&buf, ""); err != nil {
+				t.Error(err)
+				return
+			}
+			if buf.Len() > 0 {
+				if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+					t.Errorf("concurrent export invalid: %v", err)
+					return
+				}
+			}
+			fr.Traces()
+			fr.Stats()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for i := 0; i < perWorker; i++ {
+				status, isErr := 200, false
+				if i%3 == 0 {
+					status, isErr = 500, true
+				}
+				finishOne(t, fr, TraceMeta{Endpoint: "predict", Status: status, Err: isErr})
+			}
+		}()
+	}
+	workerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	st := fr.Stats()
+	if st.Requests != workers*perWorker {
+		t.Fatalf("requests %d, want %d", st.Requests, workers*perWorker)
+	}
+	if st.RetainedTraces > 8 {
+		t.Fatalf("retained %d traces, capacity is 4+4", st.RetainedTraces)
+	}
+}
+
+// TestFlightRecorderSteadyStateAllocs pins the headline property: once
+// the pool and freelists are warm, capturing a request (tracer from
+// pool, two spans, classification, recycle) allocates nothing.
+func TestFlightRecorderSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	fr := NewFlightRecorder(FlightRecorderConfig{
+		Capacity: 2, SampleCapacity: 2, SlowThreshold: time.Hour, Seed: 17,
+	})
+	capture := func() {
+		tr := fr.StartRequest()
+		root := tr.newRoot("srv.predict", nil, TraceContext{})
+		child := root.newChild("stage", nil)
+		child.End()
+		root.End()
+		fr.Finish(tr, TraceMeta{Endpoint: "predict", Status: 200, Duration: time.Millisecond})
+	}
+	for i := 0; i < 64; i++ { // warm the pool, freelists, and reservoir
+		capture()
+	}
+	if allocs := testing.AllocsPerRun(200, capture); allocs > 0 {
+		t.Errorf("steady-state capture allocates %.1f objects per request, want 0", allocs)
+	}
+}

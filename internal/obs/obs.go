@@ -50,6 +50,7 @@ const (
 	tracerKey ctxKey = iota
 	spanKey
 	requestIDKey
+	remoteParentKey
 )
 
 // WithTracer installs a tracer in the context; obs.Start on the

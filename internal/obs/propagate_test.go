@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("fresh context invalid: %+v", tc)
+	}
+	wire := tc.Traceparent()
+	if !strings.HasPrefix(wire, "00-") || len(wire) != 55 {
+		t.Fatalf("wire form %q malformed", wire)
+	}
+	got, err := ParseTraceparent(wire)
+	if err != nil {
+		t.Fatalf("parse own wire form: %v", err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v, want %+v", got, tc)
+	}
+	// Two mints must be distinct traces.
+	if other := NewTraceContext(); other.TraceID == tc.TraceID {
+		t.Fatalf("two fresh contexts share a trace ID")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"canonical", valid, true},
+		{"surrounding space", " " + valid + " ", true},
+		{"unsampled flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},
+		{"future version extra field", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true},
+		{"empty", "", false},
+		{"too few fields", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", false},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"version FF", "FF-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"version 00 extra field", valid + "-extra", false},
+		{"one-digit version", "0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"non-hex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"short trace id", "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01", false},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", false},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},
+		{"short parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01", false},
+		{"non-hex parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bg-01", false},
+		{"zero parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},
+		{"long flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-011", false},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g", false},
+	}
+	for _, tt := range cases {
+		tc, err := ParseTraceparent(tt.in)
+		if tt.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tt.name, err)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("%s: parsed %q as %+v, want error", tt.name, tt.in, tc)
+		}
+		if tt.ok && err == nil && !tc.Valid() {
+			t.Errorf("%s: parsed context invalid: %+v", tt.name, tc)
+		}
+	}
+}
+
+func TestRootAdoptsRemoteParent(t *testing.T) {
+	remote, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx = WithRemoteParent(ctx, remote)
+	if got, ok := RemoteParent(ctx); !ok || got != remote {
+		t.Fatalf("RemoteParent = %+v, %v", got, ok)
+	}
+
+	cctx, root := Start(ctx, "srv.predict")
+	_, child := Start(cctx, "stage")
+	child.End()
+	root.End()
+
+	if root.TraceID() != remote.TraceID {
+		t.Fatalf("root trace ID %s, want remote %s", root.TraceID(), remote.TraceID)
+	}
+	if root.ParentSpanID() != remote.SpanID {
+		t.Fatalf("root parent %s, want remote span %s", root.ParentSpanID(), remote.SpanID)
+	}
+	if root.SpanID().IsZero() || root.SpanID() == remote.SpanID {
+		t.Fatalf("root span ID %s not freshly minted", root.SpanID())
+	}
+	if child.TraceID() != remote.TraceID || child.ParentSpanID() != root.SpanID() {
+		t.Fatalf("child identity %s/%s does not chain to root", child.TraceID(), child.ParentSpanID())
+	}
+}
+
+func TestRootWithoutRemoteParentMintsTrace(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	_, a := Start(ctx, "a")
+	a.End()
+	_, b := Start(ctx, "b")
+	b.End()
+	if a.TraceID().IsZero() || b.TraceID().IsZero() {
+		t.Fatal("root without remote parent has zero trace ID")
+	}
+	if a.TraceID() == b.TraceID() {
+		t.Fatal("independent roots share a trace ID")
+	}
+	if !a.ParentSpanID().IsZero() {
+		t.Fatalf("locally originated root has parent %s", a.ParentSpanID())
+	}
+}
+
+func TestTraceparentFromContext(t *testing.T) {
+	if got := Traceparent(context.Background()); got != "" {
+		t.Fatalf("bare context traceparent %q", got)
+	}
+	remote := NewTraceContext()
+	rctx := WithRemoteParent(context.Background(), remote)
+	if got := Traceparent(rctx); got != remote.Traceparent() {
+		t.Fatalf("remote-only traceparent %q, want %q", got, remote.Traceparent())
+	}
+
+	// An active span wins over the inherited remote parent: downstream
+	// calls must parent under the local span, not skip a hop.
+	tr := NewTracer()
+	ctx := WithTracer(rctx, tr)
+	sctx, sp := Start(ctx, "gw.attempt")
+	defer sp.End()
+	got, err := ParseTraceparent(Traceparent(sctx))
+	if err != nil {
+		t.Fatalf("span traceparent unparseable: %v", err)
+	}
+	if got.TraceID != remote.TraceID {
+		t.Fatalf("span traceparent trace %s, want %s", got.TraceID, remote.TraceID)
+	}
+	if got.SpanID != sp.SpanID() {
+		t.Fatalf("span traceparent parent %s, want active span %s", got.SpanID, sp.SpanID())
+	}
+}
+
+func TestWithRemoteParentIgnoresInvalid(t *testing.T) {
+	ctx := WithRemoteParent(context.Background(), TraceContext{})
+	if _, ok := RemoteParent(ctx); ok {
+		t.Fatal("invalid remote parent stored")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so zero-alloc tests are meaningless (and
+// false-failing) under -race.
+const raceEnabled = true

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Trace stitching: flight-recorder dumps from the gateway and each
+// replica are separate Chrome trace documents with process-local
+// clocks. StitchChromeTraces aligns them onto one timeline (using the
+// absolute epoch each document carries in otherData) and merges the
+// events of one distributed trace — matched by the trace_id span arg
+// the exporter stamps — into a single document, one Chrome pid per
+// input process.
+
+// StitchFile is one input document for stitching.
+type StitchFile struct {
+	// Name labels the process in the merged document (e.g. "gateway",
+	// "replica-1"); typically the source file name.
+	Name string
+	// Data is the Chrome trace JSON.
+	Data []byte
+}
+
+// StitchedProcess reports one input's contribution to the merge.
+type StitchedProcess struct {
+	Name   string
+	PID    int
+	Events int // X events contributed after filtering
+}
+
+// StitchResult is the outcome of a stitch.
+type StitchResult struct {
+	// Doc is the merged Chrome trace document.
+	Doc []byte
+	// Processes describes each input file in pid order.
+	Processes []StitchedProcess
+	// TraceProcs counts, per trace ID seen across all inputs (before
+	// filtering), how many distinct processes recorded spans for it.
+	TraceProcs map[string]int
+}
+
+// stitchDoc decodes one input document (object or bare array form).
+func stitchDoc(data []byte) (chromeTrace, error) {
+	var doc chromeTrace
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&doc); err != nil {
+		var arr []chromeEvent
+		if err2 := json.Unmarshal(data, &arr); err2 != nil {
+			return doc, fmt.Errorf("not a trace document: %w", err)
+		}
+		doc.TraceEvents = arr
+	}
+	return doc, nil
+}
+
+// docEpoch extracts the absolute epoch (Unix nanoseconds) stamped in
+// otherData, or 0 when absent.
+func docEpoch(doc chromeTrace) int64 {
+	v, ok := doc.OtherData[epochKey]
+	if !ok {
+		return 0
+	}
+	switch x := v.(type) {
+	case string:
+		n, err := strconv.ParseInt(x, 10, 64)
+		if err != nil {
+			return 0
+		}
+		return n
+	case float64:
+		return int64(x)
+	}
+	return 0
+}
+
+// eventTraceID reads the trace_id arg stamped on exported spans.
+func eventTraceID(ev chromeEvent) string {
+	if ev.Args == nil {
+		return ""
+	}
+	id, _ := ev.Args["trace_id"].(string)
+	return id
+}
+
+// StitchChromeTraces merges per-process Chrome trace files into one
+// document on a shared timeline. Each input becomes one Chrome pid (in
+// argument order). When traceID is non-empty only X events carrying
+// that trace_id arg are kept (metadata events always survive); when
+// empty, everything merges. Timestamps are shifted by each document's
+// epoch offset from the earliest input epoch, so spans from different
+// processes line up on one clock.
+func StitchChromeTraces(files []StitchFile, traceID string) (*StitchResult, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("stitch: no input files")
+	}
+	docs := make([]chromeTrace, len(files))
+	epochs := make([]int64, len(files))
+	var base int64
+	for i, f := range files {
+		doc, err := stitchDoc(f.Data)
+		if err != nil {
+			return nil, fmt.Errorf("stitch: %s: %w", f.Name, err)
+		}
+		docs[i] = doc
+		epochs[i] = docEpoch(doc)
+		if epochs[i] != 0 && (base == 0 || epochs[i] < base) {
+			base = epochs[i]
+		}
+	}
+
+	res := &StitchResult{TraceProcs: make(map[string]int)}
+	perTrace := make(map[string]map[int]bool)
+	var merged []chromeEvent
+	for i, doc := range docs {
+		pid := i + 1
+		offsetUS := 0.0
+		if epochs[i] != 0 && base != 0 {
+			offsetUS = float64(epochs[i]-base) / 1e3
+		}
+		proc := StitchedProcess{Name: files[i].Name, PID: pid}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" {
+				if id := eventTraceID(ev); id != "" {
+					if perTrace[id] == nil {
+						perTrace[id] = make(map[int]bool)
+					}
+					perTrace[id][pid] = true
+				}
+			}
+			keep := ev.Ph != "X" || traceID == "" || eventTraceID(ev) == traceID
+			if !keep {
+				continue
+			}
+			ev.PID = pid
+			ev.TS += offsetUS
+			if ev.Ph == "X" {
+				proc.Events++
+			}
+			merged = append(merged, ev)
+		}
+		res.Processes = append(res.Processes, proc)
+	}
+	for id, pids := range perTrace {
+		res.TraceProcs[id] = len(pids)
+	}
+
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].TS < merged[j].TS })
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(chromeTrace{
+		TraceEvents:     merged,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			epochKey:         strconv.FormatInt(base, 10),
+			"stitched_files": len(files),
+		},
+	}); err != nil {
+		return nil, fmt.Errorf("stitch: encode: %w", err)
+	}
+	res.Doc = buf.Bytes()
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStitchCrossProcessTrace runs the real pipeline end to end in one
+// process: a "gateway" flight recorder records gw.route/gw.attempt, a
+// "replica" recorder continues the propagated trace context, and the
+// two exported dumps stitch into one valid document under one trace ID.
+func TestStitchCrossProcessTrace(t *testing.T) {
+	gwFR := NewFlightRecorder(FlightRecorderConfig{Process: "gateway", Seed: 1})
+	gwTracer := gwFR.StartRequest()
+	gctx := WithTracer(context.Background(), gwTracer)
+	gctx, route := Start(gctx, "gw.route")
+	actx, attempt := Start(gctx, "gw.attempt", String("backend", "b0"))
+	wire := Traceparent(actx) // what the gateway puts on the proxied request
+
+	repFR := NewFlightRecorder(FlightRecorderConfig{Process: "replica", Seed: 2})
+	repTracer := repFR.StartRequest()
+	rctx := WithTracer(context.Background(), repTracer)
+	remote, err := ParseTraceparent(wire)
+	if err != nil {
+		t.Fatalf("gateway emitted unparseable traceparent %q: %v", wire, err)
+	}
+	rctx = WithRemoteParent(rctx, remote)
+	rctx, srvRoot := Start(rctx, "srv.predict")
+	_, stage := Start(rctx, "features")
+	stage.End()
+	srvRoot.End()
+	repFR.Finish(repTracer, TraceMeta{Endpoint: "predict", Status: 200, Duration: time.Second})
+
+	attempt.End()
+	route.End()
+	gwFR.Finish(gwTracer, TraceMeta{Endpoint: "predict", Status: 200, Duration: time.Second})
+
+	traceID := route.TraceID().String()
+	if srvRoot.TraceID().String() != traceID {
+		t.Fatalf("replica trace %s, gateway trace %s", srvRoot.TraceID(), traceID)
+	}
+
+	var gwDump, repDump bytes.Buffer
+	if err := gwFR.WriteChromeTrace(&gwDump, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := repFR.WriteChromeTrace(&repDump, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := StitchChromeTraces([]StitchFile{
+		{Name: "gateway.json", Data: gwDump.Bytes()},
+		{Name: "replica.json", Data: repDump.Bytes()},
+	}, traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := ValidateChromeTrace(res.Doc)
+	if err != nil {
+		t.Fatalf("stitched doc invalid: %v\n%s", err, res.Doc)
+	}
+	want := map[string]bool{"gw.route": false, "gw.attempt": false, "srv.predict": false, "features": false}
+	for _, n := range names {
+		if _, ok := want[n]; !ok {
+			t.Errorf("unexpected span %q survived the trace filter", n)
+		}
+		want[n] = true
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("span %q missing from stitched trace", n)
+		}
+	}
+	if got := res.TraceProcs[traceID]; got != 2 {
+		t.Errorf("trace %s spans %d processes, want 2", traceID, got)
+	}
+	if len(res.Processes) != 2 || res.Processes[0].Events != 2 || res.Processes[1].Events != 2 {
+		t.Errorf("process contributions %+v", res.Processes)
+	}
+	// The replica's spans parent under the gateway's attempt span.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(res.Doc, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "srv.predict" {
+			if got := ev.Args["parent_span_id"]; got != attempt.SpanID().String() {
+				t.Errorf("srv.predict parent %v, want gw.attempt %s", got, attempt.SpanID())
+			}
+		}
+	}
+
+	// Filtering by an unknown trace drops every span event.
+	res2, err := StitchChromeTraces([]StitchFile{
+		{Name: "gateway.json", Data: gwDump.Bytes()},
+	}, strings.Repeat("ab", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Processes[0].Events != 0 {
+		t.Errorf("unknown-trace filter kept %d events", res2.Processes[0].Events)
+	}
+}
+
+func TestStitchAlignsClocks(t *testing.T) {
+	mk := func(epochNS int64, name string) []byte {
+		doc := map[string]any{
+			"traceEvents": []map[string]any{
+				{"name": name, "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 5.0,
+					"args": map[string]any{"trace_id": strings.Repeat("cd", 16)}},
+			},
+			// Epoch as a decimal string, the exporter's wire form.
+			"otherData": map[string]any{"epoch_unix_ns": strconv.FormatInt(epochNS, 10)},
+		}
+		b, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	early := mk(1_000_000_000, "early")
+	late := mk(1_002_000_000, "late") // 2ms later epoch
+
+	res, err := StitchChromeTraces([]StitchFile{
+		{Name: "early", Data: early},
+		{Name: "late", Data: late},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			PID  int     `json:"pid"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(res.Doc, &doc); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	pids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name] = ev.TS
+		pids[ev.Name] = ev.PID
+	}
+	if got := byName["late"] - byName["early"]; got != 2000 {
+		t.Errorf("late shifted %vµs relative to early, want 2000", got)
+	}
+	if pids["early"] != 1 || pids["late"] != 2 {
+		t.Errorf("pids %v, want early=1 late=2", pids)
+	}
+	if doc.OtherData["epoch_unix_ns"] != "1000000000" {
+		t.Errorf("merged epoch %v, want the earliest input epoch", doc.OtherData["epoch_unix_ns"])
+	}
+	if res.TraceProcs[strings.Repeat("cd", 16)] != 2 {
+		t.Errorf("trace procs %v", res.TraceProcs)
+	}
+}
+
+func TestStitchRejectsAndTolerates(t *testing.T) {
+	if _, err := StitchChromeTraces(nil, ""); err == nil {
+		t.Error("empty input stitched")
+	}
+	if _, err := StitchChromeTraces([]StitchFile{{Name: "x", Data: []byte("nope")}}, ""); err == nil {
+		t.Error("garbage input stitched")
+	}
+	// Bare-array documents (the other accepted Chrome trace form) and
+	// documents with no epoch still stitch (offset 0).
+	arr := []byte(`[{"name":"a","ph":"X","pid":1,"tid":1,"ts":0,"dur":1}]`)
+	res, err := StitchChromeTraces([]StitchFile{{Name: "arr", Data: arr}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processes[0].Events != 1 {
+		t.Errorf("bare array contributed %d events", res.Processes[0].Events)
+	}
+}

@@ -162,6 +162,147 @@ func TestSpanLimit(t *testing.T) {
 	}
 }
 
+// TestSpanLimitMidTreeConcurrent hits the span limit while many
+// goroutines race to add children — the count must never overshoot by
+// more than the racing writers, every drop must be accounted, and the
+// surviving tree must still export as a valid trace. Run under -race.
+func TestSpanLimitMidTreeConcurrent(t *testing.T) {
+	const limit, workers, perWorker = 16, 8, 10
+	tr := NewTracer()
+	tr.SetLimit(limit)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				cctx, c := Start(ctx, "child")
+				// Descendants of a dropped child attach upward (or drop
+				// too); either way they must not corrupt the tree.
+				_, g := Start(cctx, "grandchild")
+				g.End()
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	total := 1 + 2*workers*perWorker
+	count, dropped := tr.SpanCount(), tr.Dropped()
+	// The limit check and the count increment are not one atomic step,
+	// so racing writers can overshoot by at most their number.
+	if count < limit || count > limit+workers {
+		t.Fatalf("span count %d, want within [%d, %d]", count, limit, limit+workers)
+	}
+	if count+dropped != total {
+		t.Fatalf("count %d + dropped %d != started %d", count, dropped, total)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("limited trace invalid: %v\n%s", err, buf.String())
+	}
+	if len(names) != count {
+		t.Fatalf("exported %d spans, recorded %d", len(names), count)
+	}
+}
+
+// TestSampledOutRootChildrenDoNotLeak pins the suppressed-sentinel
+// contract: when the sampler rejects a root, spans started under the
+// rejected context (even concurrently, even ended after the fact) must
+// not be recorded, must not become roots, and a later Reset must leave
+// the tracer reusable. Run under -race.
+func TestSampledOutRootChildrenDoNotLeak(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampler(func(string) bool { return false })
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, root := Start(ctx, "root")
+	if root != nil {
+		t.Fatal("sampled-out root recorded")
+	}
+	var wg sync.WaitGroup
+	spans := make([]*Span, 16)
+	for i := range spans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cctx, c := Start(rctx, "child")
+			_, g := Start(cctx, "grandchild")
+			spans[i] = c
+			g.End()
+			c.End() // ending a nil span after the root was rejected is fine
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range spans {
+		if c != nil {
+			t.Fatalf("child %d of a sampled-out root was recorded", i)
+		}
+	}
+	if n := len(tr.Roots()); n != 0 {
+		t.Fatalf("%d roots leaked from a sampled-out trace", n)
+	}
+	if tr.SpanCount() != 0 {
+		t.Fatalf("span count %d, want 0", tr.SpanCount())
+	}
+	// Sampling is policy, not loss: nothing counts as dropped.
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d, want 0", tr.Dropped())
+	}
+
+	// The tracer recovers for its next pooled use.
+	tr.Reset()
+	tr.SetSampler(nil)
+	_, r2 := Start(WithTracer(context.Background(), tr), "fresh")
+	r2.End()
+	if len(tr.Roots()) != 1 || tr.SpanCount() != 1 {
+		t.Fatalf("tracer unusable after sampled-out trace + Reset: roots=%d spans=%d",
+			len(tr.Roots()), tr.SpanCount())
+	}
+}
+
+// TestResetRecyclesSpans pins the pooling contract: after Reset the
+// same span objects come back off the freelist, so a warmed tracer
+// records its next trace without fresh span allocations.
+func TestResetRecyclesSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	cctx, root := Start(ctx, "root")
+	_, child := Start(cctx, "child")
+	child.End()
+	root.End()
+	firstRoot, firstChild := root, child
+
+	tr.Reset()
+	if len(tr.Roots()) != 0 || tr.SpanCount() != 0 {
+		t.Fatalf("Reset left roots=%d spans=%d", len(tr.Roots()), tr.SpanCount())
+	}
+	if firstRoot.Name() != "" || firstRoot.TraceID() != (TraceID{}) {
+		t.Fatalf("recycled span retains state: %q/%s", firstRoot.Name(), firstRoot.TraceID())
+	}
+
+	ctx2 := WithTracer(context.Background(), tr)
+	c2, root2 := Start(ctx2, "again")
+	_, child2 := Start(c2, "again.child")
+	child2.End()
+	root2.End()
+	reused := map[*Span]bool{firstRoot: true, firstChild: true}
+	if !reused[root2] || !reused[child2] {
+		t.Error("spans after Reset were not drawn from the freelist")
+	}
+	if root2.TraceID().IsZero() {
+		t.Error("reused span has no fresh trace ID")
+	}
+}
+
 func TestChromeTraceDurationsNest(t *testing.T) {
 	tr := NewTracer()
 	ctx := WithTracer(context.Background(), tr)

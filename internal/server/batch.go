@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cnnperf/internal/core"
+	"cnnperf/internal/obs"
 )
 
 // A predictUnit is the analysis work behind one /v1/predict request,
@@ -140,6 +141,24 @@ type batcher struct {
 type predictJob struct {
 	unit predictUnit
 	done chan unitResult // buffered(1); the batch goroutine never blocks
+
+	// obsCtx carries the submitting request's observability identity
+	// (tracer, span, request id). The batch transplants it onto its own
+	// context so analysis spans land on the request's trace even though
+	// the work runs detached under the server context. tracer is pinned
+	// (Acquire) until the job is delivered, so the flight recorder never
+	// recycles a tracer the batch still writes into.
+	obsCtx context.Context
+	tracer *obs.Tracer
+}
+
+// release unpins the job's tracer once the batch is done with it.
+func (j *predictJob) release() {
+	if j.tracer != nil {
+		j.tracer.Release()
+		j.tracer = nil
+	}
+	j.obsCtx = nil
 }
 
 func newBatcher(s *Server, window time.Duration, max int) *batcher {
@@ -149,9 +168,15 @@ func newBatcher(s *Server, window time.Duration, max int) *batcher {
 // submit enqueues a unit and waits for its result (or ctx).
 func (b *batcher) submit(ctx context.Context, u predictUnit) (unitResult, error) {
 	j := &predictJob{unit: u, done: make(chan unitResult, 1)}
+	if t := obs.TracerFrom(ctx); t != nil {
+		t.Acquire()
+		j.tracer = t
+		j.obsCtx = ctx
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
+		j.release()
 		return unitResult{}, fmt.Errorf("server: batcher is closed")
 	}
 	b.pending = append(b.pending, j)
@@ -207,17 +232,26 @@ func (b *batcher) run(batch []*predictJob) {
 
 	index := make(map[string]int, len(batch))
 	var distinct []predictUnit
+	var obsCtxs []context.Context
 	for _, j := range batch {
 		if _, ok := index[j.unit.key]; !ok {
 			index[j.unit.key] = len(distinct)
 			distinct = append(distinct, j.unit)
+			// The first job's trace owns the unit's analysis spans; jobs
+			// deduplicated onto the same unit share the result but not
+			// the spans (one computation, one recording).
+			obsCtxs = append(obsCtxs, j.obsCtx)
 		}
 	}
 	results := make([]unitResult, len(distinct))
 	// Errors stay inside their unit's result slot, so ForEach never
 	// cancels the batch.
 	poolErr := b.s.pool.ForEach(ctx, len(distinct), func(ctx context.Context, i int) error {
-		results[i] = b.s.runUnit(ctx, distinct[i])
+		uctx := ctx
+		if obsCtxs[i] != nil {
+			uctx = obs.Transplant(ctx, obsCtxs[i])
+		}
+		results[i] = b.s.runUnit(uctx, distinct[i])
 		return nil
 	})
 	for i := range results {
@@ -233,6 +267,7 @@ func (b *batcher) run(batch []*predictJob) {
 	}
 	for _, j := range batch {
 		j.done <- results[index[j.unit.key]]
+		j.release()
 	}
 }
 
@@ -245,5 +280,6 @@ func (b *batcher) close() {
 	b.mu.Unlock()
 	for _, j := range batch {
 		j.done <- unitResult{err: fmt.Errorf("server: shutting down")}
+		j.release()
 	}
 }

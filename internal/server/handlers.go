@@ -186,7 +186,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			BlockX:          req.BlockX,
 		})
 	}
-	res, err := s.batcher.submit(ctx, unit)
+	bctx, bspan := obs.Start(ctx, "srv.batch")
+	res, err := s.batcher.submit(bctx, unit)
+	bspan.End()
 	if err != nil {
 		writeCtxError(ctx, w, err)
 		return
@@ -283,6 +285,14 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, LintResponse{Target: target, Diagnostics: diags, ErrorCount: errs})
+}
+
+// handleFlightRecorder serves the retained traces as one Chrome trace
+// document; ?trace=<32-hex id> narrows it to a single distributed
+// trace (for `obscheck stitch`).
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.fr.WriteChromeTrace(w, r.URL.Query().Get("trace"))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -21,7 +21,7 @@ import (
 
 // endpointNames are the pre-registered route labels, so /metrics shows
 // every endpoint with zero counts before its first request.
-var endpointNames = []string{"predict", "lint", "healthz", "metrics", "pprof", "other"}
+var endpointNames = []string{"predict", "lint", "healthz", "metrics", "flightrecorder", "pprof", "other"}
 
 // statusClasses are the response status classes recorded per endpoint.
 var statusClasses = []string{"2xx", "4xx", "5xx"}

@@ -58,6 +58,15 @@ var serverFamilies = map[string]string{
 	"cnnperfd_store_puts_total":          "counter",
 	"cnnperfd_store_corrupt_total":       "counter",
 	"cnnperfd_store_decode_errors_total": "counter",
+
+	"cnnperfd_fr_requests_total":         "counter",
+	"cnnperfd_fr_retained_slow_total":    "counter",
+	"cnnperfd_fr_retained_error_total":   "counter",
+	"cnnperfd_fr_sampled_total":          "counter",
+	"cnnperfd_fr_evictions_total":        "counter",
+	"cnnperfd_fr_recycled_tracers_total": "counter",
+	"cnnperfd_fr_retained_traces":        "gauge",
+	"cnnperfd_fr_retained_spans":         "gauge",
 }
 
 func TestMetricsNamesAndTypes(t *testing.T) {

@@ -79,6 +79,14 @@ type Config struct {
 	// local store directory. May be combined with StoreDir (the store
 	// is probed first). Only NewWithStore honours this field.
 	SnapshotFile string
+	// DisableFlightRecorder turns off the always-on trace capture. The
+	// recorder is on by default: every /v1/predict and /v1/lint request
+	// is traced into a pooled tracer and tail-retained (errors, slow
+	// requests, a reservoir sample) for GET /debug/flightrecorder.
+	DisableFlightRecorder bool
+	// FlightRecorder tunes the trace capture (zero values select the
+	// obs.FlightRecorderConfig defaults; Process defaults to "replica").
+	FlightRecorder obs.FlightRecorderConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +122,7 @@ type Server struct {
 	batcher  *batcher
 	metrics  *metrics
 	gate     *drainGate
+	fr       *obs.FlightRecorder
 	handler  http.Handler
 	// tier is the persistent artifact tier under the cache; nil unless
 	// constructed with NewWithStore and a StoreDir or SnapshotFile.
@@ -148,10 +157,22 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	if !cfg.DisableFlightRecorder {
+		frCfg := cfg.FlightRecorder
+		if frCfg.Process == "" {
+			frCfg.Process = "replica"
+		}
+		s.fr = obs.NewFlightRecorder(frCfg)
+		s.fr.RegisterMetrics(s.metrics.reg)
+	}
 	s.batcher = newBatcher(s, cfg.BatchWindow, cfg.MaxBatch)
 	s.handler = s.middleware(s.routes())
 	return s
 }
+
+// FlightRecorder returns the always-on trace capture, or nil when
+// disabled.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.fr }
 
 // NewWithStore builds a server and attaches the persistent artifact
 // tier described by cfg.StoreDir and cfg.SnapshotFile: cache misses
@@ -345,6 +366,9 @@ func endpointOf(path string) string {
 	case "/metrics":
 		return "metrics"
 	}
+	if path == "/debug/flightrecorder" {
+		return "flightrecorder"
+	}
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "pprof"
 	}
@@ -401,6 +425,22 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		start := time.Now()
+		// The flight recorder traces every predict/lint request into a
+		// pooled tracer; the root span adopts an inbound traceparent so
+		// the local span forest hangs off the caller's (gateway's) trace.
+		var frt *obs.Tracer
+		var root *obs.Span
+		if s.fr != nil && (ep == "predict" || ep == "lint") {
+			frt = s.fr.StartRequest()
+			fctx := obs.WithTracer(r.Context(), frt)
+			if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+				if tc, err := obs.ParseTraceparent(tp); err == nil {
+					fctx = obs.WithRemoteParent(fctx, tc)
+				}
+			}
+			fctx, root = obs.Start(fctx, "srv."+ep, obs.String("request_id", rid))
+			r = r.WithContext(fctx)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				s.metrics.panics.Inc()
@@ -425,6 +465,17 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 					obs.Duration("dur", dur.Round(time.Microsecond)),
 					obs.Duration("threshold", s.cfg.SlowRequest))
 			}
+			if frt != nil {
+				root.SetAttr(obs.Int("status", sw.status))
+				root.End()
+				s.fr.Finish(frt, obs.TraceMeta{
+					Endpoint:  ep,
+					RequestID: rid,
+					Status:    sw.status,
+					Err:       sw.status >= 500,
+					Duration:  dur,
+				})
+			}
 		}()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
@@ -447,6 +498,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/lint", s.handleLint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.fr != nil {
+		mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
